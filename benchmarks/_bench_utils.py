@@ -1,0 +1,12 @@
+"""Helpers shared by the bench modules (kept out of conftest so imports
+cannot collide with the test suite's conftest)."""
+
+
+def run_once(benchmark, fn):
+    """Benchmark a whole-experiment function exactly once.
+
+    The experiments are minutes-scale; pytest-benchmark's default
+    calibration would re-run them dozens of times.  One round keeps the
+    timing meaningful (the experiment's wall clock) without repeats.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,66 @@
+"""Ablation A4: feedback DRM controller vs the oracle.
+
+The paper's evaluation uses an oracle that knows each application's
+behaviour in advance; its future work promises practical control
+algorithms.  This bench runs the PI bank-regulated DVS controller
+(:mod:`repro.core.controllers`) with no foreknowledge and compares its
+steady performance and lifetime-average FIT against the oracle decision.
+Expected: the controller lands within a few percent of oracle performance
+while keeping the lifetime-average FIT at or below target.
+"""
+
+from repro.core.controllers import FeedbackDVSController
+from repro.core.drm import AdaptationMode
+from repro.harness.reporting import format_table
+from repro.workloads.suite import workload_by_name
+
+from _bench_utils import run_once
+
+T_QUAL = 370.0
+APPS = ("MPGdec", "bzip2", "twolf")
+EPOCHS = 16
+
+
+def reproduce(drm_oracle):
+    ramp = drm_oracle.ramp_for(T_QUAL)
+    rows = []
+    for name in APPS:
+        profile = workload_by_name(name)
+        run = drm_oracle.cache.run(profile)
+        oracle_decision = drm_oracle.best(profile, T_QUAL, AdaptationMode.DVS)
+        controller = FeedbackDVSController(drm_oracle.platform, ramp)
+        trace = controller.run(run, n_epochs=EPOCHS, start_frequency_hz=3.0e9)
+        steady = trace.epochs[EPOCHS // 2 :]
+        steady_perf = sum(e.performance for e in steady) / len(steady)
+        rows.append(
+            {
+                "app": name,
+                "oracle_perf": oracle_decision.performance,
+                "controller_perf": steady_perf,
+                "gap": steady_perf - oracle_decision.performance,
+                "lifetime_fit": trace.average_fit,
+                "final_f": trace.epochs[-1].op.frequency_ghz,
+            }
+        )
+    return rows
+
+
+def test_ablation_controller_vs_oracle(benchmark, emit, drm_oracle):
+    rows = run_once(benchmark, lambda: reproduce(drm_oracle))
+    text = format_table(
+        ["App", "Oracle perf", "Controller steady perf", "Gap",
+         "Lifetime-avg FIT", "Final f (GHz)"],
+        [
+            [r["app"], r["oracle_perf"], r["controller_perf"], r["gap"],
+             r["lifetime_fit"], r["final_f"]]
+            for r in rows
+        ],
+        title=f"Ablation A4: feedback controller vs oracle (Tqual={T_QUAL:.0f}K, {EPOCHS} epochs)",
+    )
+    emit("ablation_controller", text)
+
+    for r in rows:
+        # The controller approaches oracle performance from below...
+        assert r["controller_perf"] > 0.85 * r["oracle_perf"], r["app"]
+        # ...without blowing the lifetime budget.
+        assert r["lifetime_fit"] < 1.25 * drm_oracle.fit_target, r["app"]

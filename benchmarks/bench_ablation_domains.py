@@ -1,0 +1,68 @@
+"""Ablation A9: domain-oriented qualification (Section 7.1).
+
+"The performance-cost tradeoff depends on the processor's intended
+application domain.  For example, a processor designed for SPEC
+applications could be designed to a lower T_qual than a processor
+intended for multimedia applications."
+
+This bench computes, per market segment, the cheapest qualification
+temperature that keeps every in-segment application at >= 95% of base
+performance with the FIT target met, plus the whole-suite frontier the
+designer chooses from.
+"""
+
+from repro.core.drm import AdaptationMode
+from repro.core.tradeoff import cheapest_qualification, qualification_frontier, segment
+from repro.errors import AdaptationError
+from repro.harness.reporting import format_table
+from repro.workloads.suite import WORKLOAD_SUITE
+
+from _bench_utils import run_once
+
+GRID = (330.0, 340.0, 350.0, 360.0, 370.0, 380.0, 390.0, 400.0)
+BAR = 0.95
+
+
+def reproduce(drm_oracle):
+    seg_rows = []
+    for category in ("media", "specint", "specfp"):
+        profiles = segment(WORKLOAD_SUITE, category)
+        try:
+            t = cheapest_qualification(
+                drm_oracle, profiles, GRID, min_performance=BAR
+            )
+        except AdaptationError:
+            t = float("nan")
+        seg_rows.append({"segment": category, "t_qual": t})
+    frontier = qualification_frontier(
+        drm_oracle, (340.0, 360.0, 380.0, 400.0), WORKLOAD_SUITE,
+        mode=AdaptationMode.DVS,
+    )
+    return seg_rows, frontier
+
+
+def test_ablation_domain_qualification(benchmark, emit, drm_oracle):
+    seg_rows, frontier = run_once(benchmark, lambda: reproduce(drm_oracle))
+    seg_text = format_table(
+        ["Segment", f"Cheapest T_qual for >= {BAR:.0%} perf (K)"],
+        [[r["segment"], r["t_qual"]] for r in seg_rows],
+        title="Ablation A9a: domain-oriented qualification cost",
+    )
+    frontier_text = format_table(
+        ["T_qual (K)", "Mean perf", "Min perf", "All meet FIT?"],
+        [
+            [p.t_qual_k, p.mean_performance, p.min_performance, str(p.all_feasible)]
+            for p in frontier
+        ],
+        title="Ablation A9b: whole-suite qualification frontier (DVS DRM)",
+    )
+    emit("ablation_domains", seg_text + "\n\n" + frontier_text)
+
+    by_seg = {r["segment"]: r["t_qual"] for r in seg_rows}
+    # The paper's ordering: SPEC segments qualify cheaper than media.
+    assert by_seg["specint"] <= by_seg["media"]
+    assert by_seg["specfp"] <= by_seg["media"]
+    # Frontier is monotone and tops out above parity at worst case.
+    means = [p.mean_performance for p in frontier]
+    assert means == sorted(means)
+    assert frontier[-1].mean_performance > 1.0

@@ -1,0 +1,66 @@
+"""Ablation A1: which failure mechanism dominates where.
+
+Per-mechanism FIT contribution for every application at two qualification
+points.  The paper's qualitative claims this checks: TDDB and the thermal
+mechanisms respond to temperature, so hot applications are
+mechanism-diverse; electromigration tracks activity; and the mechanism
+ranking shifts with the qualification temperature (budget headroom is
+temperature-relative).
+"""
+
+from repro.harness.reporting import format_table
+from repro.workloads.suite import WORKLOAD_SUITE
+
+from _bench_utils import run_once
+
+T_QUALS = (400.0, 345.0)
+
+
+def reproduce(drm_oracle):
+    rows = []
+    for t_qual in T_QUALS:
+        ramp = drm_oracle.ramp_for(t_qual)
+        for profile in WORKLOAD_SUITE:
+            rel = ramp.application_reliability(drm_oracle.base_evaluation(profile))
+            by_mech = rel.account.by_mechanism()
+            rows.append(
+                {
+                    "t_qual": t_qual,
+                    "app": profile.name,
+                    "EM": by_mech["EM"],
+                    "SM": by_mech["SM"],
+                    "TDDB": by_mech["TDDB"],
+                    "TC": by_mech["TC"],
+                    "total": rel.total_fit,
+                    "dominant": rel.account.dominant_mechanism(),
+                }
+            )
+    return rows
+
+
+def test_ablation_mechanism_breakdown(benchmark, emit, drm_oracle):
+    rows = run_once(benchmark, lambda: reproduce(drm_oracle))
+    text = format_table(
+        ["Tqual", "App", "EM", "SM", "TDDB", "TC", "Total", "Dominant"],
+        [
+            [r["t_qual"], r["app"], r["EM"], r["SM"], r["TDDB"], r["TC"], r["total"], r["dominant"]]
+            for r in rows
+        ],
+        title="Ablation A1: per-mechanism FIT at the base operating point",
+    )
+    emit("ablation_mechanisms", text)
+
+    for r in rows:
+        # SOFR bookkeeping is exact.
+        assert r["EM"] + r["SM"] + r["TDDB"] + r["TC"] == r["total"] or abs(
+            r["EM"] + r["SM"] + r["TDDB"] + r["TC"] - r["total"]
+        ) < 1e-6
+        # Every mechanism contributes something for every app.
+        for mech in ("EM", "SM", "TDDB", "TC"):
+            assert r[mech] > 0.0
+
+    # Cheaper qualification inflates every app's FIT.
+    cheap = {r["app"]: r["total"] for r in rows if r["t_qual"] == 345.0}
+    costly = {r["app"]: r["total"] for r in rows if r["t_qual"] == 400.0}
+    for app in cheap:
+        assert cheap[app] > costly[app] * 3

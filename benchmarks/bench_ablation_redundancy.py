@@ -1,0 +1,97 @@
+"""Ablation A11: structural duplication and graceful degradation.
+
+The lifetime-enhancement direction the paper's related work points at
+(and its authors pursued next): spend area on cold spares (SD) or let
+adaptive structures fail soft (GPD).  Evaluated on the reproduction's
+calibrated FIT fields with lognormal wear-out lifetimes.
+
+Reported per application: the MTTF improvement of (a) sparing the single
+most FIT-loaded structure, (b) sparing the top three, and (c) GPD on the
+adaptive execution resources (ALUs/FPUs/window), with the area overhead
+of each plan.
+"""
+
+from repro.core.redundancy import (
+    RedundancyPlan,
+    evaluate_degradation,
+    evaluate_duplication,
+)
+from repro.harness.reporting import format_table
+from repro.workloads.suite import WORKLOAD_SUITE
+
+from _bench_utils import run_once
+
+T_QUAL = 400.0
+APPS = ("MPGdec", "bzip2", "twolf")
+#: Relative machine performance after losing capacity in an adaptive
+#: structure (from the Arch simulation space: one step down the FU/window
+#: ladder costs a few percent for most apps).
+GPD_PERFORMANCE = {"ialu": 0.97, "fpu": 0.95, "window": 0.98}
+
+
+def reproduce(drm_oracle):
+    ramp = drm_oracle.ramp_for(T_QUAL)
+    rows = []
+    for name in APPS:
+        profile = next(p for p in WORKLOAD_SUITE if p.name == name)
+        account = ramp.application_reliability(
+            drm_oracle.base_evaluation(profile)
+        ).account
+        by_struct = account.by_structure()
+        ranked = sorted(by_struct, key=by_struct.get, reverse=True)
+        plans = {
+            "SD top-1": RedundancyPlan.for_structures(tuple(ranked[:1])),
+            "SD top-3": RedundancyPlan.for_structures(tuple(ranked[:3])),
+        }
+        for label, plan in plans.items():
+            result = evaluate_duplication(account, plan, n_samples=12_000, seed=4)
+            rows.append(
+                {
+                    "app": name,
+                    "scheme": label,
+                    "improvement": result.improvement,
+                    "area_mm2": result.area_overhead_mm2,
+                    "perf": 1.0,
+                }
+            )
+        gpd = evaluate_degradation(account, GPD_PERFORMANCE, n_samples=12_000, seed=4)
+        rows.append(
+            {
+                "app": name,
+                "scheme": "GPD exec resources",
+                "improvement": gpd.improvement,
+                "area_mm2": 0.0,
+                "perf": gpd.mean_relative_performance,
+            }
+        )
+    return rows
+
+
+def test_ablation_redundancy(benchmark, emit, drm_oracle):
+    rows = run_once(benchmark, lambda: reproduce(drm_oracle))
+    text = format_table(
+        ["App", "Scheme", "MTTF improvement", "Area overhead (mm^2)",
+         "Lifetime-avg perf"],
+        [
+            [r["app"], r["scheme"], r["improvement"], r["area_mm2"], r["perf"]]
+            for r in rows
+        ],
+        title=f"Ablation A11: structural duplication / graceful degradation "
+        f"(lognormal lifetimes, qualified at {T_QUAL:.0f}K)",
+    )
+    emit("ablation_redundancy", text)
+
+    for name in APPS:
+        app_rows = {r["scheme"]: r for r in rows if r["app"] == name}
+        # Sparing helps, more spares help more, GPD costs no area but
+        # some performance.
+        assert app_rows["SD top-1"]["improvement"] > 1.02, name
+        assert (
+            app_rows["SD top-3"]["improvement"]
+            >= app_rows["SD top-1"]["improvement"] - 1e-9
+        ), name
+        assert app_rows["SD top-3"]["area_mm2"] > app_rows["SD top-1"]["area_mm2"], name
+        gpd = app_rows["GPD exec resources"]
+        assert gpd["improvement"] > 1.0, name
+        assert gpd["area_mm2"] == 0.0
+        assert 0.9 < gpd["perf"] < 1.0, name

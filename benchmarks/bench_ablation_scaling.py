@@ -1,0 +1,72 @@
+"""Ablation A6: technology scaling vs lifetime reliability (Section 1.2).
+
+The paper motivates the whole agenda with scaling: power density rises
+node over node, temperature follows, and wear-out accelerates
+exponentially.  This bench runs the density trajectory of
+:mod:`repro.core.scaling` on a hot and a cool application (reliability
+held at the 65 nm worst-case qualification) and checks the claim's
+executable form: FIT grows monotonically and superlinearly with density,
+and the 65 nm node is the last one where the hot application still meets
+the 30-year target without intervention.
+"""
+
+from repro.core.scaling import DEFAULT_TRAJECTORY, ScalingStudy
+from repro.harness.reporting import format_table
+from repro.workloads.suite import workload_by_name
+
+from _bench_utils import run_once
+
+APPS = ("MPGdec", "twolf")
+
+
+def reproduce(drm_oracle):
+    ramp = drm_oracle.ramp_for(400.0)
+    study = ScalingStudy(ramp, base_platform=drm_oracle.platform)
+    rows = []
+    for name in APPS:
+        run = drm_oracle.cache.run(workload_by_name(name))
+        for result in study.trajectory(run):
+            rows.append(
+                {
+                    "app": name,
+                    "node": result.scenario.label,
+                    "density": result.scenario.power_density_scale,
+                    "power": result.avg_power_w,
+                    "peak_t": result.peak_temperature_k,
+                    "fit": result.fit,
+                }
+            )
+    return rows
+
+
+def test_ablation_scaling(benchmark, emit, drm_oracle):
+    rows = run_once(benchmark, lambda: reproduce(drm_oracle))
+    text = format_table(
+        ["App", "Node", "Density x", "Power W", "Peak T (K)", "FIT"],
+        [
+            [r["app"], r["node"], r["density"], r["power"], r["peak_t"], r["fit"]]
+            for r in rows
+        ],
+        title="Ablation A6: FIT along the power-density scaling trajectory "
+        "(qualified at the 65nm 400K worst case)",
+    )
+    emit("ablation_scaling", text)
+
+    for name in APPS:
+        app_rows = [r for r in rows if r["app"] == name]
+        fits = [r["fit"] for r in app_rows]
+        temps = [r["peak_t"] for r in app_rows]
+        # Monotone in density: hotter nodes fail faster.
+        assert fits == sorted(fits), name
+        assert temps == sorted(temps), name
+        # Superlinear: the last density step (~1.27x) costs more than
+        # 1.27x in FIT for every app...
+        assert fits[-1] / fits[-2] > 1.27, name
+    # ...and dramatically more for the hot application, where the
+    # exponential temperature acceleration has the most to amplify.
+    hot_fits = [r["fit"] for r in rows if r["app"] == "MPGdec"]
+    assert hot_fits[-1] / hot_fits[-2] > 1.27 * 1.5
+    # The hot application blows the target two density steps past 65 nm.
+    hot = [r for r in rows if r["app"] == "MPGdec"]
+    assert hot[3]["fit"] <= 4000.0          # calibrated 65 nm point
+    assert hot[5]["fit"] > 4000.0           # the "32nm-density" point

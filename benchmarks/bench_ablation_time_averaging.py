@@ -1,0 +1,77 @@
+"""Ablation A3: time-averaged FIT vs worst-instant FIT.
+
+The paper's Section 7.1 argument: at a higher frequency "the temperature
+will occasionally exceed 400K but the total FIT value will not exceed the
+target because higher instantaneous FIT values are compensated by lower
+values at other times".  Current worst-case methodology effectively
+budgets to the worst instant.  This ablation quantifies, per application,
+the gap between the two accounting rules and the performance a
+worst-instant rule would forfeit.
+"""
+
+from repro.core.drm import AdaptationMode
+from repro.harness.reporting import format_table
+from repro.workloads.suite import WORKLOAD_SUITE
+
+from _bench_utils import run_once
+
+T_QUAL = 370.0
+
+
+def reproduce(drm_oracle):
+    ramp = drm_oracle.ramp_for(T_QUAL)
+    rows = []
+    for profile in WORKLOAD_SUITE:
+        # Oracle choice under the paper's (time-averaged) accounting.
+        avg_decision = drm_oracle.best(profile, T_QUAL, AdaptationMode.DVS)
+        # Oracle choice if the *worst instant* had to stay within target.
+        best_worst = None
+        for config, op in drm_oracle.candidates(AdaptationMode.DVS):
+            perf, rel, evaluation = drm_oracle.evaluate_candidate(
+                profile, config, op, ramp
+            )
+            worst = drm_oracle.ramp_for(T_QUAL).worst_instant_fit(evaluation)
+            tc = rel.account.by_mechanism()["TC"]
+            if worst + tc <= drm_oracle.fit_target and (
+                best_worst is None or perf > best_worst[0]
+            ):
+                best_worst = (perf, worst + tc)
+        rel_base = ramp.application_reliability(drm_oracle.base_evaluation(profile))
+        rows.append(
+            {
+                "app": profile.name,
+                "avg_fit": rel_base.total_fit,
+                "worst_fit": ramp.worst_instant_fit(drm_oracle.base_evaluation(profile))
+                + rel_base.account.by_mechanism()["TC"],
+                "perf_avg_rule": avg_decision.performance,
+                "perf_worst_rule": best_worst[0] if best_worst else 0.0,
+            }
+        )
+    return rows
+
+
+def test_ablation_time_averaging(benchmark, emit, drm_oracle):
+    rows = run_once(benchmark, lambda: reproduce(drm_oracle))
+    text = format_table(
+        ["App", "Avg FIT (base)", "Worst-instant FIT (base)",
+         "DRM perf (avg rule)", "DRM perf (worst-instant rule)"],
+        [
+            [r["app"], r["avg_fit"], r["worst_fit"], r["perf_avg_rule"], r["perf_worst_rule"]]
+            for r in rows
+        ],
+        title=f"Ablation A3: time-averaged vs worst-instant accounting (Tqual={T_QUAL:.0f}K)",
+    )
+    emit("ablation_time_averaging", text)
+
+    for r in rows:
+        # The worst instant is never below the average (sanity) ...
+        assert r["worst_fit"] >= r["avg_fit"] - 1e-6, r["app"]
+        # ... and the worst-instant rule never allows more performance.
+        assert r["perf_worst_rule"] <= r["perf_avg_rule"] + 1e-9, r["app"]
+    # Phase variation opens a real gap between the accounting rules...
+    gapped = sum(1 for r in rows if r["worst_fit"] > r["avg_fit"] * 1.02)
+    assert gapped >= 7
+    # ...which costs performance for at least one app even on the coarse
+    # 0.25 GHz DVS grid (finer actuators would monetise more of the gap).
+    strictly = sum(1 for r in rows if r["perf_worst_rule"] < r["perf_avg_rule"] - 1e-9)
+    assert strictly >= 1

@@ -1,0 +1,94 @@
+"""C1/C2: simulator characterisation and calibration robustness.
+
+Not paper figures — engineering evidence behind them:
+
+- **C1 microbenchmarks**: canonical single-behaviour traces pin the
+  simulator's limits where they belong (FU bandwidth, op latencies,
+  load-to-use serialisation, MLP, mispredict penalty, RAS) — the checks
+  a simulator paper would put in its validation table.
+- **C2 seed sensitivity**: the Table 2 calibration re-run under different
+  synthesis seeds; the IPC ordering (what the DRM conclusions rest on)
+  must survive seed changes even though individual values wobble.
+"""
+
+import numpy as np
+
+from repro.cpu.simulator import CycleSimulator, simulate_trace
+from repro.harness.reporting import format_table
+from repro.workloads import microbench as ub
+from repro.workloads.suite import WORKLOAD_SUITE
+from repro.workloads.trace import OpClass
+
+from _bench_utils import run_once
+
+SEEDS = (42, 1001, 777)
+
+
+def characterise():
+    rows = [
+        ("alu_throughput", simulate_trace(ub.alu_throughput(3000)).ipc, "~6 (ALU count)"),
+        ("ialu_chain", simulate_trace(ub.dependency_chain(2000)).ipc, "1.0 (1-cycle latency)"),
+        ("imul_chain", simulate_trace(ub.dependency_chain(1000, OpClass.IMUL)).ipc, "0.143 (7-cycle latency)"),
+        ("fadd_chain", simulate_trace(ub.dependency_chain(800, OpClass.FADD)).ipc, "0.25 (4-cycle latency)"),
+        ("pointer_chase(hot)", simulate_trace(ub.pointer_chase(600)).ipc, "~0.3 (load-to-use 3)"),
+        ("stream(cold)", simulate_trace(ub.stream(600)).ipc, "MLP-limited (12 MSHRs)"),
+        ("branchy(predictable)", simulate_trace(ub.branchy(2000, predictable=True)).ipc, "high"),
+        ("branchy(random)", simulate_trace(ub.branchy(2000)).ipc, "mispredict-bound"),
+        ("call_heavy", simulate_trace(ub.call_heavy(150)).ipc, "RAS-predicted"),
+    ]
+    return rows
+
+
+def seed_sweep():
+    orderings = {}
+    table = {}
+    for seed in SEEDS:
+        sim = CycleSimulator(instructions=12_000, warmup=3_000, seed=seed)
+        ipcs = {p.name: sim.run(p).ipc for p in WORKLOAD_SUITE}
+        table[seed] = ipcs
+        orderings[seed] = tuple(sorted(ipcs, key=ipcs.get, reverse=True))
+    return table, orderings
+
+
+def test_c1_microbenchmark_characterisation(benchmark, emit):
+    rows = run_once(benchmark, characterise)
+    text = format_table(
+        ["Microbenchmark", "IPC", "Expected regime"],
+        [[name, ipc, note] for name, ipc, note in rows],
+        title="C1: simulator characterisation microbenchmarks",
+    )
+    emit("characterization_microbench", text)
+    by_name = {name: ipc for name, ipc, _ in rows}
+    assert 4.0 < by_name["alu_throughput"] <= 6.5
+    assert abs(by_name["ialu_chain"] - 1.0) < 0.15
+    assert abs(by_name["imul_chain"] - 1 / 7) < 0.03
+    assert abs(by_name["fadd_chain"] - 0.25) < 0.05
+    assert by_name["pointer_chase(hot)"] < 0.5
+    assert by_name["branchy(predictable)"] > by_name["branchy(random)"] * 1.5
+
+
+def test_c2_seed_sensitivity(benchmark, emit):
+    table, orderings = run_once(benchmark, seed_sweep)
+    names = [p.name for p in WORKLOAD_SUITE]
+    text = format_table(
+        ["App"] + [f"seed {s}" for s in SEEDS] + ["paper"],
+        [
+            [name]
+            + [table[s][name] for s in SEEDS]
+            + [next(p.table2_ipc for p in WORKLOAD_SUITE if p.name == name)]
+            for name in names
+        ],
+        title="C2: Table 2 IPC under different synthesis seeds",
+    )
+    emit("characterization_seeds", text)
+
+    # The ends of the spectrum are seed-stable: media on top, twolf/art
+    # at the bottom — the property every DRM conclusion rests on.
+    for seed in SEEDS:
+        order = orderings[seed]
+        assert set(order[:3]) == {"MPGdec", "MP3dec", "H263enc"}, seed
+        assert set(order[-2:]) <= {"twolf", "art", "ammp"}, seed
+    # Per-app spread across seeds stays moderate.
+    for name in names:
+        vals = [table[s][name] for s in SEEDS]
+        assert (max(vals) - min(vals)) / np.mean(vals) < 0.65, name

@@ -1,0 +1,64 @@
+"""Figure 1: the DRM motivation picture.
+
+Three processors qualified at T_qual1 > T_qual2 > T_qual3 (cost order),
+two applications A (hot: MPGdec) and B (cool: twolf).  The figure's
+claim: on the expensive processor both apps are under the FIT target
+(over-design); on the middle one only the cool app fits; on the cheap one
+neither does — and DRM adapts performance to repair the violations.
+"""
+
+from repro.core.drm import AdaptationMode
+from repro.harness.reporting import format_table
+from repro.workloads.suite import workload_by_name
+
+from _bench_utils import run_once
+
+T_QUALS = (400.0, 362.0, 335.0)  # processors 1 (expensive) .. 3 (cheap)
+APP_A = "MPGdec"
+APP_B = "twolf"
+
+
+def reproduce_fig1(drm_oracle):
+    rows = []
+    for i, t_qual in enumerate(T_QUALS, start=1):
+        ramp = drm_oracle.ramp_for(t_qual)
+        for name in (APP_A, APP_B):
+            profile = workload_by_name(name)
+            rel = ramp.application_reliability(drm_oracle.base_evaluation(profile))
+            drm = drm_oracle.best(profile, t_qual, AdaptationMode.DVS)
+            rows.append(
+                {
+                    "processor": f"P{i} (Tqual={t_qual:.0f}K)",
+                    "app": name,
+                    "fit": rel.total_fit,
+                    "meets": rel.meets_target,
+                    "drm_perf": drm.performance,
+                    "drm_fit": drm.fit,
+                }
+            )
+    return rows
+
+
+def test_fig1_motivation(benchmark, emit, drm_oracle):
+    rows = run_once(benchmark, lambda: reproduce_fig1(drm_oracle))
+    text = format_table(
+        ["Processor", "App", "FIT (no DRM)", "Meets 4000?", "DRM perf", "DRM FIT"],
+        [
+            [r["processor"], r["app"], r["fit"], str(r["meets"]), r["drm_perf"], r["drm_fit"]]
+            for r in rows
+        ],
+        title="Figure 1: two applications on three qualification cost points",
+    )
+    emit("fig1_motivation", text)
+
+    by = {(r["processor"].split()[0], r["app"]): r for r in rows}
+    # P1 (expensive): both applications exceed the target (over-design).
+    assert by[("P1", APP_A)]["meets"] and by[("P1", APP_B)]["meets"]
+    # P2: the hot app violates, the cool one still fits.
+    assert not by[("P2", APP_A)]["meets"]
+    assert by[("P2", APP_B)]["meets"]
+    # P3 (cheap): both violate without intervention.
+    assert not by[("P3", APP_A)]["meets"] and not by[("P3", APP_B)]["meets"]
+    # DRM repairs every violation back to the target.
+    for r in rows:
+        assert r["drm_fit"] <= 4000.0 + 1e-6 or r["drm_perf"] < 1.0

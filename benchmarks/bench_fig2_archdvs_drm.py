@@ -1,0 +1,60 @@
+"""Figure 2: ArchDVS DRM performance for four qualification costs.
+
+For every application and T_qual in {400, 370, 345, 325} K, the DRM
+oracle searches the full ArchDVS space (18 microarchitectures x the DVS
+grid) and reports the best performance that meets the FIT target,
+relative to the base non-adaptive 4 GHz processor.
+
+Paper shapes asserted:
+- at 400 K (worst-case qualification) every application gains;
+- performance is monotone in T_qual;
+- hot, high-IPC media applications lose the most at cheap qualification
+  points; the cool, low-IPC applications (twolf, art) lose least and
+  hold ~base performance at 345 K.
+"""
+
+from repro.core.drm import AdaptationMode
+from repro.harness.reporting import format_series
+from repro.workloads.suite import WORKLOAD_SUITE
+
+from _bench_utils import run_once
+
+T_QUALS = (400.0, 370.0, 345.0, 325.0)
+
+
+def reproduce_fig2(drm_oracle):
+    series = {}
+    for profile in WORKLOAD_SUITE:
+        series[profile.name] = [
+            drm_oracle.best(profile, t_qual, AdaptationMode.ARCHDVS).performance
+            for t_qual in T_QUALS
+        ]
+    return series
+
+
+def test_fig2_archdvs_drm(benchmark, emit, drm_oracle):
+    series = run_once(benchmark, lambda: reproduce_fig2(drm_oracle))
+    text = format_series(
+        "Tqual (K)",
+        list(T_QUALS),
+        series,
+        title="Figure 2: ArchDVS DRM performance vs base, by T_qual",
+    )
+    emit("fig2_archdvs_drm", text)
+
+    perf = {name: dict(zip(T_QUALS, vals)) for name, vals in series.items()}
+
+    # Worst-case qualification is overly conservative: every app gains.
+    for name in perf:
+        assert perf[name][400.0] > 1.0, name
+    # Monotone in the cost proxy.
+    for name, vals in series.items():
+        assert vals == sorted(vals, reverse=True), name
+    # At 345 K the cool low-IPC apps stay near base...
+    assert perf["twolf"][345.0] > 0.9
+    assert perf["art"][345.0] > 0.9
+    # ...while hot media throttles hardest.
+    assert perf["MPGdec"][345.0] < perf["twolf"][345.0]
+    assert perf["MPGdec"][325.0] <= min(perf["art"][325.0], perf["twolf"][325.0])
+    # At 325 K the media apps see a large slowdown (paper: MP3dec -26%).
+    assert perf["MP3dec"][325.0] < 0.85

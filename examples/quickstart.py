@@ -1,0 +1,53 @@
+"""Quickstart: evaluate one application's lifetime reliability with RAMP.
+
+Runs bzip2 on the base Table 1 processor, shows its power/temperature
+conditions, qualifies the processor at the worst-case 400 K point, and
+reports the application FIT and MTTF — then shows the single most useful
+DRM result: the performance the reliability headroom buys.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    AdaptationMode,
+    DRMOracle,
+    TARGET_FIT,
+    workload_by_name,
+)
+
+def main() -> None:
+    # The oracle wires everything: synthetic workloads -> cycle-level
+    # simulator -> power -> temperature -> RAMP.  Reduced budgets keep
+    # this quickstart under a minute.
+    oracle = DRMOracle(dvs_steps=11)
+    app = workload_by_name("bzip2")
+
+    print(f"== {app.name} on the base non-adaptive processor (4 GHz, 1.0 V) ==")
+    run = oracle.cache.run(app)
+    evaluation = oracle.base_evaluation(app)
+    print(f"IPC:               {run.ipc:.2f}   (paper Table 2: {app.table2_ipc})")
+    print(f"Average power:     {evaluation.avg_power_w:.1f} W (paper Table 2: {app.table2_power_w} W)")
+    print(f"Peak temperature:  {evaluation.peak_temperature_k:.1f} K")
+
+    print("\n== RAMP, qualified at the worst-case point (T_qual = 400 K) ==")
+    ramp = oracle.ramp_for(400.0)
+    reliability = ramp.application_reliability(evaluation)
+    print(f"Application FIT:   {reliability.total_fit:.0f}  (target {TARGET_FIT:.0f})")
+    print(f"Implied MTTF:      {reliability.mttf_years:.0f} years")
+    print(f"Unused margin:     {reliability.margin:+.0%}")
+    by_mech = reliability.account.by_mechanism()
+    for mech, fit in sorted(by_mech.items(), key=lambda kv: -kv[1]):
+        print(f"  {mech:5s} {fit:8.1f} FIT")
+
+    print("\n== DRM: spend the margin on performance ==")
+    decision = oracle.best(app, 400.0, AdaptationMode.DVS)
+    print(
+        f"Best DVS point within the FIT target: "
+        f"{decision.op.frequency_ghz:.2f} GHz @ {decision.op.voltage_v:.3f} V"
+    )
+    print(f"Speedup vs base:   {decision.performance:.3f}x")
+    print(f"FIT at that point: {decision.fit:.0f} (meets target: {decision.meets_target})")
+
+
+if __name__ == "__main__":
+    main()

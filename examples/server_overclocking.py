@@ -1,0 +1,49 @@
+"""Scenario: an over-designed server-class processor.
+
+Section 1.3 of the paper: high-end server processors have expensive
+cooling and packaging and are over-designed from a reliability
+perspective.  Their reliability margin can be spent on performance.
+
+This script qualifies the processor at the current worst-case methodology
+(T_qual = 400 K — the hottest temperature any suite application reaches),
+then shows, application by application, how much headroom each workload
+leaves and the overclock DRM safely extracts from it — including the
+paper's observation that the temperature may transiently exceed 400 K
+while the *time-averaged* FIT stays within target.
+
+Run:  python examples/server_overclocking.py
+"""
+
+from repro import AdaptationMode, DRMOracle, WORKLOAD_SUITE
+
+T_QUAL = 400.0
+
+
+def main() -> None:
+    oracle = DRMOracle(dvs_steps=11)
+    ramp = oracle.ramp_for(T_QUAL)
+
+    print(f"Worst-case qualification: T_qual = {T_QUAL:.0f} K, target {oracle.fit_target:.0f} FIT")
+    print(f"{'app':9s} {'baseFIT':>8s} {'margin':>7s} {'DRM f':>6s} {'peak T':>7s} {'speedup':>8s}")
+    for profile in WORKLOAD_SUITE:
+        base = oracle.base_evaluation(profile)
+        rel = ramp.application_reliability(base)
+        decision = oracle.best(profile, T_QUAL, AdaptationMode.DVS)
+        run = oracle.cache.run(profile)
+        boosted = oracle.platform.evaluate(run, decision.op)
+        marker = " (exceeds 400K transiently)" if boosted.peak_temperature_k > 400.0 else ""
+        print(
+            f"{profile.name:9s} {rel.total_fit:8.0f} {rel.margin:6.0%} "
+            f"{decision.op.frequency_ghz:5.2f}G {boosted.peak_temperature_k:6.1f}K "
+            f"{decision.performance:8.3f}{marker}"
+        )
+
+    print(
+        "\nEvery application runs below the qualified worst case, so every"
+        "\napplication overclocks — worst-case qualification is overly"
+        "\nconservative, which is the paper's core observation."
+    )
+
+
+if __name__ == "__main__":
+    main()

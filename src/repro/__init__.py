@@ -1,0 +1,90 @@
+"""repro: RAMP + DRM, a reproduction of
+"The Case for Lifetime Reliability-Aware Microprocessors" (ISCA 2004).
+
+Public API tour:
+
+- :mod:`repro.config` — the Table 1 processor, the 18-point Arch
+  adaptation space, and the DVS voltage/frequency curve.
+- :mod:`repro.workloads` — the synthetic nine-application suite (Table 2).
+- :mod:`repro.cpu` — the cycle-level out-of-order timing simulator.
+- :mod:`repro.power` / :mod:`repro.thermal` — Wattch- and HotSpot-style
+  power and temperature substrates.
+- :mod:`repro.core` — RAMP (the four wear-out models, qualification,
+  FIT accounting) plus the DRM and DTM oracles.
+- :mod:`repro.harness` — the evaluable platform, simulation caching, and
+  reporting used by the example scripts and benches.
+
+Quickstart::
+
+    from repro import DRMOracle, AdaptationMode, workload_by_name
+
+    oracle = DRMOracle()
+    decision = oracle.best(
+        workload_by_name("bzip2"), 370.0, AdaptationMode.ARCHDVS
+    )
+    print(decision.performance, decision.fit)
+"""
+
+from repro.config import (
+    BASE_MICROARCH,
+    DEFAULT_VF_CURVE,
+    MicroarchConfig,
+    OperatingPoint,
+    STRUCTURES,
+    TechnologyParameters,
+    VoltageFrequencyCurve,
+    arch_adaptation_space,
+)
+from repro.constants import TARGET_FIT, fit_to_mttf_years, mttf_years_to_fit
+from repro.core import (
+    ALL_MECHANISMS,
+    AdaptationMode,
+    AppReliability,
+    DRMDecision,
+    DRMOracle,
+    DTMDecision,
+    DTMOracle,
+    FitAccount,
+    QualificationPoint,
+    RampModel,
+    calibrate,
+)
+from repro.cpu import CycleSimulator, SimulationStats
+from repro.harness import Platform, SimulationCache
+from repro.workloads import WORKLOAD_SUITE, SUITE_NAMES, WorkloadProfile, workload_by_name
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BASE_MICROARCH",
+    "DEFAULT_VF_CURVE",
+    "MicroarchConfig",
+    "OperatingPoint",
+    "STRUCTURES",
+    "TechnologyParameters",
+    "VoltageFrequencyCurve",
+    "arch_adaptation_space",
+    "TARGET_FIT",
+    "fit_to_mttf_years",
+    "mttf_years_to_fit",
+    "ALL_MECHANISMS",
+    "AdaptationMode",
+    "AppReliability",
+    "DRMDecision",
+    "DRMOracle",
+    "DTMDecision",
+    "DTMOracle",
+    "FitAccount",
+    "QualificationPoint",
+    "RampModel",
+    "calibrate",
+    "CycleSimulator",
+    "SimulationStats",
+    "Platform",
+    "SimulationCache",
+    "WORKLOAD_SUITE",
+    "SUITE_NAMES",
+    "WorkloadProfile",
+    "workload_by_name",
+    "__version__",
+]

@@ -1,0 +1,243 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+A thin, scriptable front end over the library for the common questions a
+user asks of this reproduction:
+
+- ``table2``            regenerate Table 2 (suite IPC/power/temperature)
+- ``reliability``       RAMP FIT report for one application
+- ``drm``               the DRM oracle's decision for one (app, T_qual)
+- ``dtm``               the DTM decision for one (app, T_limit)
+- ``sweep``             DRM performance across T_qual values for one app
+- ``suite``             list the workload suite
+- ``validate``          run the stack's self-audits
+- ``map``               ASCII thermal map of an application on the die
+
+Every command accepts ``--instructions/--warmup/--seed`` to trade speed
+for fidelity, and ``--dvs-steps`` for grid resolution.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.config.dvs import DEFAULT_VF_CURVE
+from repro.core.drm import AdaptationMode, DRMOracle
+from repro.core.dtm import DTMOracle
+from repro.harness.platform import Platform
+from repro.harness.reporting import format_series, format_table
+from repro.harness.sweep import SimulationCache
+from repro.workloads.suite import SUITE_NAMES, WORKLOAD_SUITE, workload_by_name
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--instructions", type=int, default=24_000,
+                        help="instruction budget per simulation (default 24000)")
+    parser.add_argument("--warmup", type=int, default=4_000,
+                        help="warmup instructions (default 4000)")
+    parser.add_argument("--seed", type=int, default=42, help="trace seed")
+    parser.add_argument("--dvs-steps", type=int, default=11,
+                        help="DVS grid resolution (default 11 = 0.25 GHz)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="optional directory for the simulation cache")
+
+
+def _oracle(args: argparse.Namespace) -> DRMOracle:
+    cache = SimulationCache(
+        instructions=args.instructions,
+        warmup=args.warmup,
+        seed=args.seed,
+        disk_dir=args.cache_dir,
+    )
+    return DRMOracle(platform=Platform(), cache=cache, dvs_steps=args.dvs_steps)
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    rows = [
+        [p.name, p.category, p.table2_ipc, p.table2_power_w]
+        for p in WORKLOAD_SUITE
+    ]
+    print(format_table(
+        ["App", "Type", "IPC (paper)", "Power W (paper)"], rows,
+        title="Workload suite (paper Table 2 targets)",
+    ))
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    oracle = _oracle(args)
+    rows = []
+    for profile in WORKLOAD_SUITE:
+        run = oracle.cache.run(profile)
+        evaluation = oracle.base_evaluation(profile)
+        rows.append([
+            profile.name, run.ipc, profile.table2_ipc,
+            evaluation.avg_power_w, profile.table2_power_w,
+            evaluation.peak_temperature_k,
+        ])
+    print(format_table(
+        ["App", "IPC", "IPC (paper)", "Power W", "Power W (paper)", "Peak T (K)"],
+        rows, title="Table 2 (regenerated)",
+    ))
+    return 0
+
+
+def _cmd_reliability(args: argparse.Namespace) -> int:
+    oracle = _oracle(args)
+    profile = workload_by_name(args.app)
+    ramp = oracle.ramp_for(args.tqual)
+    rel = ramp.application_reliability(oracle.base_evaluation(profile))
+    print(f"{profile.name} @ base operating point, qualified at {args.tqual:.0f} K")
+    print(f"  total FIT : {rel.total_fit:.1f}  (target {oracle.fit_target:.0f})")
+    print(f"  MTTF      : {rel.mttf_years:.1f} years")
+    print(f"  meets     : {rel.meets_target}")
+    print("  by mechanism:")
+    for mech, fit in sorted(rel.account.by_mechanism().items(), key=lambda kv: -kv[1]):
+        print(f"    {mech:5s} {fit:10.2f}")
+    print("  hottest structures:")
+    by_struct = rel.account.by_structure()
+    for name, fit in sorted(by_struct.items(), key=lambda kv: -kv[1])[:5]:
+        print(f"    {name:8s} {fit:10.2f}")
+    return 0
+
+
+def _cmd_drm(args: argparse.Namespace) -> int:
+    oracle = _oracle(args)
+    profile = workload_by_name(args.app)
+    mode = AdaptationMode(args.mode)
+    decision = oracle.best(profile, args.tqual, mode)
+    print(f"DRM decision for {profile.name} at T_qual={args.tqual:.0f} K ({mode.value}):")
+    print(f"  config      : {decision.config.describe()}")
+    print(f"  frequency   : {decision.op.frequency_ghz:.2f} GHz")
+    print(f"  voltage     : {decision.op.voltage_v:.3f} V")
+    print(f"  performance : {decision.performance:.3f}x vs base")
+    print(f"  FIT         : {decision.fit:.1f} (meets target: {decision.meets_target})")
+    return 0 if decision.meets_target else 2
+
+
+def _cmd_dtm(args: argparse.Namespace) -> int:
+    oracle = _oracle(args)
+    dtm = DTMOracle(
+        platform=oracle.platform, cache=oracle.cache, dvs_steps=args.dvs_steps
+    )
+    profile = workload_by_name(args.app)
+    decision = dtm.best(profile, args.tlimit)
+    print(f"DTM decision for {profile.name} at T_limit={args.tlimit:.0f} K:")
+    print(f"  frequency   : {decision.op.frequency_ghz:.2f} GHz")
+    print(f"  performance : {decision.performance:.3f}x vs base")
+    print(f"  peak T      : {decision.peak_temperature_k:.1f} K "
+          f"(meets limit: {decision.meets_limit})")
+    return 0 if decision.meets_limit else 2
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    oracle = _oracle(args)
+    profile = workload_by_name(args.app)
+    tquals = [float(t) for t in args.tquals.split(",")]
+    mode = AdaptationMode(args.mode)
+    perfs, freqs, fits = [], [], []
+    for t in tquals:
+        d = oracle.best(profile, t, mode)
+        perfs.append(d.performance)
+        freqs.append(d.op.frequency_ghz)
+        fits.append(d.fit)
+    print(format_series(
+        "Tqual (K)", tquals,
+        {"performance": perfs, "frequency GHz": freqs, "FIT": fits},
+        title=f"DRM ({mode.value}) sweep for {profile.name}",
+    ))
+    return 0
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    from repro.thermal.report import render_thermal_map
+
+    oracle = _oracle(args)
+    profile = workload_by_name(args.app)
+    evaluation = oracle.base_evaluation(profile)
+    hottest = max(
+        evaluation.intervals,
+        key=lambda iv: max(iv.temperatures.values()),
+    )
+    print(f"{profile.name}: hottest interval at the base operating point")
+    print(render_thermal_map(oracle.platform.floorplan, hottest.temperatures))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.harness.validation import validate_stack
+
+    cache = SimulationCache(
+        instructions=args.instructions,
+        warmup=args.warmup,
+        seed=args.seed,
+        disk_dir=args.cache_dir,
+    )
+    report = validate_stack(cache=cache, t_qual_k=args.tqual)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RAMP + DRM: lifetime reliability-aware microprocessor toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("suite", help="list the workload suite")
+    p.set_defaults(func=_cmd_suite)
+
+    p = sub.add_parser("table2", help="regenerate Table 2")
+    _add_common(p)
+    p.set_defaults(func=_cmd_table2)
+
+    p = sub.add_parser("reliability", help="RAMP FIT report for one app")
+    p.add_argument("app", choices=SUITE_NAMES)
+    p.add_argument("--tqual", type=float, default=400.0)
+    _add_common(p)
+    p.set_defaults(func=_cmd_reliability)
+
+    p = sub.add_parser("drm", help="DRM oracle decision")
+    p.add_argument("app", choices=SUITE_NAMES)
+    p.add_argument("--tqual", type=float, default=400.0)
+    p.add_argument("--mode", choices=[m.value for m in AdaptationMode], default="dvs")
+    _add_common(p)
+    p.set_defaults(func=_cmd_drm)
+
+    p = sub.add_parser("dtm", help="DTM decision")
+    p.add_argument("app", choices=SUITE_NAMES)
+    p.add_argument("--tlimit", type=float, default=370.0)
+    _add_common(p)
+    p.set_defaults(func=_cmd_dtm)
+
+    p = sub.add_parser("map", help="ASCII thermal map of an application")
+    p.add_argument("app", choices=SUITE_NAMES)
+    _add_common(p)
+    p.set_defaults(func=_cmd_map)
+
+    p = sub.add_parser("validate", help="run the stack's self-audits")
+    p.add_argument("--tqual", type=float, default=400.0)
+    _add_common(p)
+    p.set_defaults(func=_cmd_validate)
+
+    p = sub.add_parser("sweep", help="DRM performance across T_qual values")
+    p.add_argument("app", choices=SUITE_NAMES)
+    p.add_argument("--tquals", default="325,345,370,400",
+                   help="comma-separated T_qual list (K)")
+    p.add_argument("--mode", choices=[m.value for m in AdaptationMode], default="dvs")
+    _add_common(p)
+    p.set_defaults(func=_cmd_sweep)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

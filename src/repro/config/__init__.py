@@ -1,0 +1,27 @@
+"""Processor, technology, and operating-point configuration.
+
+This subpackage encodes Table 1 of the paper (the base non-adaptive 65 nm
+processor), the 18-point microarchitectural adaptation space used by DRM's
+``Arch`` response, and the Pentium-M-style voltage/frequency curve used by
+the ``DVS`` response.
+"""
+
+from repro.config.technology import TechnologyParameters, STRUCTURES, StructureSpec
+from repro.config.microarch import (
+    MicroarchConfig,
+    BASE_MICROARCH,
+    arch_adaptation_space,
+)
+from repro.config.dvs import VoltageFrequencyCurve, OperatingPoint, DEFAULT_VF_CURVE
+
+__all__ = [
+    "TechnologyParameters",
+    "STRUCTURES",
+    "StructureSpec",
+    "MicroarchConfig",
+    "BASE_MICROARCH",
+    "arch_adaptation_space",
+    "VoltageFrequencyCurve",
+    "OperatingPoint",
+    "DEFAULT_VF_CURVE",
+]

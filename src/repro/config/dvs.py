@@ -1,0 +1,114 @@
+"""Dynamic voltage and frequency scaling (DVS) operating points.
+
+The paper varies processor frequency from 2.5 GHz to 5.0 GHz and always
+sets the voltage to the level that supports the simulated frequency, with
+a voltage/frequency relationship extrapolated from Intel's Pentium-M
+(Centrino).  We model that relationship as linear around the nominal
+(4.0 GHz, 1.0 V) point, which reproduces the paper's observation that
+power has a near-cubic dependence on frequency (P_dyn ~ V^2 f with V
+linear in f).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """A (frequency, voltage) pair at which the core runs.
+
+    Attributes:
+        frequency_hz: clock frequency in hertz.
+        voltage_v: supply voltage in volts.
+    """
+
+    frequency_hz: float
+    voltage_v: float
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0.0:
+            raise ConfigurationError("frequency must be positive")
+        if self.voltage_v <= 0.0:
+            raise ConfigurationError("voltage must be positive")
+
+    @property
+    def frequency_ghz(self) -> float:
+        """Clock frequency in gigahertz (for reporting)."""
+        return self.frequency_hz / 1e9
+
+
+@dataclass(frozen=True)
+class VoltageFrequencyCurve:
+    """Linear V(f) law extrapolated from the Pentium-M DVS table.
+
+    ``voltage(f) = v_nominal + slope_v_per_ghz * (f - f_nominal)`` with f in
+    GHz.  The defaults put 2.5 GHz at 0.895 V and 5.0 GHz at 1.07 V around
+    the nominal 4.0 GHz / 1.0 V point.
+
+    Attributes:
+        f_nominal_hz: anchor frequency (the base processor's 4.0 GHz).
+        v_nominal: anchor voltage (1.0 V).
+        slope_v_per_ghz: dV/df in volts per gigahertz.
+        f_min_hz / f_max_hz: the DVS range explored by the paper.
+    """
+
+    f_nominal_hz: float = 4.0e9
+    v_nominal: float = 1.0
+    slope_v_per_ghz: float = 0.07
+    f_min_hz: float = 2.5e9
+    f_max_hz: float = 5.0e9
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.f_min_hz <= self.f_nominal_hz <= self.f_max_hz:
+            raise ConfigurationError(
+                "require 0 < f_min <= f_nominal <= f_max, got "
+                f"{self.f_min_hz}, {self.f_nominal_hz}, {self.f_max_hz}"
+            )
+        if self.voltage_at(self.f_min_hz) <= 0.0:
+            raise ConfigurationError("V(f_min) must remain positive")
+
+    def voltage_at(self, frequency_hz: float) -> float:
+        """Supply voltage required to support ``frequency_hz``."""
+        delta_ghz = (frequency_hz - self.f_nominal_hz) / 1e9
+        return self.v_nominal + self.slope_v_per_ghz * delta_ghz
+
+    def operating_point(self, frequency_hz: float) -> OperatingPoint:
+        """Build an :class:`OperatingPoint` at ``frequency_hz``.
+
+        Raises:
+            ConfigurationError: if the frequency is outside the DVS range.
+        """
+        if not self.f_min_hz <= frequency_hz <= self.f_max_hz:
+            raise ConfigurationError(
+                f"frequency {frequency_hz / 1e9:.3f} GHz outside DVS range "
+                f"[{self.f_min_hz / 1e9:.2f}, {self.f_max_hz / 1e9:.2f}] GHz"
+            )
+        return OperatingPoint(frequency_hz, self.voltage_at(frequency_hz))
+
+    @property
+    def nominal(self) -> OperatingPoint:
+        """The base processor's operating point (4.0 GHz, 1.0 V)."""
+        return OperatingPoint(self.f_nominal_hz, self.v_nominal)
+
+    def grid(self, steps: int = 21) -> tuple[OperatingPoint, ...]:
+        """Evenly spaced operating points across the DVS range.
+
+        The grid always contains the nominal point exactly (it is inserted
+        if the even spacing misses it) so that "run at base" is always an
+        available DVS decision.
+        """
+        if steps < 2:
+            raise ConfigurationError("DVS grid needs at least 2 steps")
+        freqs = list(np.linspace(self.f_min_hz, self.f_max_hz, steps))
+        if not any(abs(f - self.f_nominal_hz) < 1e3 for f in freqs):
+            freqs.append(self.f_nominal_hz)
+            freqs.sort()
+        return tuple(self.operating_point(f) for f in freqs)
+
+
+DEFAULT_VF_CURVE = VoltageFrequencyCurve()

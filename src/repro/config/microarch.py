@@ -1,0 +1,140 @@
+"""Microarchitectural configuration and the DRM ``Arch`` adaptation space.
+
+The base non-adaptive processor (Table 1) is an 8-wide out-of-order core
+similar to the MIPS R10000: a unified 128-entry instruction window (issue
+queue + reorder buffer), separate 192-entry integer and floating-point
+physical register files, 6 integer ALUs, 4 FPUs, 2 address-generation
+units, and a 32-entry memory queue.
+
+For DRM's microarchitectural adaptation, the paper explores 18
+configurations built from combinations of instruction-window size, number
+of ALUs, and number of FPUs, ranging from the full 128-entry/6-ALU/4-FPU
+machine down to 16 entries/2 ALUs/1 FPU.  The issue width always equals
+the number of active functional units, and powering down a functional
+unit also powers down its selection logic, result-bus slice, wake-up
+ports, and register-file write ports — modelled here through the
+``powered_fraction`` accessors, which the power model and RAMP use to
+scale dynamic power and (for electromigration and TDDB) FIT with the
+powered-on area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+#: Instruction-window sizes explored by the Arch adaptation.
+_ADAPT_WINDOW_SIZES = (128, 96, 64, 48, 32, 16)
+
+#: (n_ialu, n_fpu) pairs explored by the Arch adaptation.
+_ADAPT_FU_PAIRS = ((6, 4), (4, 2), (2, 1))
+
+
+@dataclass(frozen=True)
+class MicroarchConfig:
+    """A microarchitectural configuration of the modelled core.
+
+    Attributes mirror Table 1 of the paper.  All counts are per-core.
+    ``issue_width`` is derived: the paper sets it equal to the sum of all
+    active functional units, so it is not an independent knob.
+    """
+
+    fetch_width: int = 8
+    retire_width: int = 8
+    window_size: int = 128
+    n_ialu: int = 6
+    n_fpu: int = 4
+    n_agen: int = 2
+    int_registers: int = 192
+    fp_registers: int = 192
+    memory_queue_size: int = 32
+    ras_entries: int = 32
+    bpred_bytes: int = 2048
+
+    def __post_init__(self) -> None:
+        positive_fields = (
+            ("fetch_width", self.fetch_width),
+            ("retire_width", self.retire_width),
+            ("window_size", self.window_size),
+            ("n_ialu", self.n_ialu),
+            ("n_fpu", self.n_fpu),
+            ("n_agen", self.n_agen),
+            ("int_registers", self.int_registers),
+            ("fp_registers", self.fp_registers),
+            ("memory_queue_size", self.memory_queue_size),
+            ("ras_entries", self.ras_entries),
+            ("bpred_bytes", self.bpred_bytes),
+        )
+        for name, value in positive_fields:
+            if value <= 0:
+                raise ConfigurationError(f"{name} must be positive, got {value}")
+        if self.window_size > BASE_WINDOW_SIZE:
+            raise ConfigurationError(
+                f"window_size {self.window_size} exceeds the base processor's "
+                f"{BASE_WINDOW_SIZE} entries; Arch adaptation can only shrink"
+            )
+        if self.n_ialu > BASE_N_IALU or self.n_fpu > BASE_N_FPU:
+            raise ConfigurationError(
+                "Arch adaptation cannot add functional units beyond the base "
+                f"({BASE_N_IALU} ALU / {BASE_N_FPU} FPU)"
+            )
+
+    @property
+    def issue_width(self) -> int:
+        """Issue width: the sum of all active functional units."""
+        return self.n_ialu + self.n_fpu + self.n_agen
+
+    # ---- powered-on fractions used by the power model and RAMP ----------
+
+    def powered_fraction(self, structure: str) -> float:
+        """Fraction of a structure's base area that is powered on.
+
+        DRM's Arch adaptation powers down window entries and functional
+        units (along with their selection logic, result-bus slice, wake-up
+        ports, and register write ports).  A powered-down slice has no
+        current flow or supply voltage, so its electromigration and TDDB
+        FIT contributions vanish — RAMP scales those mechanisms' FIT by
+        this fraction.
+
+        Structures not touched by the adaptation return 1.0.
+        """
+        if structure == "window":
+            return self.window_size / BASE_WINDOW_SIZE
+        if structure == "ialu":
+            return self.n_ialu / BASE_N_IALU
+        if structure == "fpu":
+            return self.n_fpu / BASE_N_FPU
+        return 1.0
+
+    def describe(self) -> str:
+        """Short human-readable identifier, e.g. ``w128-a6-f4``."""
+        return f"w{self.window_size}-a{self.n_ialu}-f{self.n_fpu}"
+
+
+#: Base-machine resource counts referenced by the validation above and by
+#: the powered-fraction computation.  They match Table 1.
+BASE_WINDOW_SIZE = 128
+BASE_N_IALU = 6
+BASE_N_FPU = 4
+
+#: The base non-adaptive processor of Table 1.
+BASE_MICROARCH = MicroarchConfig()
+
+
+def arch_adaptation_space(base: MicroarchConfig = BASE_MICROARCH) -> tuple[MicroarchConfig, ...]:
+    """The 18 microarchitectural configurations explored by DRM's Arch.
+
+    Combinations of 6 instruction-window sizes (128 down to 16) and 3
+    functional-unit mixes (6 ALU/4 FPU, 4/2, 2/1), matching the paper's
+    count of 18 configurations spanning 128-entry/6-ALU/4-FPU down to
+    16-entry/2-ALU/1-FPU.  The first element is always the base (most
+    aggressive) configuration.
+    """
+    configs = []
+    for window in _ADAPT_WINDOW_SIZES:
+        for n_ialu, n_fpu in _ADAPT_FU_PAIRS:
+            configs.append(
+                replace(base, window_size=window, n_ialu=n_ialu, n_fpu=n_fpu)
+            )
+    return tuple(configs)

@@ -1,0 +1,112 @@
+"""Physical constants and unit conversions used throughout the library.
+
+Every quantity in this package uses SI-ish engineering units that match the
+RAMP paper's conventions:
+
+- temperature: kelvin
+- voltage: volts
+- frequency: hertz (configuration tables often speak in GHz; convert at the
+  boundary)
+- power: watts
+- area: square millimetres (floorplans and leakage densities are quoted in
+  mm^2 in the paper)
+- reliability: FIT (failures per 10^9 device-hours) or MTTF in hours
+"""
+
+from __future__ import annotations
+
+#: Boltzmann constant in electron-volts per kelvin. The activation energies
+#: in the failure models (0.9 eV for electromigration and stress migration,
+#: the Wu et al. TDDB fit) are quoted in eV, so k must match.
+BOLTZMANN_EV_PER_K = 8.617333262e-5
+
+#: Hours in a (Julian) year, used for MTTF-in-years conversions.
+HOURS_PER_YEAR = 8760.0
+
+#: Device-hours per FIT unit: one FIT is one failure per 1e9 device-hours.
+FIT_DEVICE_HOURS = 1.0e9
+
+#: Absolute-zero guard: no model in this package is meaningful below this.
+MIN_TEMPERATURE_K = 200.0
+
+#: Upper sanity bound for silicon junction temperatures (melting is far
+#: higher, but nothing in a working processor should exceed this).
+MAX_TEMPERATURE_K = 500.0
+
+#: Ambient air temperature inside the case, assumed by the thermal model
+#: (45 C, the HotSpot default).
+AMBIENT_TEMPERATURE_K = 318.15
+
+#: Cold end of the large thermal cycles modelled by the Coffin-Manson
+#: fatigue mechanism: the powered-off (room-temperature) state the package
+#: returns to when the machine powers down or enters standby.
+CYCLE_COLD_TEMPERATURE_K = 300.0
+
+#: The paper's reliability qualification target: processors are expected to
+#: have an MTTF of around 30 years, i.e. a total failure rate of ~4000 FIT.
+TARGET_FIT = 4000.0
+
+#: Number of intrinsic failure mechanisms modelled by RAMP.  The FIT budget
+#: is split evenly across them during qualification.
+N_FAILURE_MECHANISMS = 4
+
+
+def mttf_hours_to_fit(mttf_hours: float) -> float:
+    """Convert a mean-time-to-failure in hours to a FIT value.
+
+    FIT is the expected number of failures per 1e9 device-hours, so under
+    the constant-failure-rate (exponential lifetime) assumption used by the
+    SOFR model, ``FIT = 1e9 / MTTF``.
+
+    Raises:
+        ValueError: if ``mttf_hours`` is not strictly positive.
+    """
+    if mttf_hours <= 0.0:
+        raise ValueError(f"MTTF must be positive, got {mttf_hours!r}")
+    return FIT_DEVICE_HOURS / mttf_hours
+
+
+def fit_to_mttf_hours(fit: float) -> float:
+    """Convert a FIT value to a mean-time-to-failure in hours.
+
+    Raises:
+        ValueError: if ``fit`` is not strictly positive.
+    """
+    if fit <= 0.0:
+        raise ValueError(f"FIT must be positive, got {fit!r}")
+    return FIT_DEVICE_HOURS / fit
+
+
+def mttf_years_to_fit(mttf_years: float) -> float:
+    """Convert an MTTF in years to FIT (30 years ~ 3805 FIT)."""
+    return mttf_hours_to_fit(mttf_years * HOURS_PER_YEAR)
+
+
+def fit_to_mttf_years(fit: float) -> float:
+    """Convert a FIT value to an MTTF in years."""
+    return fit_to_mttf_hours(fit) / HOURS_PER_YEAR
+
+
+def celsius_to_kelvin(celsius: float) -> float:
+    """Convert a temperature from degrees Celsius to kelvin."""
+    return celsius + 273.15
+
+
+def kelvin_to_celsius(kelvin: float) -> float:
+    """Convert a temperature from kelvin to degrees Celsius."""
+    return kelvin - 273.15
+
+
+def validate_temperature(kelvin: float, *, what: str = "temperature") -> float:
+    """Check a temperature is physically plausible and return it.
+
+    Raises:
+        ValueError: if ``kelvin`` falls outside
+            [``MIN_TEMPERATURE_K``, ``MAX_TEMPERATURE_K``].
+    """
+    if not MIN_TEMPERATURE_K <= kelvin <= MAX_TEMPERATURE_K:
+        raise ValueError(
+            f"{what} {kelvin!r} K outside plausible range "
+            f"[{MIN_TEMPERATURE_K}, {MAX_TEMPERATURE_K}]"
+        )
+    return kelvin

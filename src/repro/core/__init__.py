@@ -1,0 +1,62 @@
+"""RAMP and DRM: the paper's primary contribution.
+
+- :mod:`repro.core.failure` — the four device-level wear-out models
+  (electromigration, stress migration, TDDB, thermal cycling);
+- :mod:`repro.core.fit` — FIT/MTTF algebra and the sum-of-failure-rates
+  combination;
+- :mod:`repro.core.qualification` — calibration of the proportionality
+  constants to a target FIT at a chosen qualification point (the paper's
+  cost proxy);
+- :mod:`repro.core.ramp` — the RAMP engine: time-averaged, per-structure,
+  per-mechanism FIT accounting for an application run;
+- :mod:`repro.core.drm` — the dynamic-reliability-management oracle
+  (Arch / DVS / ArchDVS adaptation searches);
+- :mod:`repro.core.dtm` — the dynamic-thermal-management comparator;
+- :mod:`repro.core.budget` — long-horizon reliability banking;
+- :mod:`repro.core.sensors` — the hardware-implementation view of RAMP;
+- :mod:`repro.core.controllers` — feedback DRM controllers (the paper's
+  future work);
+- :mod:`repro.core.intra` — per-phase (intra-application) DRM schedules
+  (the paper's future work);
+- :mod:`repro.core.online` — the deployable hardware monitoring loop
+  (sensors + RAMP + reliability bank);
+- :mod:`repro.core.scaling` — the technology-scaling reliability study
+  (Section 1.2 made executable).
+"""
+
+from repro.core.failure import (
+    ALL_MECHANISMS,
+    Electromigration,
+    FailureMechanism,
+    StressConditions,
+    StressMigration,
+    ThermalCycling,
+    TimeDependentDielectricBreakdown,
+)
+from repro.core.fit import FitAccount, sofr_total_fit
+from repro.core.qualification import QualificationPoint, QualifiedReliabilityModel, calibrate
+from repro.core.ramp import AppReliability, RampModel
+from repro.core.drm import AdaptationMode, DRMDecision, DRMOracle
+from repro.core.dtm import DTMDecision, DTMOracle
+
+__all__ = [
+    "ALL_MECHANISMS",
+    "Electromigration",
+    "FailureMechanism",
+    "StressConditions",
+    "StressMigration",
+    "ThermalCycling",
+    "TimeDependentDielectricBreakdown",
+    "FitAccount",
+    "sofr_total_fit",
+    "QualificationPoint",
+    "QualifiedReliabilityModel",
+    "calibrate",
+    "AppReliability",
+    "RampModel",
+    "AdaptationMode",
+    "DRMDecision",
+    "DRMOracle",
+    "DTMDecision",
+    "DTMOracle",
+]

@@ -1,0 +1,144 @@
+"""Joint reliability + thermal management (the paper's conclusion).
+
+Section 7.3 ends: "neither technique subsumes the other and future
+systems must provide mechanisms to support both together."  This module
+is that mechanism: a joint oracle that picks the best-performing
+operating point satisfying **both** the lifetime FIT target (DRM's
+budgetable, time-averaged constraint) and the instantaneous thermal
+design point (DTM's hard cap).
+
+The joint feasible region is the intersection, so the joint choice never
+out-clocks either single policy; the bench quantifies how much
+performance honouring both constraints costs relative to each alone —
+and verifies the joint choice violates neither.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.dvs import OperatingPoint, VoltageFrequencyCurve, DEFAULT_VF_CURVE
+from repro.config.microarch import BASE_MICROARCH
+from repro.constants import TARGET_FIT, validate_temperature
+from repro.core.ramp import RampModel
+from repro.errors import AdaptationError
+from repro.harness.platform import Platform, PlatformEvaluation
+from repro.harness.sweep import SimulationCache
+from repro.workloads.characteristics import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class JointDecision:
+    """The joint policy's choice for one (application, T_qual, T_limit).
+
+    Attributes:
+        profile_name: the application.
+        t_qual_k: reliability qualification temperature.
+        t_limit_k: thermal design point.
+        op: chosen operating point.
+        performance: speedup vs the base processor at nominal V/f.
+        fit: application FIT at the choice.
+        peak_temperature_k: hottest structure temperature at the choice.
+        meets_fit / meets_thermal: per-constraint verdicts (both True
+            unless no candidate satisfies the pair, in which case the
+            least-violating candidate is returned).
+    """
+
+    profile_name: str
+    t_qual_k: float
+    t_limit_k: float
+    op: OperatingPoint
+    performance: float
+    fit: float
+    peak_temperature_k: float
+    meets_fit: bool
+    meets_thermal: bool
+
+    @property
+    def feasible(self) -> bool:
+        return self.meets_fit and self.meets_thermal
+
+
+class JointOracle:
+    """Oracle DVS management under simultaneous FIT and thermal caps.
+
+    Args:
+        ramp_factory: T_qual -> qualified RAMP model (share
+            ``DRMOracle.ramp_for``).
+        platform / cache / vf_curve / fit_target / dvs_steps: as in the
+            single-constraint oracles.
+    """
+
+    def __init__(
+        self,
+        ramp_factory,
+        platform: Platform | None = None,
+        cache: SimulationCache | None = None,
+        vf_curve: VoltageFrequencyCurve = DEFAULT_VF_CURVE,
+        fit_target: float = TARGET_FIT,
+        dvs_steps: int = 26,
+    ) -> None:
+        self.ramp_factory = ramp_factory
+        self.platform = platform or Platform(vf_curve=vf_curve)
+        self.cache = cache or SimulationCache()
+        self.vf_curve = vf_curve
+        self.fit_target = fit_target
+        self.dvs_steps = dvs_steps
+        self._base_evals: dict[str, PlatformEvaluation] = {}
+
+    def _base_evaluation(self, profile: WorkloadProfile) -> PlatformEvaluation:
+        cached = self._base_evals.get(profile.name)
+        if cached is None:
+            run = self.cache.run(profile, BASE_MICROARCH)
+            cached = self.platform.evaluate(run, self.vf_curve.nominal)
+            self._base_evals[profile.name] = cached
+        return cached
+
+    def best(
+        self,
+        profile: WorkloadProfile,
+        t_qual_k: float,
+        t_limit_k: float,
+    ) -> JointDecision:
+        """Best DVS point within both constraints.
+
+        When the intersection is empty, returns the candidate minimising
+        the larger of its two normalised violations.
+        """
+        validate_temperature(t_limit_k, what="T_limit")
+        ramp: RampModel = self.ramp_factory(t_qual_k)
+        run = self.cache.run(profile, BASE_MICROARCH)
+        base = self._base_evaluation(profile)
+        best_ok: JointDecision | None = None
+        least_bad: tuple[float, JointDecision] | None = None
+        for op in self.vf_curve.grid(self.dvs_steps):
+            evaluation = self.platform.evaluate(run, op)
+            fit = ramp.application_reliability(evaluation).total_fit
+            peak = evaluation.peak_temperature_k
+            decision = JointDecision(
+                profile_name=profile.name,
+                t_qual_k=t_qual_k,
+                t_limit_k=t_limit_k,
+                op=op,
+                performance=evaluation.ips / base.ips,
+                fit=fit,
+                peak_temperature_k=peak,
+                meets_fit=fit <= self.fit_target + 1e-9,
+                meets_thermal=peak <= t_limit_k + 1e-9,
+            )
+            if decision.feasible and (
+                best_ok is None or decision.performance > best_ok.performance
+            ):
+                best_ok = decision
+            violation = max(
+                fit / self.fit_target - 1.0,
+                (peak - t_limit_k) / max(t_limit_k, 1.0),
+                0.0,
+            )
+            if least_bad is None or violation < least_bad[0]:
+                least_bad = (violation, decision)
+        if best_ok is not None:
+            return best_ok
+        if least_bad is None:
+            raise AdaptationError("DVS grid is empty")
+        return least_bad[1]

@@ -1,0 +1,150 @@
+"""Feedback DRM controllers (the paper's stated future work).
+
+The paper evaluates DRM with an oracle that knows each application's
+behaviour in advance.  Its conclusion section promises "specific adaptive
+control algorithms ... that offer the promise of close to optimal choice
+of adaptive configurations".  This module implements the natural first
+candidate: a proportional-integral DVS controller regulated on the
+reliability bank of :class:`~repro.core.budget.ReliabilityBudget` — run
+epoch by epoch over an application's phases with no foreknowledge.
+
+The controller ablation bench compares it against the oracle: it should
+approach oracle performance while keeping the lifetime-average FIT at or
+below target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.dvs import OperatingPoint, VoltageFrequencyCurve, DEFAULT_VF_CURVE
+from repro.core.budget import ReliabilityBudget
+from repro.core.ramp import RampModel
+from repro.cpu.simulator import WorkloadRun
+from repro.errors import AdaptationError
+from repro.harness.platform import Platform
+
+
+@dataclass(frozen=True)
+class ControllerEpoch:
+    """One control epoch's record.
+
+    Attributes:
+        op: the operating point used during the epoch.
+        fit: the FIT rate observed during the epoch.
+        performance: speedup vs the base processor for this epoch's phase.
+        banked: the reliability bank after the epoch (FIT-hours).
+    """
+
+    op: OperatingPoint
+    fit: float
+    performance: float
+    banked: float
+
+
+@dataclass(frozen=True)
+class ControllerTrace:
+    """The full closed-loop history of one controller run."""
+
+    epochs: tuple[ControllerEpoch, ...]
+
+    @property
+    def average_performance(self) -> float:
+        return sum(e.performance for e in self.epochs) / len(self.epochs)
+
+    @property
+    def average_fit(self) -> float:
+        return sum(e.fit for e in self.epochs) / len(self.epochs)
+
+    @property
+    def final_banked(self) -> float:
+        return self.epochs[-1].banked
+
+
+class FeedbackDVSController:
+    """PI controller stepping the DVS frequency against the FIT error.
+
+    Each epoch the controller runs one phase of the application at its
+    current frequency, observes the FIT rate RAMP reports, and moves the
+    frequency proportionally to the (target − observed) error plus an
+    integral term fed by the reliability bank.  Anti-windup comes free:
+    the frequency is clamped to the DVS range.
+
+    Args:
+        platform: the power/thermal platform.
+        ramp: a qualified RAMP model (fixes T_qual and the target).
+        vf_curve: DVS law (provides the actuator range).
+        kp: proportional gain in GHz per (fraction of target) error.
+        ki: integral gain in GHz per (fraction of an hour's budget) banked.
+        epoch_hours: wall-clock length charged to the bank per epoch.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        ramp: RampModel,
+        vf_curve: VoltageFrequencyCurve = DEFAULT_VF_CURVE,
+        kp: float = 0.8,
+        ki: float = 0.15,
+        epoch_hours: float = 1.0,
+    ) -> None:
+        if kp < 0.0 or ki < 0.0:
+            raise AdaptationError("controller gains must be non-negative")
+        if epoch_hours <= 0.0:
+            raise AdaptationError("epoch length must be positive")
+        self.platform = platform
+        self.ramp = ramp
+        self.vf_curve = vf_curve
+        self.kp = kp
+        self.ki = ki
+        self.epoch_hours = epoch_hours
+
+    def _clamp(self, frequency_hz: float) -> float:
+        return min(self.vf_curve.f_max_hz, max(self.vf_curve.f_min_hz, frequency_hz))
+
+    def run(
+        self,
+        run: WorkloadRun,
+        n_epochs: int,
+        start_frequency_hz: float | None = None,
+    ) -> ControllerTrace:
+        """Drive the application for ``n_epochs`` closed-loop epochs.
+
+        Each epoch uses the whole multi-phase evaluation of the workload
+        at the current operating point (phases repeat cyclically in real
+        time; their time-weighted mix is what an epoch observes).
+
+        Raises:
+            AdaptationError: if ``n_epochs`` is not positive.
+        """
+        if n_epochs <= 0:
+            raise AdaptationError("need at least one epoch")
+        target = self.ramp.qualified.fit_target
+        budget = ReliabilityBudget(fit_target=target)
+        base_eval = self.platform.evaluate(run, self.vf_curve.nominal)
+        f = self._clamp(
+            start_frequency_hz
+            if start_frequency_hz is not None
+            else self.vf_curve.f_nominal_hz
+        )
+        epochs = []
+        for _ in range(n_epochs):
+            op = self.vf_curve.operating_point(f)
+            evaluation = self.platform.evaluate(run, op)
+            reliability = self.ramp.application_reliability(evaluation)
+            fit = reliability.total_fit
+            budget.record(fit, self.epoch_hours)
+            perf = evaluation.ips / base_eval.ips
+            epochs.append(
+                ControllerEpoch(
+                    op=op, fit=fit, performance=perf, banked=budget.banked
+                )
+            )
+            # PI update: proportional on the rate error, integral on the
+            # bank (both normalised to the target so gains are unitless-ish).
+            error = (target - fit) / target
+            bank_term = budget.banked / (target * max(budget.elapsed_hours, 1.0))
+            f = self._clamp(
+                f + (self.kp * error + self.ki * bank_term) * 1e9
+            )
+        return ControllerTrace(epochs=tuple(epochs))

@@ -1,0 +1,226 @@
+"""Dynamic Reliability Management: the oracle adaptation study (Sec. 4-5).
+
+The paper evaluates DRM's *potential* with an oracle that, for each
+application and each qualification point T_qual, picks the adaptation
+configuration with the best performance whose application FIT stays
+within the qualified target.  Three adaptation spaces:
+
+- **Arch** — the 18 microarchitectural configurations (window size,
+  ALU/FPU count) at the base voltage and frequency.  Since the base
+  machine is already the most aggressive configuration, Arch can only
+  throttle: its relative performance is capped at 1.0.
+- **DVS** — frequency 2.5-5.0 GHz with the Pentium-M-style V(f) law, on
+  the most aggressive microarchitecture.
+- **ArchDVS** — the cross product.
+
+Every microarchitecture needs one cycle-level simulation per
+application; DVS points are evaluated analytically from that simulation,
+then run through the power/thermal fixed point and RAMP.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.config.dvs import OperatingPoint, VoltageFrequencyCurve, DEFAULT_VF_CURVE
+from repro.config.microarch import BASE_MICROARCH, MicroarchConfig, arch_adaptation_space
+from repro.config.technology import STRUCTURE_NAMES
+from repro.constants import TARGET_FIT
+from repro.core.qualification import QualificationPoint, calibrate
+from repro.core.ramp import AppReliability, RampModel
+from repro.errors import AdaptationError
+from repro.harness.platform import Platform, PlatformEvaluation
+from repro.harness.sweep import SimulationCache
+from repro.workloads.characteristics import WorkloadProfile
+from repro.workloads.suite import WORKLOAD_SUITE
+
+
+class AdaptationMode(enum.Enum):
+    """Which adaptation space the DRM oracle searches."""
+
+    ARCH = "arch"
+    DVS = "dvs"
+    ARCHDVS = "archdvs"
+
+
+@dataclass(frozen=True)
+class DRMDecision:
+    """The oracle's choice for one (application, T_qual, mode).
+
+    Attributes:
+        profile_name: the application.
+        t_qual_k: the qualification temperature (cost proxy).
+        mode: the adaptation space searched.
+        config: chosen microarchitecture.
+        op: chosen operating point.
+        performance: speedup vs the base non-adaptive processor at 4 GHz
+            (1.0 = parity; >1 exploits over-design headroom).
+        fit: the application FIT at the chosen configuration.
+        meets_target: whether the FIT target is satisfied (False only if
+            even the most conservative candidate violates it).
+    """
+
+    profile_name: str
+    t_qual_k: float
+    mode: AdaptationMode
+    config: MicroarchConfig
+    op: OperatingPoint
+    performance: float
+    fit: float
+    meets_target: bool
+
+
+class DRMOracle:
+    """Oracle DRM search over the adaptation spaces.
+
+    Args:
+        platform: the power/thermal platform (a default one if omitted).
+        cache: cycle-level simulation cache (shared across benches).
+        vf_curve: DVS law.
+        fit_target: the qualified processor failure rate (~4000 FIT).
+        dvs_steps: DVS grid resolution.
+        suite: applications used to derive p_qual (per-structure worst
+            activity), per the paper's methodology.
+    """
+
+    def __init__(
+        self,
+        platform: Platform | None = None,
+        cache: SimulationCache | None = None,
+        vf_curve: VoltageFrequencyCurve = DEFAULT_VF_CURVE,
+        fit_target: float = TARGET_FIT,
+        dvs_steps: int = 26,
+        suite: tuple[WorkloadProfile, ...] = WORKLOAD_SUITE,
+    ) -> None:
+        self.platform = platform or Platform(vf_curve=vf_curve)
+        self.cache = cache or SimulationCache()
+        self.vf_curve = vf_curve
+        self.fit_target = fit_target
+        self.dvs_steps = dvs_steps
+        self.suite = suite
+        self._p_qual: dict[str, float] | None = None
+        self._ramp_models: dict[float, RampModel] = {}
+        self._base_evals: dict[str, PlatformEvaluation] = {}
+
+    # ---- qualification ------------------------------------------------
+
+    def p_qual(self) -> dict[str, float]:
+        """Per-structure worst-case activity across the suite.
+
+        The paper fixes p_qual to the highest activity factor obtained
+        across the application suite from the timing simulator; we keep
+        it per structure so electromigration qualification is worst case
+        for every structure individually.
+        """
+        if self._p_qual is None:
+            worst = {name: 0.0 for name in STRUCTURE_NAMES}
+            for profile in self.suite:
+                run = self.cache.run(profile, BASE_MICROARCH)
+                for pr in run.phases:
+                    for name, a in pr.stats.activity.items():
+                        worst[name] = max(worst[name], a)
+            self._p_qual = worst
+        return self._p_qual
+
+    def qualification_point(self, t_qual_k: float) -> QualificationPoint:
+        """Build the qualification point for a given T_qual."""
+        tech = self.platform.technology
+        return QualificationPoint(
+            temperature_k=t_qual_k,
+            voltage_v=tech.vdd_nominal,
+            frequency_hz=tech.frequency_nominal_hz,
+            activity=self.p_qual(),
+        )
+
+    def ramp_for(self, t_qual_k: float) -> RampModel:
+        """The RAMP model qualified at ``t_qual_k`` (memoised)."""
+        model = self._ramp_models.get(t_qual_k)
+        if model is None:
+            qualified = calibrate(
+                self.qualification_point(t_qual_k),
+                fit_target=self.fit_target,
+                technology=self.platform.technology,
+            )
+            model = RampModel(qualified)
+            self._ramp_models[t_qual_k] = model
+        return model
+
+    # ---- evaluation ----------------------------------------------------
+
+    def base_evaluation(self, profile: WorkloadProfile) -> PlatformEvaluation:
+        """The base non-adaptive processor at nominal V/f (memoised)."""
+        cached = self._base_evals.get(profile.name)
+        if cached is None:
+            run = self.cache.run(profile, BASE_MICROARCH)
+            cached = self.platform.evaluate(run, self.vf_curve.nominal)
+            self._base_evals[profile.name] = cached
+        return cached
+
+    def evaluate_candidate(
+        self,
+        profile: WorkloadProfile,
+        config: MicroarchConfig,
+        op: OperatingPoint,
+        ramp: RampModel,
+    ) -> tuple[float, AppReliability, PlatformEvaluation]:
+        """(performance, reliability, evaluation) of one candidate."""
+        run = self.cache.run(profile, config)
+        evaluation = self.platform.evaluate(run, op)
+        reliability = ramp.application_reliability(evaluation)
+        performance = evaluation.ips / self.base_evaluation(profile).ips
+        return performance, reliability, evaluation
+
+    def candidates(self, mode: AdaptationMode) -> list[tuple[MicroarchConfig, OperatingPoint]]:
+        """The adaptation space for a mode."""
+        nominal = self.vf_curve.nominal
+        grid = self.vf_curve.grid(self.dvs_steps)
+        if mode is AdaptationMode.ARCH:
+            return [(c, nominal) for c in arch_adaptation_space()]
+        if mode is AdaptationMode.DVS:
+            return [(BASE_MICROARCH, op) for op in grid]
+        if mode is AdaptationMode.ARCHDVS:
+            return [
+                (c, op) for c in arch_adaptation_space() for op in grid
+            ]
+        raise AdaptationError(f"unknown adaptation mode {mode!r}")
+
+    # ---- the oracle -----------------------------------------------------
+
+    def best(
+        self,
+        profile: WorkloadProfile,
+        t_qual_k: float,
+        mode: AdaptationMode = AdaptationMode.ARCHDVS,
+    ) -> DRMDecision:
+        """Best-performing candidate within the FIT target.
+
+        If no candidate meets the target (a drastically under-designed
+        processor), the oracle throttles as far as the adaptation space
+        allows: it returns the best-performing candidate at the minimum
+        achievable FIT, flagged ``meets_target=False``.
+        """
+        ramp = self.ramp_for(t_qual_k)
+        evaluated: list[DRMDecision] = []
+        for config, op in self.candidates(mode):
+            perf, reliability, _ = self.evaluate_candidate(profile, config, op, ramp)
+            evaluated.append(
+                DRMDecision(
+                    profile_name=profile.name,
+                    t_qual_k=t_qual_k,
+                    mode=mode,
+                    config=config,
+                    op=op,
+                    performance=perf,
+                    fit=reliability.total_fit,
+                    meets_target=reliability.meets_target,
+                )
+            )
+        if not evaluated:
+            raise AdaptationError("adaptation space is empty")
+        feasible = [d for d in evaluated if d.meets_target]
+        if feasible:
+            return max(feasible, key=lambda d: d.performance)
+        floor = min(d.fit for d in evaluated) * (1.0 + 1e-9)
+        at_floor = [d for d in evaluated if d.fit <= floor]
+        return max(at_floor, key=lambda d: d.performance)

@@ -1,0 +1,111 @@
+"""Dynamic Thermal Management comparator (Section 7.3).
+
+DTM picks the highest-performance DVS operating point that keeps the
+hottest on-chip structure at or below the thermal design point T_limit.
+Unlike DRM's T_qual, T_limit is a hard instantaneous cap: DRM is allowed
+to exceed its temperature as long as the *time-averaged* FIT stays within
+target, while DTM ignores voltage/utilisation effects on wear-out.
+
+The paper's Figure 4 shows that the two policies choose different
+frequencies — the DTM frequency/temperature curve is steeper, the curves
+cross at an application-dependent point, and each policy violates the
+other's constraint on one side of the crossover.  The bench for Figure 4
+uses this class side by side with the DRM oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.dvs import OperatingPoint, VoltageFrequencyCurve, DEFAULT_VF_CURVE
+from repro.config.microarch import BASE_MICROARCH
+from repro.constants import validate_temperature
+from repro.errors import AdaptationError
+from repro.harness.platform import Platform, PlatformEvaluation
+from repro.harness.sweep import SimulationCache
+from repro.workloads.characteristics import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class DTMDecision:
+    """DTM's choice for one (application, T_limit).
+
+    Attributes:
+        profile_name: the application.
+        t_limit_k: the thermal design point.
+        op: the chosen operating point.
+        performance: speedup vs the base processor at nominal V/f.
+        peak_temperature_k: hottest structure temperature at the choice.
+        meets_limit: False only when even the slowest DVS point overheats.
+    """
+
+    profile_name: str
+    t_limit_k: float
+    op: OperatingPoint
+    performance: float
+    peak_temperature_k: float
+    meets_limit: bool
+
+
+class DTMOracle:
+    """Oracle DVS-based dynamic thermal management.
+
+    Args:
+        platform / cache / vf_curve / dvs_steps: as in the DRM oracle;
+        sharing the same cache and platform keeps the comparison apples
+        to apples.
+    """
+
+    def __init__(
+        self,
+        platform: Platform | None = None,
+        cache: SimulationCache | None = None,
+        vf_curve: VoltageFrequencyCurve = DEFAULT_VF_CURVE,
+        dvs_steps: int = 26,
+    ) -> None:
+        self.platform = platform or Platform(vf_curve=vf_curve)
+        self.cache = cache or SimulationCache()
+        self.vf_curve = vf_curve
+        self.dvs_steps = dvs_steps
+        self._base_evals: dict[str, PlatformEvaluation] = {}
+
+    def _base_evaluation(self, profile: WorkloadProfile) -> PlatformEvaluation:
+        cached = self._base_evals.get(profile.name)
+        if cached is None:
+            run = self.cache.run(profile, BASE_MICROARCH)
+            cached = self.platform.evaluate(run, self.vf_curve.nominal)
+            self._base_evals[profile.name] = cached
+        return cached
+
+    def best(self, profile: WorkloadProfile, t_limit_k: float) -> DTMDecision:
+        """Highest-performance DVS point with peak temperature ≤ T_limit.
+
+        Falls back to the coolest candidate (``meets_limit=False``) when
+        the limit is unattainable even at the DVS floor.
+        """
+        validate_temperature(t_limit_k, what="T_limit")
+        run = self.cache.run(profile, BASE_MICROARCH)
+        base = self._base_evaluation(profile)
+        best_ok: DTMDecision | None = None
+        coolest: DTMDecision | None = None
+        for op in self.vf_curve.grid(self.dvs_steps):
+            evaluation = self.platform.evaluate(run, op)
+            decision = DTMDecision(
+                profile_name=profile.name,
+                t_limit_k=t_limit_k,
+                op=op,
+                performance=evaluation.ips / base.ips,
+                peak_temperature_k=evaluation.peak_temperature_k,
+                meets_limit=evaluation.peak_temperature_k <= t_limit_k + 1e-9,
+            )
+            if decision.meets_limit and (
+                best_ok is None or decision.performance > best_ok.performance
+            ):
+                best_ok = decision
+            if coolest is None or decision.peak_temperature_k < coolest.peak_temperature_k:
+                coolest = decision
+        if best_ok is not None:
+            return best_ok
+        if coolest is None:
+            raise AdaptationError("DVS grid is empty")
+        return coolest

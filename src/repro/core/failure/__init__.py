@@ -1,0 +1,25 @@
+"""The four intrinsic failure mechanisms modelled by RAMP (Section 3)."""
+
+from repro.core.failure.base import FailureMechanism, StressConditions
+from repro.core.failure.electromigration import Electromigration
+from repro.core.failure.stress_migration import StressMigration
+from repro.core.failure.tddb import TimeDependentDielectricBreakdown
+from repro.core.failure.thermal_cycling import ThermalCycling
+
+#: The standard mechanism set, in the paper's presentation order.
+ALL_MECHANISMS: tuple[FailureMechanism, ...] = (
+    Electromigration(),
+    StressMigration(),
+    TimeDependentDielectricBreakdown(),
+    ThermalCycling(),
+)
+
+__all__ = [
+    "FailureMechanism",
+    "StressConditions",
+    "Electromigration",
+    "StressMigration",
+    "TimeDependentDielectricBreakdown",
+    "ThermalCycling",
+    "ALL_MECHANISMS",
+]

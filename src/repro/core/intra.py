@@ -1,0 +1,197 @@
+"""Intra-application DRM (the paper's stated future work, Section 8).
+
+The paper's oracle adapts once per application run and explicitly "does
+not represent the best possible DRM control algorithm because it does not
+exploit intra-application variability".  This module adds that missing
+oracle: a **per-phase DVS schedule** chosen so that the *run's
+time-averaged FIT* stays within target while total instruction throughput
+is maximised.
+
+Because cool phases under-consume the reliability budget, an
+intra-application schedule can run hot phases faster than any single
+whole-run operating point could — banking inside a single run, the same
+mechanism the paper invokes across time ("higher instantaneous FIT values
+are compensated by lower values at other times") applied at phase
+granularity.
+
+Two search strategies:
+
+- **exhaustive** — enumerate the per-phase grid product (exact oracle;
+  feasible for the suite's 3-phase profiles on a reduced grid);
+- **greedy** — start every phase at the DVS floor and repeatedly upgrade
+  the phase with the best marginal throughput-per-FIT until no upgrade
+  fits the budget (scales to many phases).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.config.dvs import OperatingPoint, VoltageFrequencyCurve, DEFAULT_VF_CURVE
+from repro.config.microarch import BASE_MICROARCH
+from repro.constants import TARGET_FIT
+from repro.core.ramp import RampModel
+from repro.errors import AdaptationError
+from repro.harness.platform import Platform, PlatformEvaluation
+from repro.harness.sweep import SimulationCache
+from repro.workloads.characteristics import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class IntraDecision:
+    """A per-phase DVS schedule and its outcome.
+
+    Attributes:
+        profile_name: the application.
+        t_qual_k: qualification temperature.
+        schedule: one operating point per phase, in phase order.
+        performance: speedup vs the base processor at nominal V/f.
+        fit: the schedule's time-averaged application FIT.
+        meets_target: whether the FIT target is satisfied.
+        strategy: "exhaustive" or "greedy".
+    """
+
+    profile_name: str
+    t_qual_k: float
+    schedule: tuple[OperatingPoint, ...]
+    performance: float
+    fit: float
+    meets_target: bool
+    strategy: str
+
+    @property
+    def frequencies_ghz(self) -> tuple[float, ...]:
+        return tuple(op.frequency_ghz for op in self.schedule)
+
+
+class IntraAppOracle:
+    """Oracle DRM with per-phase DVS schedules.
+
+    Args:
+        platform / cache / vf_curve / fit_target: as in
+            :class:`~repro.core.drm.DRMOracle`; share them for
+            apples-to-apples comparisons.
+        ramp_factory: callable mapping T_qual to a qualified
+            :class:`~repro.core.ramp.RampModel` (pass
+            ``DRMOracle.ramp_for`` to share qualification).
+        grid_steps: per-phase DVS candidates (the product space grows as
+            ``grid_steps ** n_phases`` for the exhaustive strategy).
+    """
+
+    def __init__(
+        self,
+        ramp_factory,
+        platform: Platform | None = None,
+        cache: SimulationCache | None = None,
+        vf_curve: VoltageFrequencyCurve = DEFAULT_VF_CURVE,
+        fit_target: float = TARGET_FIT,
+        grid_steps: int = 6,
+    ) -> None:
+        if grid_steps < 2:
+            raise AdaptationError("need at least two DVS candidates per phase")
+        self.ramp_factory = ramp_factory
+        self.platform = platform or Platform(vf_curve=vf_curve)
+        self.cache = cache or SimulationCache()
+        self.vf_curve = vf_curve
+        self.fit_target = fit_target
+        self.grid_steps = grid_steps
+        self._base_evals: dict[str, PlatformEvaluation] = {}
+
+    def _base_evaluation(self, profile: WorkloadProfile) -> PlatformEvaluation:
+        cached = self._base_evals.get(profile.name)
+        if cached is None:
+            run = self.cache.run(profile, BASE_MICROARCH)
+            cached = self.platform.evaluate(run, self.vf_curve.nominal)
+            self._base_evals[profile.name] = cached
+        return cached
+
+    def _evaluate_schedule(
+        self, profile: WorkloadProfile, schedule: list[OperatingPoint], ramp: RampModel
+    ) -> tuple[float, float]:
+        """(performance, fit) of one per-phase schedule."""
+        run = self.cache.run(profile, BASE_MICROARCH)
+        evaluation = self.platform.evaluate_mixed(run, schedule)
+        reliability = ramp.application_reliability(evaluation)
+        perf = evaluation.ips / self._base_evaluation(profile).ips
+        return perf, reliability.total_fit
+
+    # ------------------------------------------------------------------
+
+    def best_exhaustive(self, profile: WorkloadProfile, t_qual_k: float) -> IntraDecision:
+        """Exact per-phase oracle over the grid product.
+
+        Falls back to the minimum-FIT schedule (flagged infeasible) when
+        nothing meets the target, mirroring the inter-application oracle.
+        """
+        ramp = self.ramp_factory(t_qual_k)
+        run = self.cache.run(profile, BASE_MICROARCH)
+        grid = self.vf_curve.grid(self.grid_steps)
+        best: tuple[float, tuple[OperatingPoint, ...], float] | None = None
+        fallback: tuple[float, tuple[OperatingPoint, ...], float] | None = None
+        for combo in itertools.product(grid, repeat=len(run.phases)):
+            perf, fit = self._evaluate_schedule(profile, list(combo), ramp)
+            if fit <= self.fit_target + 1e-9:
+                if best is None or perf > best[0]:
+                    best = (perf, combo, fit)
+            if fallback is None or fit < fallback[2]:
+                fallback = (perf, combo, fit)
+        chosen, meets = (best, True) if best is not None else (fallback, False)
+        if chosen is None:
+            raise AdaptationError("empty schedule space")
+        return IntraDecision(
+            profile_name=profile.name,
+            t_qual_k=t_qual_k,
+            schedule=chosen[1],
+            performance=chosen[0],
+            fit=chosen[2],
+            meets_target=meets,
+            strategy="exhaustive",
+        )
+
+    def best_greedy(self, profile: WorkloadProfile, t_qual_k: float) -> IntraDecision:
+        """Greedy marginal-upgrade search (scales to many phases).
+
+        Starts all phases at the DVS floor and repeatedly applies the
+        single-phase frequency upgrade with the largest performance gain
+        that keeps the schedule within the FIT target.
+        """
+        ramp = self.ramp_factory(t_qual_k)
+        run = self.cache.run(profile, BASE_MICROARCH)
+        grid = list(self.vf_curve.grid(self.grid_steps))
+        levels = [0] * len(run.phases)
+
+        def schedule_for(lv: list[int]) -> list[OperatingPoint]:
+            return [grid[i] for i in lv]
+
+        perf, fit = self._evaluate_schedule(profile, schedule_for(levels), ramp)
+        feasible = fit <= self.fit_target + 1e-9
+        improved = True
+        while improved:
+            improved = False
+            best_step: tuple[float, int, float] | None = None
+            for phase_idx in range(len(levels)):
+                if levels[phase_idx] + 1 >= len(grid):
+                    continue
+                trial = list(levels)
+                trial[phase_idx] += 1
+                t_perf, t_fit = self._evaluate_schedule(
+                    profile, schedule_for(trial), ramp
+                )
+                if t_fit <= self.fit_target + 1e-9 and t_perf > perf:
+                    if best_step is None or t_perf > best_step[0]:
+                        best_step = (t_perf, phase_idx, t_fit)
+            if best_step is not None:
+                perf, fit = best_step[0], best_step[2]
+                levels[best_step[1]] += 1
+                feasible = True
+                improved = True
+        return IntraDecision(
+            profile_name=profile.name,
+            t_qual_k=t_qual_k,
+            schedule=tuple(schedule_for(levels)),
+            performance=perf,
+            fit=fit,
+            meets_target=feasible,
+            strategy="greedy",
+        )

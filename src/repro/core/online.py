@@ -1,0 +1,126 @@
+"""Online RAMP: the deployable hardware monitoring loop.
+
+The paper states that "in real hardware, RAMP would require sensors and
+counters that provide information on processor operating conditions".
+This module assembles that loop end to end:
+
+1. :class:`~repro.core.sensors.SensorBank` quantizes the true operating
+   conditions into what on-die instrumentation reports;
+2. a hardware RAMP (:class:`~repro.core.ramp.RampModel` fed with the
+   quantized interval) computes the epoch's FIT rate;
+3. a :class:`~repro.core.budget.ReliabilityBudget` accumulates lifetime
+   consumption and exposes the *sustainable* FIT rate — the setpoint a
+   DRM actuator (DVS controller, scheduler) regulates to.
+
+:class:`OnlineRampMonitor` is the passive measurement half of a hardware
+DRM implementation; :mod:`repro.core.controllers` is the actuator half.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import TARGET_FIT
+from repro.core.budget import ReliabilityBudget
+from repro.core.ramp import RampModel
+from repro.core.sensors import SensorBank, SensorReadings, interval_from_readings
+from repro.errors import ReliabilityError
+from repro.harness.platform import Interval
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """One monitored epoch.
+
+    Attributes:
+        readings: the quantized sensor snapshot the FIT came from.
+        fit: the epoch's instantaneous (EM+SM+TDDB) FIT rate as hardware
+            RAMP computes it.
+        banked: the reliability bank after charging the epoch (FIT-hours).
+        sustainable_fit: the rate affordable for the remaining lifetime.
+        alarm: True when lifetime consumption is running over budget.
+    """
+
+    readings: SensorReadings
+    fit: float
+    banked: float
+    sustainable_fit: float
+    alarm: bool
+
+
+class OnlineRampMonitor:
+    """Hardware-style lifetime-reliability monitor.
+
+    Args:
+        ramp: qualified RAMP model (burned into the monitor at
+            manufacture, in the hardware analogy).
+        sensor_bank: instrumentation model; defaults to 1 K thermal
+            diodes with 22-bit activity counters.
+        epoch_hours: wall-clock length of one monitoring epoch.
+        fit_target: the qualified sustained rate.
+        horizon_hours: design lifetime (default ~30 years).
+    """
+
+    def __init__(
+        self,
+        ramp: RampModel,
+        sensor_bank: SensorBank | None = None,
+        epoch_hours: float = 1.0,
+        fit_target: float = TARGET_FIT,
+        horizon_hours: float = 30.0 * 8760.0,
+    ) -> None:
+        if epoch_hours <= 0.0:
+            raise ReliabilityError("epoch length must be positive")
+        self.ramp = ramp
+        self.sensors = sensor_bank or SensorBank()
+        self.epoch_hours = epoch_hours
+        self.budget = ReliabilityBudget(
+            fit_target=fit_target, horizon_hours=horizon_hours
+        )
+        self.history: list[EpochRecord] = []
+
+    def observe(self, interval: Interval) -> EpochRecord:
+        """Monitor one epoch of operation.
+
+        ``interval`` carries the true conditions; the monitor only ever
+        sees the quantized sensor readings derived from it, exactly as
+        hardware would.
+        """
+        readings = self.sensors.sample(interval)
+        quantized = interval_from_readings(readings, interval)
+        fit = self.ramp.interval_fit(quantized).total
+        self.budget.record(fit, self.epoch_hours)
+        record = EpochRecord(
+            readings=readings,
+            fit=fit,
+            banked=self.budget.banked,
+            sustainable_fit=self.budget.sustainable_fit(),
+            alarm=not self.budget.on_track,
+        )
+        self.history.append(record)
+        return record
+
+    @property
+    def lifetime_average_fit(self) -> float:
+        """Average FIT over everything observed so far."""
+        return self.budget.average_fit
+
+    @property
+    def projected_mttf_years(self) -> float:
+        """MTTF implied by the lifetime-average FIT observed so far.
+
+        Raises:
+            ReliabilityError: before any epoch has been observed.
+        """
+        avg = self.budget.average_fit
+        if avg <= 0.0:
+            raise ReliabilityError("no consumption observed yet")
+        return 1.0e9 / avg / 8760.0
+
+    def setpoint(self) -> float:
+        """The FIT rate an actuator should regulate to right now.
+
+        This is the bank-aware sustainable rate: above target when
+        cool history has banked margin, below target when in debt.
+        """
+        return self.budget.sustainable_fit()

@@ -1,0 +1,159 @@
+"""Reliability qualification: calibrating the cost proxy, Section 3.7.
+
+A processor is qualified to a target failure rate (FIT_target ≈ 4000,
+i.e. ~30-year MTTF).  The per-structure, per-mechanism proportionality
+constants that achieve this depend on materials, design, and yield — the
+cost of reliability qualification.  Since that cost function is not
+public, the paper (and this reproduction) uses the *qualification
+operating point* as a proxy: the constants are chosen so that sustained
+operation at (T_qual, V_qual, f_qual, p_qual) produces exactly the
+target FIT, with the budget split evenly across the four mechanisms and
+across structures in proportion to area.
+
+Higher T_qual ⇒ the processor survives harsher sustained conditions ⇒
+more expensive qualification.  Sweeping T_qual is how the paper explores
+the cost axis (Figure 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.technology import STRUCTURES, TechnologyParameters, DEFAULT_TECHNOLOGY
+from repro.constants import FIT_DEVICE_HOURS, TARGET_FIT, validate_temperature
+from repro.core.failure import ALL_MECHANISMS, FailureMechanism, StressConditions
+from repro.errors import QualificationError
+
+
+@dataclass(frozen=True)
+class QualificationPoint:
+    """The worst-case operating point used to qualify the processor.
+
+    Attributes:
+        temperature_k: T_qual — the paper's cost proxy.
+        voltage_v: V_qual (the base processor's nominal voltage).
+        frequency_hz: f_qual (the base processor's nominal frequency).
+        activity: p_qual per structure — the highest activity factor
+            observed for that structure across the application suite on
+            the timing simulator.
+    """
+
+    temperature_k: float
+    voltage_v: float
+    frequency_hz: float
+    activity: dict[str, float]
+
+    def __post_init__(self) -> None:
+        validate_temperature(self.temperature_k, what="T_qual")
+        if self.voltage_v <= 0.0 or self.frequency_hz <= 0.0:
+            raise QualificationError("V_qual and f_qual must be positive")
+        missing = {s.name for s in STRUCTURES} - set(self.activity)
+        if missing:
+            raise QualificationError(f"p_qual missing structures: {sorted(missing)}")
+
+    def conditions_for(
+        self, structure: str, technology: TechnologyParameters
+    ) -> StressConditions:
+        """The stress conditions one structure sees at the qual point."""
+        return StressConditions(
+            temperature_k=self.temperature_k,
+            voltage_v=self.voltage_v,
+            frequency_hz=self.frequency_hz,
+            activity=self.activity[structure],
+            v_nominal=technology.vdd_nominal,
+            f_nominal=technology.frequency_nominal_hz,
+        )
+
+
+@dataclass(frozen=True)
+class QualifiedReliabilityModel:
+    """The outcome of qualification: calibrated constants and budgets.
+
+    Attributes:
+        point: the qualification point the constants were solved for.
+        fit_target: the qualified total processor FIT.
+        constants: MTTF proportionality constant (hours) keyed by
+            (mechanism name, structure name).
+        budgets: the FIT budget each (mechanism, structure) pair was
+            given — useful for ablations of the even split.
+        technology: the process the model is qualified for.
+    """
+
+    point: QualificationPoint
+    fit_target: float
+    constants: dict[tuple[str, str], float]
+    budgets: dict[tuple[str, str], float]
+    technology: TechnologyParameters
+
+    def constant(self, mechanism: str, structure: str) -> float:
+        """Look up one calibrated constant.
+
+        Raises:
+            QualificationError: for unknown keys.
+        """
+        try:
+            return self.constants[(mechanism, structure)]
+        except KeyError:
+            raise QualificationError(
+                f"no constant for mechanism {mechanism!r} / structure {structure!r}"
+            ) from None
+
+
+def calibrate(
+    point: QualificationPoint,
+    fit_target: float = TARGET_FIT,
+    mechanisms: tuple[FailureMechanism, ...] = ALL_MECHANISMS,
+    technology: TechnologyParameters = DEFAULT_TECHNOLOGY,
+    mechanism_shares: dict[str, float] | None = None,
+) -> QualifiedReliabilityModel:
+    """Solve the proportionality constants for a qualification point.
+
+    The target failure rate is split evenly across mechanisms (or by
+    ``mechanism_shares``, for the budget-split ablation) and across
+    structures proportionally to area.  Each constant is then the unique
+    value that makes the structure's FIT under the qualification
+    conditions equal its budget.
+
+    Raises:
+        QualificationError: if the target is non-positive, shares are
+            invalid, or a mechanism cannot act at the qualification point
+            (infinite relative MTTF means no finite constant exists).
+    """
+    if fit_target <= 0.0:
+        raise QualificationError("FIT target must be positive")
+    if mechanism_shares is None:
+        mechanism_shares = {m.name: 1.0 / len(mechanisms) for m in mechanisms}
+    if set(mechanism_shares) != {m.name for m in mechanisms}:
+        raise QualificationError("mechanism_shares must cover exactly the mechanisms")
+    share_total = sum(mechanism_shares.values())
+    if abs(share_total - 1.0) > 1e-9 or any(v < 0 for v in mechanism_shares.values()):
+        raise QualificationError("mechanism shares must be non-negative and sum to 1")
+
+    total_area = sum(s.area_mm2 for s in STRUCTURES)
+    constants: dict[tuple[str, str], float] = {}
+    budgets: dict[tuple[str, str], float] = {}
+    for mech in mechanisms:
+        mech_budget = fit_target * mechanism_shares[mech.name]
+        for spec in STRUCTURES:
+            budget = mech_budget * spec.area_mm2 / total_area
+            key = (mech.name, spec.name)
+            budgets[key] = budget
+            if budget == 0.0:
+                constants[key] = float("inf")
+                continue
+            conditions = point.conditions_for(spec.name, technology)
+            rel = mech.relative_mttf(conditions)
+            if rel == float("inf"):
+                raise QualificationError(
+                    f"{mech.name} cannot act on {spec.name!r} at the "
+                    "qualification point; choose a stressier point"
+                )
+            target_mttf_hours = FIT_DEVICE_HOURS / budget
+            constants[key] = target_mttf_hours / rel
+    return QualifiedReliabilityModel(
+        point=point,
+        fit_target=fit_target,
+        constants=constants,
+        budgets=budgets,
+        technology=technology,
+    )

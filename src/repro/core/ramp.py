@@ -1,0 +1,174 @@
+"""The RAMP engine: application-level FIT accounting (Sections 3.5-3.6).
+
+Given a qualified reliability model and a platform evaluation (the
+per-interval temperature/voltage/frequency/activity samples of one
+application run), RAMP computes:
+
+- the **instantaneous FIT** of every structure under every mechanism per
+  interval (EM, SM, TDDB);
+- the **time-averaged FIT** across intervals (the paper's extension of
+  the SOFR averaging to time);
+- the **thermal-cycling FIT** from each structure's run-average
+  temperature (cycle depth is a whole-run property);
+- the **SOFR total** — the application's FIT value.
+
+Powered-down structure area (DRM's Arch adaptation) removes its share of
+the EM and TDDB FIT: a gated slice has no current flow and no supply
+voltage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import FIT_DEVICE_HOURS, fit_to_mttf_years
+from repro.core.failure import ALL_MECHANISMS, FailureMechanism, StressConditions
+from repro.core.fit import FitAccount
+from repro.core.qualification import QualifiedReliabilityModel
+from repro.errors import ReliabilityError
+from repro.harness.platform import Interval, PlatformEvaluation
+
+
+@dataclass(frozen=True)
+class AppReliability:
+    """The reliability outcome of one application run.
+
+    Attributes:
+        account: per-(mechanism, structure) time-averaged FIT.
+        fit_target: the qualification target it is judged against.
+    """
+
+    account: FitAccount
+    fit_target: float
+
+    @property
+    def total_fit(self) -> float:
+        return self.account.total
+
+    @property
+    def meets_target(self) -> bool:
+        """Whether the run stays within the qualified failure rate."""
+        return self.total_fit <= self.fit_target + 1e-9
+
+    @property
+    def mttf_years(self) -> float:
+        return self.account.mttf_years()
+
+    @property
+    def margin(self) -> float:
+        """Unused reliability budget as a fraction of the target
+        (negative when the target is violated)."""
+        return (self.fit_target - self.total_fit) / self.fit_target
+
+
+class RampModel:
+    """Evaluates FIT for intervals and whole application runs.
+
+    Args:
+        qualified: the calibrated constants from
+            :func:`repro.core.qualification.calibrate`.
+        mechanisms: failure mechanisms (must match the calibration).
+    """
+
+    def __init__(
+        self,
+        qualified: QualifiedReliabilityModel,
+        mechanisms: tuple[FailureMechanism, ...] = ALL_MECHANISMS,
+    ) -> None:
+        calibrated = {m for m, _ in qualified.constants}
+        if {m.name for m in mechanisms} != calibrated:
+            raise ReliabilityError(
+                "mechanism set does not match the qualified model "
+                f"({sorted(calibrated)})"
+            )
+        self.qualified = qualified
+        self.mechanisms = mechanisms
+        self._cycling = [m for m in mechanisms if m.name == "TC"]
+        self._instantaneous = [m for m in mechanisms if m.name != "TC"]
+
+    # ------------------------------------------------------------------
+
+    def _structure_fit(
+        self,
+        mech: FailureMechanism,
+        structure: str,
+        conditions: StressConditions,
+        powered_fraction: float,
+    ) -> float:
+        constant = self.qualified.constant(mech.name, structure)
+        if constant == float("inf"):
+            return 0.0
+        rel_fit = mech.relative_fit(conditions)
+        fit = FIT_DEVICE_HOURS * rel_fit / constant
+        if mech.scales_with_powered_area:
+            fit *= powered_fraction
+        return fit
+
+    def interval_fit(self, interval: Interval) -> FitAccount:
+        """Instantaneous FIT for one interval (EM, SM, TDDB only).
+
+        Thermal cycling is deliberately absent: its stress (cycle depth)
+        is a property of the whole run, not of an instant.
+        """
+        tech = self.qualified.technology
+        entries: dict[tuple[str, str], float] = {}
+        for mech in self._instantaneous:
+            for structure, temp in interval.temperatures.items():
+                conditions = StressConditions(
+                    temperature_k=temp,
+                    voltage_v=interval.op.voltage_v,
+                    frequency_hz=interval.op.frequency_hz,
+                    activity=interval.activity[structure],
+                    v_nominal=tech.vdd_nominal,
+                    f_nominal=tech.frequency_nominal_hz,
+                )
+                entries[(mech.name, structure)] = self._structure_fit(
+                    mech,
+                    structure,
+                    conditions,
+                    interval.config.powered_fraction(structure),
+                )
+        return FitAccount(entries)
+
+    def application_reliability(self, evaluation: PlatformEvaluation) -> AppReliability:
+        """Time-averaged FIT for an application run (Section 3.6)."""
+        if not evaluation.intervals:
+            raise ReliabilityError("evaluation has no intervals")
+        instantaneous = FitAccount.weighted_average(
+            [(self.interval_fit(iv), iv.weight) for iv in evaluation.intervals]
+        )
+        entries = dict(instantaneous.entries)
+        # Thermal cycling from run-average temperatures.
+        tech = self.qualified.technology
+        avg_temps = evaluation.avg_temperature_by_structure
+        some_interval = evaluation.intervals[0]
+        for mech in self._cycling:
+            for structure, avg_t in avg_temps.items():
+                conditions = StressConditions(
+                    temperature_k=avg_t,
+                    voltage_v=some_interval.op.voltage_v,
+                    frequency_hz=some_interval.op.frequency_hz,
+                    activity=some_interval.activity[structure],
+                    v_nominal=tech.vdd_nominal,
+                    f_nominal=tech.frequency_nominal_hz,
+                )
+                entries[(mech.name, structure)] = self._structure_fit(
+                    mech,
+                    structure,
+                    conditions,
+                    some_interval.config.powered_fraction(structure),
+                )
+        return AppReliability(
+            account=FitAccount(entries), fit_target=self.qualified.fit_target
+        )
+
+    # ------------------------------------------------------------------
+
+    def worst_instant_fit(self, evaluation: PlatformEvaluation) -> float:
+        """The highest instantaneous (EM+SM+TDDB) FIT in any interval.
+
+        Used by the time-averaging ablation: worst-case qualification
+        effectively budgets to this value, while the paper's insight is
+        that the *average* is what determines lifetime consumption.
+        """
+        return max(self.interval_fit(iv).total for iv in evaluation.intervals)

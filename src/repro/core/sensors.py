@@ -1,0 +1,133 @@
+"""The hardware-implementation view of RAMP.
+
+Section 3 notes that "in real hardware, RAMP would require sensors and
+counters that provide information on processor operating conditions".
+This module models that interface: quantized on-die temperature sensors,
+saturating activity counters, and the voltage/frequency status register —
+then recomputes FIT from the *quantized* readings.  The sensor-error
+tests verify that realistic sensor resolution barely perturbs the FIT a
+hardware RAMP would report, which is what makes a hardware DRM loop
+viable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.technology import STRUCTURE_NAMES
+from repro.errors import ReliabilityError
+from repro.harness.platform import Interval
+
+
+@dataclass(frozen=True)
+class SensorSpec:
+    """Resolution and range of the on-die instrumentation.
+
+    Attributes:
+        temperature_resolution_k: quantization step of the thermal diodes
+            (1 K is typical of on-die sensors).
+        temperature_range_k: (min, max) reportable temperature; readings
+            saturate at the ends.
+        activity_counter_bits: width of the per-structure activity
+            counters; activity is reported as counts out of an epoch.
+        epoch_cycles: cycles per sampling epoch.
+    """
+
+    temperature_resolution_k: float = 1.0
+    temperature_range_k: tuple[float, float] = (273.0, 423.0)
+    activity_counter_bits: int = 22
+    epoch_cycles: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        if self.temperature_resolution_k <= 0.0:
+            raise ReliabilityError("sensor resolution must be positive")
+        lo, hi = self.temperature_range_k
+        if lo >= hi:
+            raise ReliabilityError("sensor range must be increasing")
+        if self.activity_counter_bits <= 0 or self.epoch_cycles <= 0:
+            raise ReliabilityError("counter geometry must be positive")
+
+    @property
+    def counter_max(self) -> int:
+        return (1 << self.activity_counter_bits) - 1
+
+
+@dataclass(frozen=True)
+class SensorReadings:
+    """One epoch of quantized hardware readings.
+
+    Attributes:
+        temperatures: per-structure quantized temperature (K).
+        activity_counts: per-structure saturating event counts.
+        voltage_mv: the VRM status register, in millivolts.
+        frequency_khz: the PLL status register, in kilohertz.
+        epoch_cycles: the epoch length the counts are relative to.
+    """
+
+    temperatures: dict[str, float]
+    activity_counts: dict[str, int]
+    voltage_mv: int
+    frequency_khz: int
+    epoch_cycles: int
+
+    def activity_factors(self) -> dict[str, float]:
+        """Reconstruct activity factors from the counters."""
+        return {
+            name: min(1.0, count / self.epoch_cycles)
+            for name, count in self.activity_counts.items()
+        }
+
+
+class SensorBank:
+    """Quantizes exact platform conditions into hardware readings.
+
+    Args:
+        spec: sensor/counter geometry.
+    """
+
+    def __init__(self, spec: SensorSpec | None = None) -> None:
+        self.spec = spec or SensorSpec()
+
+    def sample(self, interval: Interval) -> SensorReadings:
+        """Produce the readings hardware would report for an interval."""
+        spec = self.spec
+        lo, hi = spec.temperature_range_k
+        res = spec.temperature_resolution_k
+        temps = {}
+        counts = {}
+        for name in STRUCTURE_NAMES:
+            exact_t = interval.temperatures[name]
+            clamped = min(hi, max(lo, exact_t))
+            temps[name] = round(clamped / res) * res
+            events = int(round(interval.activity[name] * spec.epoch_cycles))
+            counts[name] = min(spec.counter_max, events)
+        return SensorReadings(
+            temperatures=temps,
+            activity_counts=counts,
+            voltage_mv=int(round(interval.op.voltage_v * 1000)),
+            frequency_khz=int(round(interval.op.frequency_hz / 1000)),
+            epoch_cycles=spec.epoch_cycles,
+        )
+
+
+def interval_from_readings(readings: SensorReadings, interval: Interval) -> Interval:
+    """Rebuild an interval using only what the hardware sensors report.
+
+    The weight, config, and power bookkeeping come from the original
+    interval (hardware knows its own configuration); temperatures,
+    activity, and the operating point are replaced by the quantized
+    values — this is what a hardware RAMP computes FIT from.
+    """
+    from repro.config.dvs import OperatingPoint
+
+    return Interval(
+        weight=interval.weight,
+        temperatures=dict(readings.temperatures),
+        activity=readings.activity_factors(),
+        power=interval.power,
+        op=OperatingPoint(
+            frequency_hz=readings.frequency_khz * 1000.0,
+            voltage_v=readings.voltage_mv / 1000.0,
+        ),
+        config=interval.config,
+    )

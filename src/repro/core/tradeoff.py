@@ -1,0 +1,117 @@
+"""The designer's cost-performance menu (paper Section 7.1).
+
+Two tools the paper's discussion implies but does not code up:
+
+- **qualification frontier** — mean suite performance as a function of
+  the qualification temperature, the "wide spectrum of T_qual values ...
+  available to designers, for a reasonable performance tradeoff";
+- **domain-oriented qualification** — the minimum T_qual at which every
+  application *in a market segment* keeps a required fraction of base
+  performance: "a processor designed for SPEC applications could be
+  designed to a lower T_qual than a processor intended for multimedia
+  applications", with DRM guarding the off-segment cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.drm import AdaptationMode, DRMOracle
+from repro.errors import AdaptationError
+from repro.workloads.characteristics import WorkloadProfile
+from repro.workloads.suite import WORKLOAD_SUITE
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One point of the qualification cost-performance frontier.
+
+    Attributes:
+        t_qual_k: the qualification temperature (cost proxy).
+        mean_performance: suite-average DRM performance.
+        min_performance: the worst-off application's performance.
+        all_feasible: whether every application could meet the target.
+    """
+
+    t_qual_k: float
+    mean_performance: float
+    min_performance: float
+    all_feasible: bool
+
+
+def qualification_frontier(
+    oracle: DRMOracle,
+    t_quals: tuple[float, ...],
+    profiles: tuple[WorkloadProfile, ...] = WORKLOAD_SUITE,
+    mode: AdaptationMode = AdaptationMode.DVS,
+) -> list[FrontierPoint]:
+    """Sweep T_qual and collect the suite-level performance statistics.
+
+    Raises:
+        AdaptationError: on an empty temperature grid or profile set.
+    """
+    if not t_quals or not profiles:
+        raise AdaptationError("frontier needs temperatures and profiles")
+    points = []
+    for t in sorted(t_quals):
+        perfs = []
+        feasible = True
+        for profile in profiles:
+            decision = oracle.best(profile, t, mode)
+            perfs.append(decision.performance)
+            feasible = feasible and decision.meets_target
+        points.append(
+            FrontierPoint(
+                t_qual_k=t,
+                mean_performance=sum(perfs) / len(perfs),
+                min_performance=min(perfs),
+                all_feasible=feasible,
+            )
+        )
+    return points
+
+
+def cheapest_qualification(
+    oracle: DRMOracle,
+    profiles: tuple[WorkloadProfile, ...],
+    t_quals: tuple[float, ...],
+    min_performance: float = 0.95,
+    mode: AdaptationMode = AdaptationMode.DVS,
+) -> float:
+    """Lowest T_qual at which every given profile keeps
+    ``min_performance`` of base performance *and* meets the FIT target.
+
+    This is the "application-oriented reliability qualification" design
+    rule: qualify for the workloads the product will actually run.
+
+    Raises:
+        AdaptationError: if no temperature on the grid satisfies the
+            segment (the grid's ceiling is too low or the bar too high).
+    """
+    if not profiles:
+        raise AdaptationError("segment is empty")
+    for t in sorted(t_quals):
+        ok = True
+        for profile in profiles:
+            decision = oracle.best(profile, t, mode)
+            if not decision.meets_target or decision.performance < min_performance:
+                ok = False
+                break
+        if ok:
+            return t
+    raise AdaptationError(
+        f"no T_qual on the grid keeps the segment at {min_performance:.0%} "
+        "performance"
+    )
+
+
+def segment(profiles: tuple[WorkloadProfile, ...], category: str) -> tuple[WorkloadProfile, ...]:
+    """The profiles of one market segment (``media``/``specint``/``specfp``).
+
+    Raises:
+        AdaptationError: for an unknown or empty segment.
+    """
+    chosen = tuple(p for p in profiles if p.category == category)
+    if not chosen:
+        raise AdaptationError(f"no profiles in segment {category!r}")
+    return chosen

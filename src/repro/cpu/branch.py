@@ -1,0 +1,119 @@
+"""Branch prediction: 2 KB bimodal-agree predictor and a 32-entry RAS.
+
+Table 1 specifies a "2KB bimodal agree" predictor with a 32-entry return
+address stack.  An agree predictor stores, per static branch, a bias bit
+(set on first encounter) and predicts whether the dynamic outcome will
+*agree* with that bias; the bimodal table holds 2-bit saturating
+agree/disagree counters.  For strongly biased branches this behaves like
+a plain bimodal predictor; for unbiased branches both mispredict about
+half the time — which is exactly the behaviour the synthetic workload
+model relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Counter value at and above which the predictor predicts "agree".
+_AGREE_THRESHOLD = 2
+_COUNTER_MAX = 3
+
+
+class BimodalAgreePredictor:
+    """2-bit saturating-counter agree predictor.
+
+    A 2 KB budget holds 8192 two-bit counters (4 per byte).  The counter
+    table is indexed by the branch pc (word-granular); a separate bias table
+    of the same size holds the per-index bias bit, initialised from the
+    first outcome seen at that index — the usual software stand-in for the
+    compile-time bias hint of a real agree predictor.
+
+    Args:
+        size_bytes: predictor storage budget (counters only), default 2 KB.
+    """
+
+    def __init__(self, size_bytes: int = 2048) -> None:
+        if size_bytes <= 0:
+            raise ConfigurationError("predictor size must be positive")
+        self.n_counters = size_bytes * 4
+        if self.n_counters & (self.n_counters - 1):
+            raise ConfigurationError("counter count must be a power of two")
+        # Counters start weakly-agree: biased branches predict well
+        # immediately, which is what warmed-up hardware looks like.
+        self.counters = np.full(self.n_counters, _AGREE_THRESHOLD, dtype=np.int8)
+        self.bias = np.zeros(self.n_counters, dtype=bool)
+        self.bias_valid = np.zeros(self.n_counters, dtype=bool)
+        self.lookups = 0
+        self.mispredicts = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & (self.n_counters - 1)
+
+    def predict(self, pc: int) -> bool:
+        """Predict the outcome of the branch at ``pc`` (True = taken)."""
+        i = self._index(pc)
+        if not self.bias_valid[i]:
+            # Unseen branch: static not-taken prediction.
+            return False
+        agree = bool(self.counters[i] >= _AGREE_THRESHOLD)
+        return bool(self.bias[i]) == agree
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Record the actual outcome; returns True if it was mispredicted.
+
+        Also counts the lookup, so callers should invoke
+        :meth:`predict` + :meth:`update` once per dynamic branch.
+        """
+        self.lookups += 1
+        prediction = self.predict(pc)
+        i = self._index(pc)
+        if not self.bias_valid[i]:
+            self.bias[i] = taken
+            self.bias_valid[i] = True
+        agreed = bool(taken) == bool(self.bias[i])
+        c = int(self.counters[i])
+        self.counters[i] = min(_COUNTER_MAX, c + 1) if agreed else max(0, c - 1)
+        mispredicted = bool(prediction) != bool(taken)
+        if mispredicted:
+            self.mispredicts += 1
+        return mispredicted
+
+    @property
+    def misprediction_rate(self) -> float:
+        """Fraction of dynamic branches mispredicted so far."""
+        if self.lookups == 0:
+            return 0.0
+        return self.mispredicts / self.lookups
+
+
+class ReturnAddressStack:
+    """A fixed-depth return-address stack (Table 1: 32 entries).
+
+    Overflow wraps (oldest entry is overwritten); underflow returns None,
+    signalling a RAS mispredict.  The synthetic traces do not contain
+    call/return pairs, so in this reproduction the RAS exists for
+    architectural completeness and is exercised by its unit tests.
+    """
+
+    def __init__(self, depth: int = 32) -> None:
+        if depth <= 0:
+            raise ConfigurationError("RAS depth must be positive")
+        self.depth = depth
+        self._stack: list[int] = []
+
+    def push(self, return_pc: int) -> None:
+        """Push a return address, evicting the oldest on overflow."""
+        self._stack.append(return_pc)
+        if len(self._stack) > self.depth:
+            self._stack.pop(0)
+
+    def pop(self) -> int | None:
+        """Pop the predicted return address, or None if empty."""
+        if not self._stack:
+            return None
+        return self._stack.pop()
+
+    def __len__(self) -> int:
+        return len(self._stack)

@@ -1,0 +1,385 @@
+"""The out-of-order pipeline engine.
+
+A trace-driven cycle loop with the classic three-stage skeleton:
+
+1. **retire** — in-order, up to ``retire_width`` completed entries per
+   cycle; stores write the D-cache at retire (write-buffer style).
+2. **issue** — oldest-first scan of the window; an entry issues when its
+   register sources are complete and a functional unit is free, bounded
+   by the issue width (= Σ active functional units, per the paper).
+   Loads generate their address (1 cycle on an AGEN unit), check
+   store-to-load forwarding, then access the hierarchy; MSHR exhaustion
+   makes them retry.
+3. **fetch/dispatch** — up to ``fetch_width`` per cycle into the window
+   and LSQ, with I-cache misses, a taken-branch fetch break, and
+   mispredicted branches blocking fetch until they resolve plus a
+   redirect penalty.
+
+Stall cycles where nothing retires are attributed to *memory* when the
+window head (or the starving fetch unit) is waiting on an off-chip
+access, else to the *core*; this decomposition drives the DVS
+frequency-scaling model.
+"""
+
+from __future__ import annotations
+
+from repro.config.microarch import MicroarchConfig
+from repro.config.technology import STRUCTURE_NAMES
+from repro.cpu.branch import BimodalAgreePredictor, ReturnAddressStack
+from repro.cpu.caches import MemoryHierarchy
+from repro.cpu.functional_units import FunctionalUnits
+from repro.cpu.isa import MISPREDICT_REDIRECT_PENALTY, OP_LATENCY, FuKind
+from repro.cpu.lsq import LoadStoreQueue
+from repro.cpu.regfile import RegisterFileModel
+from repro.cpu.stats import SimulationStats
+from repro.cpu.window import ISSUED, WAITING, InstructionWindow, WindowEntry
+from repro.errors import SimulationError
+from repro.workloads.trace import OpClass, Trace
+
+_LOAD = int(OpClass.LOAD)
+_STORE = int(OpClass.STORE)
+_BRANCH = int(OpClass.BRANCH)
+_CALL = int(OpClass.CALL)
+_RETURN = int(OpClass.RETURN)
+
+#: Deadlock guard: no real run needs this many cycles per instruction.
+_MAX_CPI = 400
+
+
+class PipelineEngine:
+    """One simulation of one trace on one microarchitecture.
+
+    Args:
+        trace: the dynamic instruction stream.
+        config: microarchitectural configuration (base or adapted).
+        hierarchy: memory hierarchy; a fresh (cold) one is built if not
+            supplied.  Passing a warmed hierarchy lets callers chain
+            phases of the same application.
+        predictor: branch predictor, likewise chainable across phases.
+    """
+
+    def __init__(
+        self,
+        trace: Trace,
+        config: MicroarchConfig,
+        hierarchy: MemoryHierarchy | None = None,
+        predictor: BimodalAgreePredictor | None = None,
+        record_timeline: bool = False,
+    ) -> None:
+        self.trace = trace
+        self.config = config
+        self.hierarchy = hierarchy or MemoryHierarchy()
+        self.predictor = predictor or BimodalAgreePredictor(config.bpred_bytes)
+        self.ras = ReturnAddressStack(config.ras_entries)
+        self.window = InstructionWindow(config.window_size)
+        self.lsq = LoadStoreQueue(config.memory_queue_size)
+        self.fus = FunctionalUnits(config)
+        self.regfile = RegisterFileModel(config)
+        # Per-instruction completion cycles (value-ready times).
+        self._comp = [WindowEntry.NOT_DONE] * len(trace)
+        self._bpred_accesses = 0
+        self._ras_mispredicts = 0
+        self._mem_stall_cycles = 0
+        self._final_cycles = 0
+        if record_timeline:
+            import numpy as np
+
+            n = len(trace)
+            self._tl = {
+                "fetch": np.full(n, -1, dtype=np.int64),
+                "issue": np.full(n, -1, dtype=np.int64),
+                "complete": np.full(n, -1, dtype=np.int64),
+                "retire": np.full(n, -1, dtype=np.int64),
+            }
+        else:
+            self._tl = None
+        # Shared components (hierarchy, predictor) may be warm from earlier
+        # phases; snapshot their counters so stats report this run only.
+        self._base_counts = {
+            "l1d_acc": self.hierarchy.l1d.accesses,
+            "l1d_miss": self.hierarchy.l1d.misses,
+            "l1i_acc": self.hierarchy.l1i.accesses,
+            "l1i_miss": self.hierarchy.l1i.misses,
+            "l2_acc": self.hierarchy.l2.accesses,
+            "l2_miss": self.hierarchy.l2.misses,
+            "bp_lookups": self.predictor.lookups,
+            "bp_miss": self.predictor.mispredicts,
+        }
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimulationStats:
+        """Execute the whole trace and return its statistics.
+
+        Raises:
+            SimulationError: if the pipeline exceeds the deadlock guard.
+        """
+        trace, config = self.trace, self.config
+        ops = trace.op
+        n = len(trace)
+        issue_width = config.issue_width
+        cycle = 0
+        retired = 0
+        fetch_idx = 0
+        fetch_blocked_until = 0
+        fetch_block_offchip_until = -1
+        blocking_branch: WindowEntry | None = None
+        last_fetch_block = -1
+        max_cycles = _MAX_CPI * n + 10_000
+
+        while retired < n:
+            if cycle > max_cycles:
+                raise SimulationError(
+                    f"deadlock guard tripped at cycle {cycle} "
+                    f"({retired}/{n} retired) on {trace.name!r}"
+                )
+
+            # ---- retire ------------------------------------------------
+            n_retired = 0
+            while n_retired < config.retire_width:
+                head = self.window.head()
+                if head is None or head.state != ISSUED or head.comp > cycle:
+                    break
+                if head.op == _STORE:
+                    res = self.hierarchy.data_access(
+                        int(trace.addr[head.idx]), cycle, write=True
+                    )
+                    if res is None:  # MSHR full: retry next cycle
+                        break
+                if head.is_memory():
+                    self.lsq.remove(head.idx)
+                if self._tl is not None:
+                    self._tl["retire"][head.idx] = cycle
+                self.window.retire_head()
+                retired += 1
+                n_retired += 1
+            if n_retired == 0 and retired < n:
+                self._attribute_stall(cycle, fetch_block_offchip_until)
+
+            # ---- issue ---------------------------------------------------
+            issued = 0
+            comp = self._comp
+            for entry in self.window.entries:
+                if issued >= issue_width:
+                    break
+                if entry.state != WAITING:
+                    continue
+                i = entry.idx
+                d1 = trace.dep1[i]
+                if d1 and comp[i - d1] > cycle:
+                    continue
+                d2 = trace.dep2[i]
+                if d2 and comp[i - d2] > cycle:
+                    continue
+                if self._try_issue_entry(entry, cycle):
+                    if self._tl is not None:
+                        self._tl["issue"][i] = cycle
+                        self._tl["complete"][i] = entry.comp
+                    n_src = (1 if d1 else 0) + (1 if d2 else 0)
+                    self.regfile.record_issue(entry.op, n_src, entry.fp_dest)
+                    self.window.issues += 1
+                    issued += 1
+                    if entry.mispredicted and entry.state == ISSUED:
+                        fetch_blocked_until = (
+                            entry.comp + MISPREDICT_REDIRECT_PENALTY
+                        )
+                        blocking_branch = None
+
+            # ---- fetch / dispatch ---------------------------------------
+            if blocking_branch is None and cycle >= fetch_blocked_until:
+                fetched = 0
+                while fetched < config.fetch_width and fetch_idx < n:
+                    if self.window.full:
+                        break
+                    op = int(ops[fetch_idx])
+                    is_mem = op == _LOAD or op == _STORE
+                    if is_mem and self.lsq.full:
+                        break
+                    pc = int(trace.pc[fetch_idx])
+                    block = pc >> 6
+                    if block != last_fetch_block:
+                        res = self.hierarchy.inst_access(pc)
+                        last_fetch_block = block
+                        if res.latency > self.hierarchy.latencies.l1_hit:
+                            fetch_blocked_until = cycle + res.latency
+                            if res.off_chip:
+                                fetch_block_offchip_until = fetch_blocked_until
+                            break
+                    entry = WindowEntry(
+                        fetch_idx, op, bool(trace.fp_dest[fetch_idx])
+                    )
+                    stop_after = False
+                    if op == _BRANCH:
+                        self._bpred_accesses += 2  # lookup + update
+                        taken = bool(trace.taken[fetch_idx])
+                        if self.predictor.update(pc, taken):
+                            entry.mispredicted = True
+                            blocking_branch = entry
+                            stop_after = True
+                        elif taken:
+                            stop_after = True  # taken-branch fetch break
+                    elif op == _CALL:
+                        # Direct call: target known at fetch; push the
+                        # return address for the matching RETURN.
+                        self._bpred_accesses += 1
+                        self.ras.push(pc + 4)
+                        stop_after = True  # taken-transfer fetch break
+                    elif op == _RETURN:
+                        self._bpred_accesses += 1
+                        predicted = self.ras.pop()
+                        actual = (
+                            int(trace.pc[fetch_idx + 1])
+                            if fetch_idx + 1 < n
+                            else predicted
+                        )
+                        if predicted != actual:
+                            self._ras_mispredicts += 1
+                            entry.mispredicted = True
+                            blocking_branch = entry
+                        stop_after = True
+                    if is_mem:
+                        self.lsq.insert(fetch_idx, op == _STORE)
+                    if self._tl is not None:
+                        self._tl["fetch"][fetch_idx] = cycle
+                    self.window.dispatch(entry)
+                    fetch_idx += 1
+                    fetched += 1
+                    if stop_after:
+                        break
+
+            cycle += 1
+
+        self._final_cycles = cycle
+        return self._build_stats(cycle, n)
+
+    # ------------------------------------------------------------------
+
+    def timeline(self):
+        """The recorded per-instruction timeline.
+
+        Raises:
+            SimulationError: if the engine was not constructed with
+                ``record_timeline=True`` or has not run yet.
+        """
+        from repro.cpu.timeline import Timeline
+
+        if self._tl is None:
+            raise SimulationError("engine was not recording a timeline")
+        if self._final_cycles == 0:
+            raise SimulationError("run() has not completed yet")
+        return Timeline(
+            fetch=self._tl["fetch"],
+            issue=self._tl["issue"],
+            complete=self._tl["complete"],
+            retire=self._tl["retire"],
+            trace=self.trace,
+            cycles=self._final_cycles,
+        )
+
+    def _try_issue_entry(self, entry: WindowEntry, cycle: int) -> bool:
+        """Attempt to issue one ready entry; returns True on success."""
+        timing = OP_LATENCY[OpClass(entry.op)]
+        i = entry.idx
+        if entry.op == _LOAD:
+            if not self.fus.try_issue(cycle, timing):
+                return False
+            addr = int(self.trace.addr[i])
+            self.lsq.set_address(i, addr)
+            if self.lsq.forwarding_store(i, addr):
+                total = cycle + timing.latency + 1  # agen + forward
+                entry.offchip = False
+            else:
+                res = self.hierarchy.data_access(addr, cycle + 1)
+                if res is None:
+                    # MSHR full: the agen slot is wasted and the load
+                    # replays — exactly what a real structural stall does.
+                    return False
+                entry.offchip = res.off_chip
+                total = cycle + timing.latency + res.latency
+            entry.comp = total
+        elif entry.op == _STORE:
+            if not self.fus.try_issue(cycle, timing):
+                return False
+            self.lsq.set_address(i, int(self.trace.addr[i]))
+            # Store completes once its address is generated; the cache
+            # write happens at retire through the write buffer.
+            entry.comp = cycle + timing.latency
+        else:
+            if not self.fus.try_issue(cycle, timing):
+                return False
+            entry.comp = cycle + timing.latency
+        entry.state = ISSUED
+        self._comp[i] = entry.comp
+        return True
+
+    def _attribute_stall(self, cycle: int, fetch_block_offchip_until: int) -> None:
+        """Classify a zero-retire cycle as memory- or core-bound."""
+        head = self.window.head()
+        if head is not None:
+            if head.state == ISSUED and head.offchip:
+                self._mem_stall_cycles += 1
+            # else: core stall (dependences, FU contention, dividers...)
+        elif cycle < fetch_block_offchip_until:
+            self._mem_stall_cycles += 1  # fetch starved by an off-chip miss
+
+    # ------------------------------------------------------------------
+
+    def _build_stats(self, cycles: int, instructions: int) -> SimulationStats:
+        config = self.config
+        h = self.hierarchy
+        base = self._base_counts
+        int_traffic, fp_traffic = self.regfile.traffic()
+        issue_width = config.issue_width
+
+        def clamp(x: float) -> float:
+            return min(1.0, max(0.0, x))
+
+        def rate(acc_key: str, miss_key: str) -> float:
+            accesses = {
+                "l1d_acc": h.l1d.accesses,
+                "l1i_acc": h.l1i.accesses,
+                "l2_acc": h.l2.accesses,
+            }[acc_key] - base[acc_key]
+            misses = {
+                "l1d_miss": h.l1d.misses,
+                "l1i_miss": h.l1i.misses,
+                "l2_miss": h.l2.misses,
+            }[miss_key] - base[miss_key]
+            return misses / accesses if accesses else 0.0
+
+        l1d_accesses = h.l1d.accesses - base["l1d_acc"]
+        l1i_accesses = h.l1i.accesses - base["l1i_acc"]
+        bp_lookups = self.predictor.lookups - base["bp_lookups"]
+        bp_miss = self.predictor.mispredicts - base["bp_miss"]
+
+        ipc = instructions / cycles
+        activity = {
+            "ialu": self.fus.utilization(FuKind.IALU, cycles),
+            "fpu": self.fus.utilization(FuKind.FPU, cycles),
+            "agen": self.fus.utilization(FuKind.AGEN, cycles),
+            "l1i": clamp(l1i_accesses / cycles),
+            "l1d": clamp(l1d_accesses / (2 * cycles)),
+            "bpred": clamp(self._bpred_accesses / (2 * cycles)),
+            "window": clamp(
+                (self.window.dispatches + self.window.issues)
+                / ((config.fetch_width + issue_width) * cycles)
+            ),
+            "intreg": clamp(int_traffic / (3 * issue_width * cycles)),
+            "fpreg": clamp(fp_traffic / (3 * issue_width * cycles)),
+            "lsq": clamp((self.lsq.inserts + self.lsq.searches) / (2 * cycles)),
+            "other": clamp(1.5 * ipc / config.fetch_width),
+        }
+        assert set(activity) == set(STRUCTURE_NAMES)
+        return SimulationStats(
+            instructions=instructions,
+            cycles=cycles,
+            config=config,
+            activity=activity,
+            mem_stall_cycles=self._mem_stall_cycles,
+            branch_mispredict_rate=(bp_miss / bp_lookups) if bp_lookups else 0.0,
+            l1d_miss_rate=rate("l1d_acc", "l1d_miss"),
+            l1i_miss_rate=rate("l1i_acc", "l1i_miss"),
+            l2_miss_rate=rate("l2_acc", "l2_miss"),
+            lsq_forwards=self.lsq.forwards,
+            ras_mispredicts=self._ras_mispredicts,
+        )

@@ -1,0 +1,61 @@
+"""Physical register file port-traffic model.
+
+Table 1's base machine has separate 192-entry integer and floating-point
+physical register files.  For timing we assume enough rename registers
+(192 each comfortably covers a 128-entry window), so the register files
+never stall the pipeline; what RAMP needs from them is *activity* — read
+and write port traffic — which drives their dynamic power and
+electromigration current density.
+"""
+
+from __future__ import annotations
+
+from repro.config.microarch import MicroarchConfig
+from repro.errors import ConfigurationError
+from repro.workloads.trace import OpClass
+
+_FP_OPS = {int(OpClass.FADD), int(OpClass.FMUL), int(OpClass.FDIV)}
+_NO_DEST = {int(OpClass.STORE), int(OpClass.BRANCH)}
+
+
+class RegisterFileModel:
+    """Counts read/write port traffic on the INT and FP register files.
+
+    Args:
+        config: supplies the register-file sizes (for capacity checks and
+            the activity-factor normalisation in stats).
+    """
+
+    def __init__(self, config: MicroarchConfig) -> None:
+        if config.int_registers < config.window_size:
+            raise ConfigurationError(
+                "integer register file smaller than the window cannot "
+                "sustain rename"
+            )
+        self.config = config
+        self.int_reads = 0
+        self.int_writes = 0
+        self.fp_reads = 0
+        self.fp_writes = 0
+
+    def record_issue(self, op: int, n_sources: int, fp_dest: bool) -> None:
+        """Charge the port traffic for one issuing instruction.
+
+        FP arithmetic reads FP sources; everything else reads integer
+        sources (address operands, integer data).  The destination write
+        goes to the file named by ``fp_dest`` (loads may write either).
+        """
+        if op in _FP_OPS:
+            self.fp_reads += n_sources
+        else:
+            self.int_reads += n_sources
+        if op in _NO_DEST:
+            return
+        if fp_dest:
+            self.fp_writes += 1
+        else:
+            self.int_writes += 1
+
+    def traffic(self) -> tuple[int, int]:
+        """Total (integer, floating-point) port events."""
+        return (self.int_reads + self.int_writes, self.fp_reads + self.fp_writes)

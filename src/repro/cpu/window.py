@@ -1,0 +1,100 @@
+"""The unified instruction window (issue queue + reorder buffer).
+
+The paper's base machine has a centralized 128-entry window that acts as
+both issue queue and ROB, with a separate physical register file.  DRM's
+Arch adaptation shrinks the window (128 down to 16 entries), which is the
+main lever on exploitable instruction-level parallelism.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.workloads.trace import OpClass
+
+#: Window-entry states.
+WAITING = 0  #: dispatched, not yet issued (sources or FU not ready)
+ISSUED = 1   #: executing; ``comp`` holds the completion cycle
+
+
+class WindowEntry:
+    """One in-flight instruction.
+
+    Attributes:
+        idx: position in the dynamic trace (also the LSQ sequence number).
+        op: the instruction's :class:`OpClass` (as int, for speed).
+        state: WAITING or ISSUED.
+        comp: completion cycle once issued (huge sentinel before that).
+        offchip: whether a load's access was serviced off chip, for the
+            memory-stall attribution.
+        mispredicted: branch entries only — fetch is blocked on this entry
+            until it resolves.
+        fp_dest: destination register is floating point.
+    """
+
+    __slots__ = ("idx", "op", "state", "comp", "offchip", "mispredicted", "fp_dest")
+
+    NOT_DONE = 1 << 60
+
+    def __init__(self, idx: int, op: int, fp_dest: bool) -> None:
+        self.idx = idx
+        self.op = op
+        self.state = WAITING
+        self.comp = WindowEntry.NOT_DONE
+        self.offchip = False
+        self.mispredicted = False
+        self.fp_dest = fp_dest
+
+    def is_memory(self) -> bool:
+        """Whether this entry occupies an LSQ slot."""
+        return self.op == int(OpClass.LOAD) or self.op == int(OpClass.STORE)
+
+
+class InstructionWindow:
+    """Program-ordered queue of in-flight instructions.
+
+    Args:
+        capacity: number of entries (Table 1 base: 128).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ConfigurationError("window capacity must be positive")
+        self.capacity = capacity
+        self.entries: deque[WindowEntry] = deque()
+        self.dispatches = 0
+        self.issues = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def full(self) -> bool:
+        """Whether dispatch must stall."""
+        return len(self.entries) >= self.capacity
+
+    def dispatch(self, entry: WindowEntry) -> None:
+        """Insert a renamed instruction at the tail.
+
+        Raises:
+            SimulationError: if the window is full (bookkeeping bug).
+        """
+        if self.full:
+            raise SimulationError("dispatch into a full window")
+        self.entries.append(entry)
+        self.dispatches += 1
+
+    def head(self) -> WindowEntry | None:
+        """The oldest in-flight instruction, or None if empty."""
+        return self.entries[0] if self.entries else None
+
+    def retire_head(self) -> WindowEntry:
+        """Remove and return the oldest entry.
+
+        Raises:
+            SimulationError: if the window is empty.
+        """
+        if not self.entries:
+            raise SimulationError("retire from an empty window")
+        return self.entries.popleft()

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError` so callers can catch library errors without also
+swallowing programming mistakes (``TypeError`` etc. propagate unchanged).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid processor, technology, or adaptation configuration."""
+
+
+class WorkloadError(ReproError):
+    """An invalid workload profile or trace-generation request."""
+
+
+class SimulationError(ReproError):
+    """The cycle-level simulator reached an inconsistent state."""
+
+
+class ThermalError(ReproError):
+    """The thermal network is singular or otherwise unsolvable."""
+
+
+class ReliabilityError(ReproError):
+    """A failure-model evaluation received out-of-domain parameters."""
+
+
+class QualificationError(ReliabilityError):
+    """Reliability qualification could not calibrate to the target FIT."""
+
+
+class AdaptationError(ReproError):
+    """No adaptation configuration can satisfy the requested constraint."""

@@ -1,0 +1,25 @@
+"""Experiment harness: wiring, caching, and reporting.
+
+:class:`~repro.harness.platform.Platform` assembles the timing simulator,
+power model, and thermal model into one evaluable system; the sweep
+helpers cache expensive cycle-level simulations so the benches that
+regenerate the paper's figures stay fast; and the reporting helpers print
+fixed-width tables in the shape the paper reports.
+"""
+
+from repro.harness.platform import Platform, Interval, PlatformEvaluation
+from repro.harness.sweep import SimulationCache
+from repro.harness.reporting import format_table, format_series
+
+# repro.harness.validation is intentionally NOT imported here: it builds
+# on repro.core, which itself imports repro.harness.platform — import it
+# directly (``from repro.harness.validation import validate_stack``).
+
+__all__ = [
+    "Platform",
+    "Interval",
+    "PlatformEvaluation",
+    "SimulationCache",
+    "format_table",
+    "format_series",
+]

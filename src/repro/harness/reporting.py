@@ -1,0 +1,74 @@
+"""Fixed-width table and series formatting for the bench harness.
+
+Every bench regenerates one of the paper's tables or figures as text; the
+helpers here keep the output format consistent (and easy to diff against
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+def format_table(
+    headers: list[str], rows: list[list[object]], title: str | None = None
+) -> str:
+    """Render a fixed-width text table.
+
+    Floats are shown with three decimals, everything else via ``str``.
+
+    Raises:
+        ReproError: if a row's length does not match the header.
+    """
+    rendered_rows = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ReproError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        rendered_rows.append([_cell(v) for v in row])
+    widths = [
+        max(len(h), *(len(r[i]) for r in rendered_rows)) if rendered_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    xs: list[object],
+    series: dict[str, list[float]],
+    title: str | None = None,
+) -> str:
+    """Render named y-series against a shared x-axis (a text 'figure').
+
+    Raises:
+        ReproError: if any series length differs from the x-axis length.
+    """
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ReproError(
+                f"series {name!r} has {len(ys)} points for {len(xs)} x values"
+            )
+    headers = [x_label] + list(series)
+    rows = [
+        [x] + [series[name][i] for name in series] for i, x in enumerate(xs)
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    # Rows are single lines: fold every Unicode line break (\n, \r,
+    # \x1c-\x1e, \u2028...) so alignment survives arbitrary content.
+    text = str(value)
+    lines = text.splitlines()
+    return " ".join(lines) if len(lines) > 1 or (lines and lines[0] != text) else text

@@ -1,0 +1,125 @@
+"""Caching for expensive cycle-level simulations.
+
+The DRM sweeps evaluate 9 applications x 18 microarchitectural
+configurations; each (application, configuration) pair needs exactly one
+cycle-level simulation, after which every DVS point is an analytical
+rescale.  :class:`SimulationCache` memoises those runs in memory and,
+optionally, on disk (as JSON of the per-phase statistics) so repeated
+bench invocations skip straight to the reliability math.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.config.microarch import BASE_MICROARCH, MicroarchConfig
+from repro.cpu.simulator import (
+    DEFAULT_INSTRUCTIONS,
+    DEFAULT_WARMUP,
+    CycleSimulator,
+    PhaseResult,
+    WorkloadRun,
+)
+from repro.cpu.stats import SimulationStats
+from repro.workloads.characteristics import WorkloadProfile
+from repro.workloads.phases import Phase
+
+
+class SimulationCache:
+    """Memoised access to cycle-level workload runs.
+
+    Args:
+        instructions / warmup / seed: forwarded to the simulator; part of
+            the cache key.
+        disk_dir: optional directory for a persistent JSON cache.
+    """
+
+    def __init__(
+        self,
+        instructions: int = DEFAULT_INSTRUCTIONS,
+        warmup: int = DEFAULT_WARMUP,
+        seed: int = 42,
+        disk_dir: str | os.PathLike | None = None,
+    ) -> None:
+        self.instructions = instructions
+        self.warmup = warmup
+        self.seed = seed
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        if self.disk_dir is not None:
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
+        self._memory: dict[tuple[str, str], WorkloadRun] = {}
+
+    def _key(self, profile: WorkloadProfile, config: MicroarchConfig) -> tuple[str, str]:
+        return (profile.name, config.describe())
+
+    def _disk_path(self, key: tuple[str, str]) -> Path:
+        name = f"{key[0]}_{key[1]}_{self.instructions}_{self.warmup}_{self.seed}.json"
+        return self.disk_dir / name
+
+    def run(
+        self, profile: WorkloadProfile, config: MicroarchConfig = BASE_MICROARCH
+    ) -> WorkloadRun:
+        """Return the (possibly cached) cycle-level run."""
+        key = self._key(profile, config)
+        cached = self._memory.get(key)
+        if cached is not None:
+            return cached
+        if self.disk_dir is not None:
+            path = self._disk_path(key)
+            if path.exists():
+                run = _load_run(path, profile, config)
+                self._memory[key] = run
+                return run
+        simulator = CycleSimulator(
+            config=config,
+            instructions=self.instructions,
+            warmup=self.warmup,
+            seed=self.seed,
+        )
+        run = simulator.run(profile)
+        self._memory[key] = run
+        if self.disk_dir is not None:
+            _store_run(self._disk_path(key), run)
+        return run
+
+
+def _store_run(path: Path, run: WorkloadRun) -> None:
+    payload = {
+        "phases": [
+            {
+                "phase": {
+                    "name": pr.phase.name,
+                    "weight": pr.phase.weight,
+                    "ilp_scale": pr.phase.ilp_scale,
+                    "miss_scale": pr.phase.miss_scale,
+                    "fp_scale": pr.phase.fp_scale,
+                },
+                "stats": {
+                    "instructions": pr.stats.instructions,
+                    "cycles": pr.stats.cycles,
+                    "activity": pr.stats.activity,
+                    "mem_stall_cycles": pr.stats.mem_stall_cycles,
+                    "branch_mispredict_rate": pr.stats.branch_mispredict_rate,
+                    "l1d_miss_rate": pr.stats.l1d_miss_rate,
+                    "l1i_miss_rate": pr.stats.l1i_miss_rate,
+                    "l2_miss_rate": pr.stats.l2_miss_rate,
+                    "lsq_forwards": pr.stats.lsq_forwards,
+                    "ras_mispredicts": pr.stats.ras_mispredicts,
+                },
+            }
+            for pr in run.phases
+        ]
+    }
+    path.write_text(json.dumps(payload))
+
+
+def _load_run(path: Path, profile: WorkloadProfile, config: MicroarchConfig) -> WorkloadRun:
+    payload = json.loads(path.read_text())
+    phases = []
+    for entry in payload["phases"]:
+        phase = Phase(**entry["phase"])
+        stats = SimulationStats(config=config, **entry["stats"])
+        phases.append(PhaseResult(phase=phase, stats=stats))
+    return WorkloadRun(profile=profile, config=config, phases=tuple(phases))

@@ -1,0 +1,203 @@
+"""Self-validation: invariant audits over the assembled stack.
+
+The paper's Section 3.8 is frank that RAMP's architectural abstractions
+are approximations grounded in practice rather than formally validated.
+This module gives the reproduction the audits that *can* be machine
+checked, so a user (or the CLI's ``validate`` command) can confirm the
+installed stack is internally consistent:
+
+- **thermal energy balance** — at steady state, all injected power must
+  leave through the heat sink;
+- **qualification audit** — calibrated budgets sum to the target, split
+  evenly across mechanisms and by area across structures, and the
+  qualification point reproduces the target FIT exactly;
+- **calibration audit** — the synthetic suite's IPC/power against the
+  Table 2 targets, with the acceptance bands of EXPERIMENTS.md;
+- **SOFR consistency** — an application's total FIT equals the sum of
+  its mechanism and structure aggregations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config.dvs import DEFAULT_VF_CURVE
+from repro.config.technology import STRUCTURES
+from repro.core.qualification import QualifiedReliabilityModel
+from repro.core.ramp import RampModel
+from repro.errors import ReproError
+from repro.harness.platform import Platform
+from repro.harness.sweep import SimulationCache
+from repro.thermal.solver import SteadyStateSolver
+from repro.workloads.suite import WORKLOAD_SUITE
+
+#: Acceptance bands (see EXPERIMENTS.md).
+IPC_BAND = (0.65, 1.35)
+POWER_BAND = (0.70, 1.30)
+PEAK_TEMPERATURE_BAND_K = (380.0, 410.0)
+
+
+@dataclass
+class ValidationReport:
+    """Accumulated audit results.
+
+    Attributes:
+        checks: (name, passed, detail) triplets in execution order.
+    """
+
+    checks: list[tuple[str, bool, str]] = field(default_factory=list)
+
+    def record(self, name: str, passed: bool, detail: str) -> None:
+        self.checks.append((name, passed, detail))
+
+    @property
+    def ok(self) -> bool:
+        """Whether every audit passed."""
+        return all(passed for _, passed, _ in self.checks)
+
+    def failures(self) -> list[tuple[str, str]]:
+        return [(n, d) for n, passed, d in self.checks if not passed]
+
+    def render(self) -> str:
+        lines = []
+        for name, passed, detail in self.checks:
+            mark = "PASS" if passed else "FAIL"
+            lines.append(f"[{mark}] {name}: {detail}")
+        lines.append(f"=> {'all checks passed' if self.ok else 'FAILURES PRESENT'}")
+        return "\n".join(lines)
+
+
+def audit_energy_balance(platform: Platform, report: ValidationReport) -> None:
+    """Steady-state power in == heat flow to ambient, to 0.1%."""
+    solver = SteadyStateSolver(platform.network)
+    total_in = 30.0
+    per_block = {b.name: total_in / len(platform.network.block_names)
+                 for b in platform.floorplan}
+    full = solver.solve_full(per_block)
+    sink_t = float(full[platform.network.sink_index])
+    flow_out = (sink_t - platform.network.params.ambient_k) / (
+        platform.network.params.r_convection_k_per_w
+    )
+    ok = abs(flow_out - total_in) < 1e-3 * total_in
+    report.record(
+        "thermal energy balance",
+        ok,
+        f"{total_in:.3f} W in vs {flow_out:.3f} W to ambient",
+    )
+
+
+def audit_qualification(qualified: QualifiedReliabilityModel, report: ValidationReport) -> None:
+    """Budget bookkeeping and the defining calibration identity."""
+    total_budget = sum(qualified.budgets.values())
+    ok_total = abs(total_budget - qualified.fit_target) < 1e-6 * qualified.fit_target
+    report.record(
+        "qualification budget total",
+        ok_total,
+        f"budgets sum to {total_budget:.3f} (target {qualified.fit_target:.0f})",
+    )
+
+    by_mech: dict[str, float] = {}
+    for (mech, _), b in qualified.budgets.items():
+        by_mech[mech] = by_mech.get(mech, 0.0) + b
+    spread = max(by_mech.values()) - min(by_mech.values())
+    report.record(
+        "even mechanism split",
+        spread < 1e-6 * qualified.fit_target,
+        f"per-mechanism budgets {sorted(round(v, 2) for v in by_mech.values())}",
+    )
+
+    total_area = sum(s.area_mm2 for s in STRUCTURES)
+    area_ok = True
+    for spec in STRUCTURES:
+        expected = by_mech["EM"] * spec.area_mm2 / total_area
+        got = qualified.budgets[("EM", spec.name)]
+        if abs(got - expected) > 1e-9 * max(expected, 1.0):
+            area_ok = False
+    report.record("area-proportional split", area_ok, "EM budgets track structure areas")
+
+    # The defining identity: qualification conditions reproduce the target.
+    from repro.constants import FIT_DEVICE_HOURS
+    from repro.core.failure import ALL_MECHANISMS
+
+    total = 0.0
+    for mech in ALL_MECHANISMS:
+        for spec in STRUCTURES:
+            c = qualified.point.conditions_for(spec.name, qualified.technology)
+            total += FIT_DEVICE_HOURS * mech.relative_fit(c) / qualified.constant(
+                mech.name, spec.name
+            )
+    ok_identity = abs(total - qualified.fit_target) < 1e-6 * qualified.fit_target
+    report.record(
+        "qualification identity",
+        ok_identity,
+        f"FIT at qual point = {total:.3f}",
+    )
+
+
+def audit_sofr_consistency(ramp: RampModel, evaluation, report: ValidationReport) -> None:
+    """Total FIT equals both of its aggregations."""
+    rel = ramp.application_reliability(evaluation)
+    total = rel.total_fit
+    by_mech = sum(rel.account.by_mechanism().values())
+    by_struct = sum(rel.account.by_structure().values())
+    ok = abs(total - by_mech) < 1e-9 * max(total, 1.0) and abs(
+        total - by_struct
+    ) < 1e-9 * max(total, 1.0)
+    report.record(
+        "SOFR aggregation consistency",
+        ok,
+        f"total {total:.2f} vs Σmech {by_mech:.2f} vs Σstruct {by_struct:.2f}",
+    )
+
+
+def audit_calibration(
+    cache: SimulationCache, platform: Platform, report: ValidationReport
+) -> None:
+    """Suite IPC/power against Table 2 with the published bands."""
+    nominal = DEFAULT_VF_CURVE.nominal
+    peak = 0.0
+    for profile in WORKLOAD_SUITE:
+        run = cache.run(profile)
+        evaluation = platform.evaluate(run, nominal)
+        ipc_ratio = run.ipc / profile.table2_ipc
+        power_ratio = evaluation.avg_power_w / profile.table2_power_w
+        report.record(
+            f"calibration {profile.name}",
+            IPC_BAND[0] < ipc_ratio < IPC_BAND[1]
+            and POWER_BAND[0] < power_ratio < POWER_BAND[1],
+            f"IPC x{ipc_ratio:.2f}, power x{power_ratio:.2f} of Table 2",
+        )
+        peak = max(peak, evaluation.peak_temperature_k)
+    report.record(
+        "worst-case thermal anchor",
+        PEAK_TEMPERATURE_BAND_K[0] < peak < PEAK_TEMPERATURE_BAND_K[1],
+        f"hottest structure across the suite: {peak:.1f} K (paper: near 400 K)",
+    )
+
+
+def validate_stack(
+    cache: SimulationCache | None = None,
+    platform: Platform | None = None,
+    t_qual_k: float = 400.0,
+) -> ValidationReport:
+    """Run every audit; returns the combined report.
+
+    Raises:
+        ReproError: never directly — failures are recorded, not raised —
+            but constituent audits may propagate configuration errors if
+            the stack is fundamentally mis-assembled.
+    """
+    from repro.core.drm import DRMOracle
+
+    platform = platform or Platform()
+    cache = cache or SimulationCache()
+    report = ValidationReport()
+    audit_energy_balance(platform, report)
+    oracle = DRMOracle(platform=platform, cache=cache)
+    ramp = oracle.ramp_for(t_qual_k)
+    audit_qualification(ramp.qualified, report)
+    audit_sofr_consistency(
+        ramp, oracle.base_evaluation(WORKLOAD_SUITE[0]), report
+    )
+    audit_calibration(cache, platform, report)
+    return report

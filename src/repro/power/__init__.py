@@ -1,0 +1,20 @@
+"""Architectural power model (the Wattch substitute).
+
+Per-structure dynamic power driven by the simulator's activity factors,
+with Wattch-style aggressive clock gating (10% of maximum power charged
+to a structure when it is not accessed), plus area-based leakage power
+with the exponential temperature dependence of Heo et al. — the same
+modelling choices as Section 6.3 of the paper.
+"""
+
+from repro.power.dynamic import DynamicPowerModel, CLOCK_GATE_FLOOR
+from repro.power.leakage import LeakagePowerModel
+from repro.power.model import PowerModel, PowerBreakdown
+
+__all__ = [
+    "DynamicPowerModel",
+    "CLOCK_GATE_FLOOR",
+    "LeakagePowerModel",
+    "PowerModel",
+    "PowerBreakdown",
+]

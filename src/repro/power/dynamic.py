@@ -1,0 +1,94 @@
+"""Per-structure dynamic power.
+
+Wattch-style model: each structure has a calibrated maximum dynamic power
+at the nominal operating point; its actual dynamic power is
+
+    P_dyn = P_max * (floor + (1 - floor) * activity)
+                  * (V / V_nom)^2 * (f / f_nom) * powered_fraction
+
+- ``floor`` is the clock-gating residue: the paper charges 10% of maximum
+  power to a component in cycles it is not accessed.
+- The V^2·f factor is the standard CMOS dynamic-energy scaling; combined
+  with the linear V(f) DVS curve it yields the near-cubic
+  power-vs-frequency relationship the paper leans on.
+- ``powered_fraction`` accounts for DRM's microarchitectural adaptation:
+  powered-down window entries and functional units (with their selection
+  logic, result-bus slices, wake-up and register ports) draw nothing.
+"""
+
+from __future__ import annotations
+
+from repro.config.dvs import OperatingPoint
+from repro.config.microarch import MicroarchConfig
+from repro.config.technology import STRUCTURES, TechnologyParameters
+from repro.errors import ConfigurationError
+
+#: Fraction of maximum power charged to an idle (clock-gated) structure.
+CLOCK_GATE_FLOOR = 0.10
+
+
+class DynamicPowerModel:
+    """Computes per-structure dynamic power from activity factors.
+
+    Args:
+        technology: supplies the nominal voltage and frequency.
+        gate_floor: idle-power fraction under clock gating (default 10%).
+        scale: global multiplier on the calibrated peak powers — the
+            power-density knob used by the technology-scaling study.
+    """
+
+    def __init__(
+        self,
+        technology: TechnologyParameters,
+        gate_floor: float = CLOCK_GATE_FLOOR,
+        scale: float = 1.0,
+    ) -> None:
+        if not 0.0 <= gate_floor <= 1.0:
+            raise ConfigurationError("gate floor must be in [0, 1]")
+        if scale <= 0.0:
+            raise ConfigurationError("power scale must be positive")
+        self.technology = technology
+        self.gate_floor = gate_floor
+        self.scale = scale
+
+    def structure_power(
+        self,
+        activity: dict[str, float],
+        config: MicroarchConfig,
+        op: OperatingPoint,
+    ) -> dict[str, float]:
+        """Dynamic power per structure in watts.
+
+        Args:
+            activity: per-structure activity factors in [0, 1].
+            config: microarchitecture (for powered-down fractions).
+            op: the voltage/frequency operating point.
+
+        Raises:
+            ConfigurationError: if an activity factor is missing or out of
+                range.
+        """
+        v_ratio = op.voltage_v / self.technology.vdd_nominal
+        f_ratio = op.frequency_hz / self.technology.frequency_nominal_hz
+        scale = v_ratio * v_ratio * f_ratio
+        powers = {}
+        for spec in STRUCTURES:
+            try:
+                a = activity[spec.name]
+            except KeyError:
+                raise ConfigurationError(
+                    f"activity missing structure {spec.name!r}"
+                ) from None
+            if not 0.0 <= a <= 1.0:
+                raise ConfigurationError(
+                    f"activity[{spec.name!r}] = {a} outside [0, 1]"
+                )
+            gated = self.gate_floor + (1.0 - self.gate_floor) * a
+            powers[spec.name] = (
+                spec.peak_dynamic_w
+                * self.scale
+                * gated
+                * scale
+                * config.powered_fraction(spec.name)
+            )
+        return powers

@@ -1,0 +1,69 @@
+"""Leakage power with exponential temperature dependence.
+
+The paper models a leakage power density of 0.5 W/mm^2 at 383 K for the
+65 nm process (from industry data, assuming aggressive leakage-control
+techniques) and applies the technique of Heo et al. for its temperature
+dependence:
+
+    P_leak(T) = P_leak(T_ref) * exp(k * (T - T_ref)),   k = 0.017 for 65 nm
+
+Leakage also scales with supply voltage (sub-threshold leakage is roughly
+linear in V over a DVS range); we include that linear factor so DVS
+lowers leakage as well as dynamic power.  Powered-down structure slices
+have no supply voltage and therefore no leakage.
+"""
+
+from __future__ import annotations
+
+from repro.config.dvs import OperatingPoint
+from repro.config.microarch import MicroarchConfig
+from repro.config.technology import STRUCTURES, TechnologyParameters
+from repro.constants import validate_temperature
+
+
+class LeakagePowerModel:
+    """Computes per-structure leakage power from temperature.
+
+    Args:
+        technology: supplies the leakage density, reference temperature,
+            and the exponential temperature coefficient.
+    """
+
+    def __init__(self, technology: TechnologyParameters) -> None:
+        self.technology = technology
+
+    def density_at(self, temperature_k: float) -> float:
+        """Leakage power density (W/mm^2) at ``temperature_k``."""
+        validate_temperature(temperature_k, what="leakage temperature")
+        tech = self.technology
+        import math
+
+        return tech.leakage_density_w_per_mm2 * math.exp(
+            tech.leakage_temp_coefficient
+            * (temperature_k - tech.leakage_reference_temp_k)
+        )
+
+    def structure_power(
+        self,
+        temperatures: dict[str, float],
+        config: MicroarchConfig,
+        op: OperatingPoint,
+    ) -> dict[str, float]:
+        """Leakage power per structure in watts.
+
+        Args:
+            temperatures: per-structure temperature in kelvin.
+            config: microarchitecture (powered-down slices do not leak).
+            op: operating point (leakage scales ~linearly with V).
+        """
+        v_ratio = op.voltage_v / self.technology.vdd_nominal
+        powers = {}
+        for spec in STRUCTURES:
+            t = temperatures[spec.name]
+            powers[spec.name] = (
+                self.density_at(t)
+                * spec.area_mm2
+                * config.powered_fraction(spec.name)
+                * v_ratio
+            )
+        return powers

@@ -1,0 +1,29 @@
+"""Thermal model (the HotSpot substitute).
+
+A floorplan-driven RC thermal network: every architectural structure is a
+block with a vertical conduction path (silicon + thermal interface) to a
+copper heat spreader, lateral conduction to its floorplan neighbours, and
+a spreader -> heat-sink -> ambient stack.  Steady-state solves drive the
+per-interval RAMP accounting; the transient integrator and the paper's
+two-pass heat-sink initialisation are provided for longer-horizon
+studies.
+"""
+
+from repro.thermal.floorplan import Floorplan, Block, build_default_floorplan
+from repro.thermal.rc_network import ThermalRCNetwork, ThermalParameters
+from repro.thermal.solver import SteadyStateSolver, TransientSolver
+from repro.thermal.heatsink import TwoPassThermalModel
+from repro.thermal.report import render_floorplan, render_thermal_map
+
+__all__ = [
+    "Floorplan",
+    "Block",
+    "build_default_floorplan",
+    "ThermalRCNetwork",
+    "ThermalParameters",
+    "SteadyStateSolver",
+    "TransientSolver",
+    "TwoPassThermalModel",
+    "render_floorplan",
+    "render_thermal_map",
+]

@@ -1,0 +1,153 @@
+"""Core floorplan: structure placement on the 4.5 mm x 4.5 mm die.
+
+The paper feeds HotSpot a MIPS R10000-like floorplan (without the L2)
+scaled down to 20.2 mm^2.  We build the same thing with a deterministic
+slicing layout: structures are packed into vertical columns of balanced
+area; each column spans the full die height and each block spans its
+column's width.  The resulting rectangles provide the areas, adjacencies,
+and shared-edge lengths the RC network needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.technology import STRUCTURES, StructureSpec, TechnologyParameters, DEFAULT_TECHNOLOGY
+from repro.errors import ThermalError
+
+#: Number of columns in the slicing layout (three columns roughly matches
+#: the R10000's frontend / execution / memory stripes).
+_N_COLUMNS = 3
+
+
+@dataclass(frozen=True)
+class Block:
+    """One placed rectangle of the floorplan (all units millimetres).
+
+    Attributes:
+        name: the structure occupying the rectangle.
+        x, y: lower-left corner.
+        width, height: rectangle extent.
+    """
+
+    name: str
+    x: float
+    y: float
+    width: float
+    height: float
+
+    @property
+    def area_mm2(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return (self.x + self.width / 2.0, self.y + self.height / 2.0)
+
+    def shared_edge_with(self, other: "Block") -> float:
+        """Length of the boundary shared with ``other`` (0 if not adjacent).
+
+        Two blocks are adjacent when they touch along a vertical or
+        horizontal edge with positive overlap.
+        """
+        tol = 1e-9
+        # Vertical contact (side by side).
+        if abs(self.x + self.width - other.x) < tol or abs(other.x + other.width - self.x) < tol:
+            lo = max(self.y, other.y)
+            hi = min(self.y + self.height, other.y + other.height)
+            if hi - lo > tol:
+                return hi - lo
+        # Horizontal contact (stacked).
+        if abs(self.y + self.height - other.y) < tol or abs(other.y + other.height - self.y) < tol:
+            lo = max(self.x, other.x)
+            hi = min(self.x + self.width, other.x + other.width)
+            if hi - lo > tol:
+                return hi - lo
+        return 0.0
+
+
+class Floorplan:
+    """A placed floorplan with adjacency queries.
+
+    Args:
+        blocks: the placed rectangles; names must be unique and areas must
+            tile the die (checked loosely).
+        die_width_mm / die_height_mm: die extent.
+    """
+
+    def __init__(self, blocks: list[Block], die_width_mm: float, die_height_mm: float) -> None:
+        names = [b.name for b in blocks]
+        if len(set(names)) != len(names):
+            raise ThermalError("floorplan block names must be unique")
+        total = sum(b.area_mm2 for b in blocks)
+        die = die_width_mm * die_height_mm
+        if abs(total - die) > 0.05 * die:
+            raise ThermalError(
+                f"blocks cover {total:.2f} mm^2 of a {die:.2f} mm^2 die"
+            )
+        self.blocks = list(blocks)
+        self.die_width_mm = die_width_mm
+        self.die_height_mm = die_height_mm
+        self._by_name = {b.name: b for b in blocks}
+
+    def __iter__(self):
+        return iter(self.blocks)
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def block(self, name: str) -> Block:
+        """Look up a block by structure name.
+
+        Raises:
+            ThermalError: if no such block exists.
+        """
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ThermalError(f"no floorplan block named {name!r}") from None
+
+    def adjacent_pairs(self) -> list[tuple[Block, Block, float]]:
+        """All adjacent block pairs with their shared-edge lengths."""
+        pairs = []
+        for i, a in enumerate(self.blocks):
+            for b in self.blocks[i + 1 :]:
+                edge = a.shared_edge_with(b)
+                if edge > 0.0:
+                    pairs.append((a, b, edge))
+        return pairs
+
+
+def build_default_floorplan(
+    technology: TechnologyParameters = DEFAULT_TECHNOLOGY,
+    structures: tuple[StructureSpec, ...] = STRUCTURES,
+) -> Floorplan:
+    """Pack the structure inventory into the square die.
+
+    Greedy balanced-area assignment into three columns, preserving the
+    declaration order within each column.  Column widths are proportional
+    to column area so every column spans the full die height.
+    """
+    die = technology.die_edge_mm
+    total_area = sum(s.area_mm2 for s in structures)
+    # Greedy: put the next structure into the currently lightest column.
+    columns: list[list[StructureSpec]] = [[] for _ in range(_N_COLUMNS)]
+    column_area = [0.0] * _N_COLUMNS
+    for spec in sorted(structures, key=lambda s: -s.area_mm2):
+        i = column_area.index(min(column_area))
+        columns[i].append(spec)
+        column_area[i] += spec.area_mm2
+    blocks: list[Block] = []
+    x = 0.0
+    for specs, area in zip(columns, column_area):
+        if not specs:
+            continue
+        width = die * (area / total_area)
+        y = 0.0
+        col_height = die
+        for spec in specs:
+            height = col_height * (spec.area_mm2 / area)
+            blocks.append(Block(spec.name, x=x, y=y, width=width, height=height))
+            y += height
+        x += width
+    return Floorplan(blocks, die_width_mm=die, die_height_mm=die)

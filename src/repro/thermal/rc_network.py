@@ -1,0 +1,159 @@
+"""Thermal RC network construction.
+
+HotSpot-style lumped model.  Nodes: one per floorplan block, plus a heat
+spreader node, a heat-sink node, and the ambient (a fixed-temperature
+boundary).  Conduction paths:
+
+- block -> spreader: vertical conduction through the silicon die and the
+  thermal interface material, proportional to block area;
+- block <-> block: lateral conduction through the silicon, proportional
+  to shared edge length over centre distance;
+- spreader -> sink: spreading resistance of the copper stack;
+- sink -> ambient: the convective resistance of the cooling solution —
+  the main knob that positions average die temperature, calibrated so the
+  paper's hottest application peaks near 400 K.
+
+Capacitances use volumetric heat capacities, giving millisecond block
+time constants and a tens-of-seconds sink time constant — the separation
+the paper's two-pass heat-sink initialisation relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import AMBIENT_TEMPERATURE_K
+from repro.errors import ThermalError
+from repro.thermal.floorplan import Floorplan
+
+
+@dataclass(frozen=True)
+class ThermalParameters:
+    """Physical constants of the package stack.
+
+    Attributes:
+        r_vertical_k_mm2_per_w: area-specific vertical resistance from a
+            block's junction to the spreader (silicon + TIM), in
+            K·mm^2/W.
+        k_lateral_w_per_mm_k: effective lateral sheet conductivity
+            (silicon conductivity times die thickness), in W/(mm·K)·mm.
+        r_spreader_k_per_w: spreader -> sink resistance.
+        r_convection_k_per_w: sink -> ambient convective resistance.
+        c_block_j_per_k_mm2: block heat capacity per mm^2 of area.
+        c_spreader_j_per_k: spreader lumped heat capacity.
+        c_sink_j_per_k: heat-sink lumped heat capacity.
+        ambient_k: ambient air temperature.
+    """
+
+    r_vertical_k_mm2_per_w: float = 20.0
+    k_lateral_w_per_mm_k: float = 0.03
+    r_spreader_k_per_w: float = 0.18
+    r_convection_k_per_w: float = 0.25
+    c_block_j_per_k_mm2: float = 8.75e-4
+    c_spreader_j_per_k: float = 25.0
+    c_sink_j_per_k: float = 280.0
+    ambient_k: float = AMBIENT_TEMPERATURE_K
+
+    def __post_init__(self) -> None:
+        positive = (
+            self.r_vertical_k_mm2_per_w,
+            self.k_lateral_w_per_mm_k,
+            self.r_spreader_k_per_w,
+            self.r_convection_k_per_w,
+            self.c_block_j_per_k_mm2,
+            self.c_spreader_j_per_k,
+            self.c_sink_j_per_k,
+        )
+        if any(v <= 0.0 for v in positive):
+            raise ThermalError("all thermal parameters must be positive")
+
+
+DEFAULT_THERMAL_PARAMETERS = ThermalParameters()
+
+
+class ThermalRCNetwork:
+    """The assembled conductance matrix and capacitance vector.
+
+    Node ordering: floorplan blocks in floorplan order, then the spreader
+    node, then the sink node.  Ambient is a boundary condition, not a
+    node.
+
+    Attributes:
+        conductance: (n+2, n+2) symmetric conductance Laplacian plus the
+            ambient coupling on the diagonal.
+        ambient_injection: vector g_i * T_ambient for the boundary terms.
+        capacitance: per-node heat capacities (J/K).
+    """
+
+    def __init__(
+        self,
+        floorplan: Floorplan,
+        params: ThermalParameters = DEFAULT_THERMAL_PARAMETERS,
+    ) -> None:
+        self.floorplan = floorplan
+        self.params = params
+        self.block_names = [b.name for b in floorplan]
+        n = len(floorplan)
+        self.n_blocks = n
+        self.spreader_index = n
+        self.sink_index = n + 1
+        size = n + 2
+        g = np.zeros((size, size))
+
+        def couple(i: int, j: int, conductance: float) -> None:
+            g[i, i] += conductance
+            g[j, j] += conductance
+            g[i, j] -= conductance
+            g[j, i] -= conductance
+
+        # Vertical block -> spreader paths.
+        for i, block in enumerate(floorplan):
+            g_v = block.area_mm2 / params.r_vertical_k_mm2_per_w
+            couple(i, self.spreader_index, g_v)
+        # Lateral block <-> block paths.
+        index = {name: i for i, name in enumerate(self.block_names)}
+        for a, b, edge in floorplan.adjacent_pairs():
+            (ax, ay), (bx, by) = a.center, b.center
+            dist = float(np.hypot(ax - bx, ay - by))
+            if dist <= 0.0:
+                raise ThermalError("coincident block centres")
+            couple(index[a.name], index[b.name], params.k_lateral_w_per_mm_k * edge / dist)
+        # Package stack.
+        couple(self.spreader_index, self.sink_index, 1.0 / params.r_spreader_k_per_w)
+        # Sink -> ambient: boundary conductance on the diagonal only.
+        g_amb = 1.0 / params.r_convection_k_per_w
+        g[self.sink_index, self.sink_index] += g_amb
+
+        self.conductance = g
+        self.ambient_injection = np.zeros(size)
+        self.ambient_injection[self.sink_index] = g_amb * params.ambient_k
+
+        self.capacitance = np.empty(size)
+        for i, block in enumerate(floorplan):
+            self.capacitance[i] = params.c_block_j_per_k_mm2 * block.area_mm2
+        self.capacitance[self.spreader_index] = params.c_spreader_j_per_k
+        self.capacitance[self.sink_index] = params.c_sink_j_per_k
+
+    def power_vector(self, power_by_block: dict[str, float]) -> np.ndarray:
+        """Assemble the nodal power-injection vector.
+
+        Raises:
+            ThermalError: if a power entry names an unknown block or a
+                block's power is missing/negative.
+        """
+        unknown = set(power_by_block) - set(self.block_names)
+        if unknown:
+            raise ThermalError(f"power given for unknown blocks: {sorted(unknown)}")
+        p = np.zeros(self.n_blocks + 2)
+        for i, name in enumerate(self.block_names):
+            value = power_by_block.get(name, 0.0)
+            if value < 0.0:
+                raise ThermalError(f"negative power for block {name!r}")
+            p[i] = value
+        return p
+
+    def temperatures_dict(self, temps: np.ndarray) -> dict[str, float]:
+        """Map a solution vector back to per-structure temperatures."""
+        return {name: float(temps[i]) for i, name in enumerate(self.block_names)}

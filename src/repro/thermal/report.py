@@ -1,0 +1,84 @@
+"""Text rendering of floorplans and thermal fields.
+
+A terminal-friendly substitute for HotSpot's thermal-map plots: the die
+is rasterised onto a character grid, each cell showing either the block
+occupying it or a temperature glyph.  Useful for eyeballing hotspot
+placement in examples and bug reports without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ThermalError
+from repro.thermal.floorplan import Floorplan
+
+#: Glyph ramp from coolest to hottest cell.
+HEAT_GLYPHS = " .:-=+*#%@"
+
+
+def render_floorplan(floorplan: Floorplan, width: int = 48, height: int = 24) -> str:
+    """ASCII map of block placement (each cell = first letter of a block).
+
+    Raises:
+        ThermalError: on a non-positive raster size.
+    """
+    if width <= 0 or height <= 0:
+        raise ThermalError("raster size must be positive")
+    grid = [["?" for _ in range(width)] for _ in range(height)]
+    for block in floorplan:
+        letter = block.name[0].upper()
+        x0 = int(block.x / floorplan.die_width_mm * width)
+        x1 = max(x0 + 1, int((block.x + block.width) / floorplan.die_width_mm * width))
+        y0 = int(block.y / floorplan.die_height_mm * height)
+        y1 = max(y0 + 1, int((block.y + block.height) / floorplan.die_height_mm * height))
+        for y in range(y0, min(y1, height)):
+            for x in range(x0, min(x1, width)):
+                grid[y][x] = letter
+    # Render with y increasing upward (row 0 at the bottom of the die).
+    lines = ["".join(row) for row in reversed(grid)]
+    legend = ", ".join(f"{b.name[0].upper()}={b.name}" for b in floorplan)
+    return "\n".join(lines) + "\n" + legend
+
+
+def render_thermal_map(
+    floorplan: Floorplan,
+    temperatures: dict[str, float],
+    width: int = 48,
+    height: int = 24,
+) -> str:
+    """ASCII heat map: glyph density encodes each block's temperature.
+
+    The scale is normalised to the supplied field (coolest block = the
+    first glyph, hottest = the last), with the numeric range printed in
+    the footer.
+
+    Raises:
+        ThermalError: if a block's temperature is missing.
+    """
+    missing = {b.name for b in floorplan} - set(temperatures)
+    if missing:
+        raise ThermalError(f"temperatures missing blocks: {sorted(missing)}")
+    t_lo = min(temperatures[b.name] for b in floorplan)
+    t_hi = max(temperatures[b.name] for b in floorplan)
+    span = max(t_hi - t_lo, 1e-9)
+
+    def glyph(name: str) -> str:
+        level = (temperatures[name] - t_lo) / span
+        return HEAT_GLYPHS[min(len(HEAT_GLYPHS) - 1, int(level * len(HEAT_GLYPHS)))]
+
+    grid = [[" " for _ in range(width)] for _ in range(height)]
+    for block in floorplan:
+        g = glyph(block.name)
+        x0 = int(block.x / floorplan.die_width_mm * width)
+        x1 = max(x0 + 1, int((block.x + block.width) / floorplan.die_width_mm * width))
+        y0 = int(block.y / floorplan.die_height_mm * height)
+        y1 = max(y0 + 1, int((block.y + block.height) / floorplan.die_height_mm * height))
+        for y in range(y0, min(y1, height)):
+            for x in range(x0, min(x1, width)):
+                grid[y][x] = g
+    lines = ["".join(row) for row in reversed(grid)]
+    hottest = max(temperatures, key=temperatures.get)
+    footer = (
+        f"scale '{HEAT_GLYPHS[0]}'={t_lo:.1f}K .. '{HEAT_GLYPHS[-1]}'={t_hi:.1f}K; "
+        f"hottest: {hottest} ({t_hi:.1f}K)"
+    )
+    return "\n".join(lines) + "\n" + footer

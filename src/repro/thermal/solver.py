@@ -1,0 +1,117 @@
+"""Steady-state and transient solvers for the thermal RC network."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ThermalError
+from repro.thermal.rc_network import ThermalRCNetwork
+
+
+class SteadyStateSolver:
+    """Solves G·T = P + boundary for the equilibrium temperature field.
+
+    The conductance matrix is factorised once and reused across solves,
+    which is what makes the DRM sweeps (thousands of thermal evaluations)
+    cheap.
+    """
+
+    def __init__(self, network: ThermalRCNetwork) -> None:
+        self.network = network
+        try:
+            self._factor = np.linalg.cholesky(network.conductance)
+        except np.linalg.LinAlgError as exc:
+            raise ThermalError(f"thermal network is not SPD: {exc}") from exc
+
+    def _solve(self, rhs: np.ndarray) -> np.ndarray:
+        y = np.linalg.solve(self._factor, rhs)
+        return np.linalg.solve(self._factor.T, y)
+
+    def solve(self, power_by_block: dict[str, float]) -> dict[str, float]:
+        """Equilibrium block temperatures for a power assignment.
+
+        Returns per-structure temperatures; the spreader and sink nodes
+        are available through :meth:`solve_full`.
+        """
+        return self.network.temperatures_dict(self.solve_full(power_by_block))
+
+    def solve_full(self, power_by_block: dict[str, float]) -> np.ndarray:
+        """Equilibrium temperatures of every node (blocks, spreader, sink)."""
+        p = self.network.power_vector(power_by_block)
+        return self._solve(p + self.network.ambient_injection)
+
+    def solve_with_fixed_sink(
+        self, power_by_block: dict[str, float], sink_temp_k: float
+    ) -> dict[str, float]:
+        """Equilibrium with the heat-sink node pinned at ``sink_temp_k``.
+
+        This is the second pass of the paper's methodology: the sink's RC
+        time constant is far larger than any simulation, so the sink is
+        initialised to its long-run steady temperature and held there
+        while the (fast) die nodes equilibrate per interval.
+        """
+        net = self.network
+        k = net.sink_index
+        p = net.power_vector(power_by_block) + net.ambient_injection
+        g = net.conductance
+        # Eliminate the pinned node: move its column to the RHS.
+        keep = [i for i in range(g.shape[0]) if i != k]
+        g_red = g[np.ix_(keep, keep)]
+        rhs = p[keep] - g[keep, k] * sink_temp_k
+        temps_red = np.linalg.solve(g_red, rhs)
+        temps = np.empty(g.shape[0])
+        temps[keep] = temps_red
+        temps[k] = sink_temp_k
+        return net.temperatures_dict(temps)
+
+
+class TransientSolver:
+    """Implicit-Euler integrator for C·dT/dt = P + boundary − G·T.
+
+    Unconditionally stable, so large steps (relative to the block time
+    constants) remain well behaved — needed because the sink time
+    constant is ~5 orders of magnitude above the block ones.
+    """
+
+    def __init__(self, network: ThermalRCNetwork) -> None:
+        self.network = network
+
+    def step(
+        self, temps: np.ndarray, power_by_block: dict[str, float], dt_s: float
+    ) -> np.ndarray:
+        """Advance the temperature state by ``dt_s`` seconds.
+
+        Raises:
+            ThermalError: if ``dt_s`` is not positive.
+        """
+        if dt_s <= 0.0:
+            raise ThermalError("time step must be positive")
+        net = self.network
+        p = net.power_vector(power_by_block) + net.ambient_injection
+        c_over_dt = np.diag(net.capacitance / dt_s)
+        lhs = c_over_dt + net.conductance
+        rhs = p + (net.capacitance / dt_s) * temps
+        return np.linalg.solve(lhs, rhs)
+
+    def run(
+        self,
+        power_by_block: dict[str, float],
+        duration_s: float,
+        dt_s: float,
+        initial: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Integrate a constant power assignment for ``duration_s``.
+
+        Returns the final node-temperature vector.  ``initial`` defaults
+        to everything at ambient (a cold start).
+        """
+        net = self.network
+        temps = (
+            np.full(net.n_blocks + 2, net.params.ambient_k)
+            if initial is None
+            else initial.copy()
+        )
+        steps = max(1, int(round(duration_s / dt_s)))
+        for _ in range(steps):
+            temps = self.step(temps, power_by_block, dt_s)
+        return temps

@@ -1,0 +1,38 @@
+"""Synthetic workload substrate.
+
+The paper drives its testbed with three multimedia applications (MPGdec,
+MP3dec, H263enc), three SpecInt2000 applications (bzip2, gzip, twolf), and
+three SpecFP2000 applications (art, equake, ammp).  Those binaries are not
+available here, so this subpackage provides a statistical workload
+synthesizer: each application is described by a
+:class:`~repro.workloads.characteristics.WorkloadProfile` (instruction mix,
+instruction-level parallelism, branch predictability, memory locality, and
+phase structure) hand-calibrated so that the base-processor IPC and power
+spectrum matches Table 2 of the paper.
+
+The substitution is documented in DESIGN.md: DRM/DTM conclusions depend on
+where each application sits in the IPC/power/temperature spectrum and how
+its behaviour varies over time, which the synthesizer reproduces.
+"""
+
+from repro.workloads.trace import OpClass, Instruction, Trace, CONTROL_OPS
+from repro.workloads.characteristics import WorkloadProfile, MemoryBehavior, BranchBehavior
+from repro.workloads.phases import Phase, expand_phases
+from repro.workloads.generator import TraceGenerator
+from repro.workloads.suite import WORKLOAD_SUITE, workload_by_name, SUITE_NAMES
+
+__all__ = [
+    "OpClass",
+    "CONTROL_OPS",
+    "Instruction",
+    "Trace",
+    "WorkloadProfile",
+    "MemoryBehavior",
+    "BranchBehavior",
+    "Phase",
+    "expand_phases",
+    "TraceGenerator",
+    "WORKLOAD_SUITE",
+    "workload_by_name",
+    "SUITE_NAMES",
+]

@@ -1,0 +1,177 @@
+"""Trace analysis toolkit.
+
+Characterisation utilities over dynamic instruction traces, used to
+sanity-check the synthetic workloads against their profiles and available
+to users studying their own traces:
+
+- instruction-mix summary;
+- dependency-distance (ILP) histogram and mean;
+- LRU **stack-distance profile** for the data stream — the classic
+  reuse-distance curve from which cache miss rates for *any* fully
+  associative LRU size can be read off;
+- branch-stream statistics (static footprint, per-pc bias entropy);
+- basic-block (fetch-run) length distribution.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workloads.trace import CONTROL_OPS, MEM_OPS, OpClass, Trace
+
+
+@dataclass(frozen=True)
+class BranchStats:
+    """Branch-stream characterisation.
+
+    Attributes:
+        dynamic_branches: conditional-branch instances in the trace.
+        static_branches: distinct conditional-branch pcs.
+        taken_fraction: fraction of dynamic branches taken.
+        mean_bias_entropy: mean per-pc Bernoulli entropy (bits); 0 for
+            perfectly biased streams, 1 for coin flips — a direct
+            predictor-difficulty metric.
+    """
+
+    dynamic_branches: int
+    static_branches: int
+    taken_fraction: float
+    mean_bias_entropy: float
+
+
+def instruction_mix(trace: Trace) -> dict[str, float]:
+    """Mix by op-class name (sums to 1)."""
+    return {op.name: share for op, share in trace.mix().items()}
+
+
+def dependency_histogram(trace: Trace, max_distance: int = 64) -> np.ndarray:
+    """Histogram of dep1 distances (index 0 = no dependence).
+
+    Distances above ``max_distance`` accumulate in the last bin.
+    """
+    if max_distance < 1:
+        raise WorkloadError("max_distance must be >= 1")
+    clipped = np.minimum(trace.dep1, max_distance)
+    return np.bincount(clipped, minlength=max_distance + 1)
+
+
+def mean_dependency_distance(trace: Trace) -> float:
+    """Mean dep1 distance over instructions that have a dependence."""
+    deps = trace.dep1[trace.dep1 > 0]
+    if len(deps) == 0:
+        return 0.0
+    return float(deps.mean())
+
+
+def stack_distance_profile(trace: Trace, max_blocks: int = 1 << 16) -> Counter:
+    """LRU stack distances of the data-access block stream.
+
+    Returns a Counter mapping stack distance to occurrences; first-touch
+    accesses are recorded under the key ``-1``.  The miss rate of a fully
+    associative LRU cache of capacity C is the mass at distances >= C
+    plus the first-touch mass, divided by total accesses.
+    """
+    distances: Counter = Counter()
+    stack: list[int] = []
+    resident: set[int] = set()
+    mem = np.isin(trace.op, [int(o) for o in MEM_OPS])
+    blocks = (trace.addr[mem] // 64).tolist()
+    for block in blocks:
+        if block in resident:
+            # Distance = number of distinct blocks touched since last use.
+            idx = stack.index(block)
+            distances[len(stack) - 1 - idx] += 1
+            stack.pop(idx)
+        else:
+            distances[-1] += 1
+            resident.add(block)
+            if len(stack) >= max_blocks:
+                evicted = stack.pop(0)
+                resident.discard(evicted)
+        stack.append(block)
+    return distances
+
+
+def miss_rate_for_capacity(
+    distances: Counter, capacity_blocks: int, include_first_touch: bool = True
+) -> float:
+    """Fully associative LRU miss rate implied by a stack-distance profile.
+
+    Args:
+        distances: profile from :func:`stack_distance_profile`.
+        capacity_blocks: cache capacity in blocks.
+        include_first_touch: count compulsory (first-touch) misses.  Pass
+            False for the steady-state (reuse-only) miss rate — the right
+            view for short standalone traces, where compulsory mass
+            dominates but a long-running program would have amortised it.
+
+    Raises:
+        WorkloadError: if the profile is empty or capacity is not positive.
+    """
+    if capacity_blocks <= 0:
+        raise WorkloadError("capacity must be positive")
+    first_touch = distances[-1]
+    reuses = sum(v for d, v in distances.items() if d >= 0)
+    capacity_misses = sum(
+        count for d, count in distances.items() if d >= capacity_blocks
+    )
+    if include_first_touch:
+        total = reuses + first_touch
+        misses = capacity_misses + first_touch
+    else:
+        total = reuses
+        misses = capacity_misses
+    if total == 0:
+        raise WorkloadError("empty stack-distance profile")
+    return misses / total
+
+
+def branch_stats(trace: Trace) -> BranchStats:
+    """Characterise the conditional-branch stream.
+
+    Raises:
+        WorkloadError: if the trace contains no conditional branches.
+    """
+    is_branch = trace.op == int(OpClass.BRANCH)
+    n = int(is_branch.sum())
+    if n == 0:
+        raise WorkloadError("trace has no conditional branches")
+    pcs = trace.pc[is_branch]
+    outcomes = trace.taken[is_branch]
+    per_pc: dict[int, list[int]] = defaultdict(lambda: [0, 0])
+    for pc, taken in zip(pcs.tolist(), outcomes.tolist()):
+        per_pc[pc][1 if taken else 0] += 1
+    entropies = []
+    for not_taken, taken in per_pc.values():
+        total = not_taken + taken
+        p = taken / total
+        if p in (0.0, 1.0):
+            entropies.append(0.0)
+        else:
+            entropies.append(-p * math.log2(p) - (1 - p) * math.log2(1 - p))
+    return BranchStats(
+        dynamic_branches=n,
+        static_branches=len(per_pc),
+        taken_fraction=float(outcomes.mean()),
+        mean_bias_entropy=float(np.mean(entropies)),
+    )
+
+
+def fetch_run_lengths(trace: Trace) -> np.ndarray:
+    """Lengths of sequential fetch runs (broken by taken control ops).
+
+    The distribution of these runs bounds the front end's effective
+    fetch bandwidth on a machine with a taken-branch fetch break.
+    """
+    control = np.isin(trace.op, [int(o) for o in CONTROL_OPS])
+    breaks = np.flatnonzero(control & trace.taken)
+    if len(breaks) == 0:
+        return np.array([len(trace)])
+    edges = np.concatenate(([-1], breaks, [len(trace) - 1]))
+    lengths = np.diff(edges)
+    return lengths[lengths > 0]

@@ -1,0 +1,132 @@
+"""Canonical microbenchmark traces.
+
+Hand-constructed single-behaviour instruction streams for characterising
+the simulator (and any machine configuration) along one axis at a time —
+the classic microbenchmark kit:
+
+- ``alu_throughput``   independent integer ops (FU bandwidth ceiling)
+- ``dependency_chain`` serial ops (latency exposure)
+- ``pointer_chase``    dependent loads over a working set (load-to-use)
+- ``stream``           independent strided loads (memory bandwidth / MLP)
+- ``branchy``          unpredictable branches (front-end resilience)
+- ``call_heavy``       call/return ladders (RAS behaviour)
+
+All are deterministic and take explicit sizes, so tests can reason about
+their exact timing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workloads.trace import Instruction, OpClass, Trace
+
+#: Single I-cache block pc footprint (see test rationale: one cold miss).
+_PC_SLOTS = 16
+
+
+def _pc(i: int) -> int:
+    return (i % _PC_SLOTS) * 4
+
+
+def _check(n: int) -> None:
+    if n <= 0:
+        raise WorkloadError("microbenchmark length must be positive")
+
+
+def alu_throughput(n: int = 2000) -> Trace:
+    """Independent integer ALU ops: IPC should approach the ALU count."""
+    _check(n)
+    return Trace.from_instructions(
+        [Instruction(op=OpClass.IALU, pc=_pc(i)) for i in range(n)],
+        name="ubench:alu_throughput",
+    )
+
+
+def dependency_chain(n: int = 2000, op: OpClass = OpClass.IALU) -> Trace:
+    """A single serial chain: IPC = 1 / op latency."""
+    _check(n)
+    return Trace.from_instructions(
+        [Instruction(op=op, dep1=min(1, i), pc=_pc(i)) for i in range(n)],
+        name=f"ubench:chain_{op.name.lower()}",
+    )
+
+
+def pointer_chase(n: int = 800, working_set_blocks: int = 64) -> Trace:
+    """Dependent loads walking a working set: exposes load-to-use latency.
+
+    Each load's address depends on the previous load's value, so no two
+    chase steps overlap — the canonical linked-list traversal.
+    """
+    _check(n)
+    if working_set_blocks <= 0:
+        raise WorkloadError("working set must be positive")
+    rng = np.random.default_rng(99)
+    order = rng.permutation(working_set_blocks)
+    instrs = []
+    for i in range(n):
+        block = int(order[i % working_set_blocks])
+        instrs.append(
+            Instruction(op=OpClass.LOAD, dep1=min(1, i), addr=block * 64, pc=_pc(i))
+        )
+    return Trace.from_instructions(instrs, name="ubench:pointer_chase")
+
+
+def stream(n: int = 800, stride_blocks: int = 1) -> Trace:
+    """Independent strided loads: exposes MLP / MSHR / bandwidth limits."""
+    _check(n)
+    if stride_blocks <= 0:
+        raise WorkloadError("stride must be positive")
+    instrs = [
+        Instruction(op=OpClass.LOAD, addr=(1 << 30) + i * stride_blocks * 64, pc=_pc(i))
+        for i in range(n)
+    ]
+    return Trace.from_instructions(instrs, name="ubench:stream")
+
+
+def branchy(n: int = 2000, period: int = 5, predictable: bool = False) -> Trace:
+    """Branch every ``period`` instructions.
+
+    Predictable variant: always not-taken (a bimodal predictor learns
+    it immediately).  Unpredictable: a fixed pseudo-random coin the
+    predictor cannot learn.
+    """
+    _check(n)
+    if period < 2:
+        raise WorkloadError("period must be >= 2")
+    rng = np.random.default_rng(7)
+    instrs = []
+    for i in range(n):
+        if i % period == period - 1:
+            taken = False if predictable else bool(rng.random() < 0.5)
+            instrs.append(Instruction(op=OpClass.BRANCH, taken=taken, pc=44))
+        else:
+            instrs.append(Instruction(op=OpClass.IALU, pc=_pc(i)))
+    name = "ubench:branchy_" + ("predictable" if predictable else "random")
+    return Trace.from_instructions(instrs, name=name)
+
+
+def call_heavy(n_pairs: int = 200, body: int = 3) -> Trace:
+    """CALL / function body / RETURN ladders: exercises the RAS.
+
+    Returns are perfectly predictable by a return address stack and
+    systematically mispredicted without one.
+    """
+    if n_pairs <= 0 or body <= 0:
+        raise WorkloadError("need positive pair count and body size")
+    instrs = []
+    pc_main = 0
+    fn_base = 4096
+    for _ in range(n_pairs):
+        for k in range(body):
+            instrs.append(Instruction(op=OpClass.IALU, pc=pc_main + 4 * k))
+        call_pc = pc_main + 4 * body
+        instrs.append(Instruction(op=OpClass.CALL, taken=True, pc=call_pc))
+        for k in range(body):
+            instrs.append(Instruction(op=OpClass.IALU, pc=fn_base + 4 * k))
+        instrs.append(
+            Instruction(op=OpClass.RETURN, taken=True, pc=fn_base + 4 * body)
+        )
+        pc_main = call_pc + 4
+    return Trace.from_instructions(instrs, name="ubench:call_heavy")

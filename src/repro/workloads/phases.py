@@ -1,0 +1,83 @@
+"""Temporal phase structure for synthetic workloads.
+
+The paper samples temperature and utilisation at a 1-second granularity
+and averages FIT values over those intervals; the benefit of DRM over
+worst-case qualification comes precisely from this temporal variation
+("higher instantaneous FIT values are compensated by lower values at
+other times").  Real applications provide that variation through program
+phases — frame types in a video decoder, passes in a compressor.
+
+A :class:`Phase` scales a profile's intensity knobs for a fraction of the
+run.  The harness simulates each phase separately and treats it as one
+RAMP accounting interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One temporal phase of a workload.
+
+    Attributes:
+        name: label (e.g. ``"i-frame"``, ``"search"``).
+        weight: fraction of the run spent in this phase; a profile's
+            phase weights sum to 1.
+        ilp_scale: multiplier on the profile's mean dependency distance
+            (>1 means more ILP, hence higher IPC, in this phase).
+        miss_scale: multiplier on the cold-access probability (>1 means
+            more cache misses in this phase).
+        fp_scale: multiplier on the floating-point fraction of the mix
+            (mass is moved between FP ops and integer ALU ops).
+    """
+
+    name: str
+    weight: float
+    ilp_scale: float = 1.0
+    miss_scale: float = 1.0
+    fp_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.weight <= 1.0:
+            raise WorkloadError(f"phase {self.name!r}: weight must be in (0, 1]")
+        for label, value in (
+            ("ilp_scale", self.ilp_scale),
+            ("miss_scale", self.miss_scale),
+            ("fp_scale", self.fp_scale),
+        ):
+            if value <= 0.0:
+                raise WorkloadError(f"phase {self.name!r}: {label} must be positive")
+
+
+#: A single steady phase, for workloads with no meaningful variation and
+#: for tests that want deterministic behaviour.
+STEADY = (Phase("steady", weight=1.0),)
+
+
+def expand_phases(
+    phases: tuple[Phase, ...], total_instructions: int
+) -> list[tuple[Phase, int]]:
+    """Split an instruction budget across phases by weight.
+
+    Every phase receives at least one instruction; rounding residue goes
+    to the heaviest phase so the total is exact.
+
+    Raises:
+        WorkloadError: if the budget is smaller than the number of phases.
+    """
+    if total_instructions < len(phases):
+        raise WorkloadError(
+            f"cannot split {total_instructions} instructions over "
+            f"{len(phases)} phases"
+        )
+    counts = [max(1, int(round(p.weight * total_instructions))) for p in phases]
+    residue = total_instructions - sum(counts)
+    heaviest = max(range(len(phases)), key=lambda i: phases[i].weight)
+    counts[heaviest] += residue
+    if counts[heaviest] <= 0:
+        raise WorkloadError("phase weights too skewed for this budget")
+    return list(zip(phases, counts))

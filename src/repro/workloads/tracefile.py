@@ -1,0 +1,67 @@
+"""Trace persistence: save/load dynamic traces as ``.npz`` archives.
+
+Lets users snapshot synthetic traces (or import externally generated
+ones) and replay them through the simulator reproducibly.  The format is
+a plain numpy archive with one array per :class:`~repro.workloads.trace.Trace`
+field plus a format version, so it stays readable without this library.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workloads.trace import Trace
+
+#: Format version written into every archive; bumped on layout changes.
+FORMAT_VERSION = 1
+
+_FIELDS = ("op", "dep1", "dep2", "addr", "taken", "pc", "fp_dest")
+
+
+def save_trace(trace: Trace, path: str | os.PathLike) -> Path:
+    """Write a trace to ``path`` (``.npz`` appended if missing).
+
+    Returns the path actually written.
+    """
+    out = Path(path)
+    if out.suffix != ".npz":
+        out = out.with_suffix(out.suffix + ".npz")
+    np.savez_compressed(
+        out,
+        version=np.array([FORMAT_VERSION]),
+        name=np.array([trace.name]),
+        **{field: getattr(trace, field) for field in _FIELDS},
+    )
+    return out
+
+
+def load_trace(path: str | os.PathLike) -> Trace:
+    """Read a trace written by :func:`save_trace`.
+
+    Raises:
+        WorkloadError: if the file is missing, malformed, or a different
+            format version.
+    """
+    p = Path(path)
+    if not p.exists():
+        raise WorkloadError(f"no trace file at {p}")
+    try:
+        with np.load(p, allow_pickle=False) as data:
+            version = int(data["version"][0])
+            if version != FORMAT_VERSION:
+                raise WorkloadError(
+                    f"trace format v{version} unsupported (expected v{FORMAT_VERSION})"
+                )
+            missing = [f for f in _FIELDS if f not in data]
+            if missing:
+                raise WorkloadError(f"trace file missing fields: {missing}")
+            name = str(data["name"][0]) if "name" in data else p.stem
+            return Trace(
+                name=name, **{field: data[field] for field in _FIELDS}
+            )
+    except (ValueError, KeyError, OSError) as exc:
+        raise WorkloadError(f"cannot read trace file {p}: {exc}") from exc

@@ -1,0 +1,84 @@
+"""Unit tests for repro.config.dvs (the DVS voltage/frequency law)."""
+
+import pytest
+
+from repro.config.dvs import DEFAULT_VF_CURVE, OperatingPoint, VoltageFrequencyCurve
+from repro.errors import ConfigurationError
+
+
+class TestOperatingPoint:
+    def test_ghz_property(self):
+        assert OperatingPoint(4.0e9, 1.0).frequency_ghz == pytest.approx(4.0)
+
+    @pytest.mark.parametrize("f,v", [(0.0, 1.0), (-1.0, 1.0), (4e9, 0.0), (4e9, -0.5)])
+    def test_invalid_rejected(self, f, v):
+        with pytest.raises(ConfigurationError):
+            OperatingPoint(f, v)
+
+
+class TestVoltageFrequencyCurve:
+    def test_nominal_point(self):
+        nominal = DEFAULT_VF_CURVE.nominal
+        assert nominal.frequency_hz == 4.0e9
+        assert nominal.voltage_v == 1.0
+
+    def test_paper_frequency_range(self):
+        assert DEFAULT_VF_CURVE.f_min_hz == 2.5e9
+        assert DEFAULT_VF_CURVE.f_max_hz == 5.0e9
+
+    def test_voltage_increases_with_frequency(self):
+        curve = DEFAULT_VF_CURVE
+        assert curve.voltage_at(5.0e9) > curve.voltage_at(4.0e9) > curve.voltage_at(2.5e9)
+
+    def test_voltage_linear_in_frequency(self):
+        curve = DEFAULT_VF_CURVE
+        v1 = curve.voltage_at(3.0e9)
+        v2 = curve.voltage_at(4.0e9)
+        v3 = curve.voltage_at(5.0e9)
+        assert (v2 - v1) == pytest.approx(v3 - v2)
+
+    def test_out_of_range_frequency_rejected(self):
+        with pytest.raises(ConfigurationError, match="outside DVS range"):
+            DEFAULT_VF_CURVE.operating_point(6.0e9)
+        with pytest.raises(ConfigurationError):
+            DEFAULT_VF_CURVE.operating_point(1.0e9)
+
+    def test_grid_spans_range(self):
+        grid = DEFAULT_VF_CURVE.grid(11)
+        assert grid[0].frequency_hz == pytest.approx(2.5e9)
+        assert grid[-1].frequency_hz == pytest.approx(5.0e9)
+
+    def test_grid_contains_nominal(self):
+        for steps in (5, 11, 21, 26):
+            grid = DEFAULT_VF_CURVE.grid(steps)
+            assert any(abs(op.frequency_hz - 4.0e9) < 1e3 for op in grid)
+
+    def test_grid_is_sorted(self):
+        freqs = [op.frequency_hz for op in DEFAULT_VF_CURVE.grid(13)]
+        assert freqs == sorted(freqs)
+
+    def test_grid_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DEFAULT_VF_CURVE.grid(1)
+
+    def test_near_cubic_power_law(self):
+        # P ~ V^2 f with V linear in f gives d(log P)/d(log f) between 2
+        # and 3 over the DVS range.
+        curve = DEFAULT_VF_CURVE
+        import math
+
+        def power(f):
+            v = curve.voltage_at(f)
+            return v * v * f
+
+        exponent = (math.log(power(5.0e9)) - math.log(power(2.5e9))) / (
+            math.log(5.0e9) - math.log(2.5e9)
+        )
+        assert 1.3 < exponent < 3.0
+
+    def test_invalid_curve_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VoltageFrequencyCurve(f_min_hz=5.0e9, f_max_hz=4.0e9)
+        with pytest.raises(ConfigurationError):
+            # V(f_min) would be negative with an absurd slope.
+            VoltageFrequencyCurve(slope_v_per_ghz=1.0)

@@ -1,0 +1,111 @@
+"""Unit tests for repro.config.microarch (Table 1 core + Arch space)."""
+
+import pytest
+
+from repro.config.microarch import (
+    BASE_MICROARCH,
+    MicroarchConfig,
+    arch_adaptation_space,
+)
+from repro.errors import ConfigurationError
+
+
+class TestBaseConfig:
+    def test_table1_values(self):
+        c = BASE_MICROARCH
+        assert c.fetch_width == 8
+        assert c.retire_width == 8
+        assert c.window_size == 128
+        assert c.n_ialu == 6
+        assert c.n_fpu == 4
+        assert c.n_agen == 2
+        assert c.int_registers == 192
+        assert c.fp_registers == 192
+        assert c.memory_queue_size == 32
+        assert c.ras_entries == 32
+        assert c.bpred_bytes == 2048
+
+    def test_issue_width_is_sum_of_fus(self):
+        assert BASE_MICROARCH.issue_width == 6 + 4 + 2
+
+    def test_issue_width_tracks_adaptation(self):
+        shrunk = MicroarchConfig(n_ialu=2, n_fpu=1)
+        assert shrunk.issue_width == 2 + 1 + 2
+
+    def test_describe(self):
+        assert BASE_MICROARCH.describe() == "w128-a6-f4"
+
+
+class TestPoweredFraction:
+    def test_base_config_fully_powered(self):
+        for s in ("window", "ialu", "fpu", "l1d", "bpred"):
+            assert BASE_MICROARCH.powered_fraction(s) == 1.0
+
+    def test_window_fraction(self):
+        assert MicroarchConfig(window_size=32).powered_fraction("window") == pytest.approx(0.25)
+
+    def test_alu_fraction(self):
+        assert MicroarchConfig(n_ialu=3).powered_fraction("ialu") == pytest.approx(0.5)
+
+    def test_fpu_fraction(self):
+        assert MicroarchConfig(n_fpu=1).powered_fraction("fpu") == pytest.approx(0.25)
+
+    def test_non_adaptive_structures_unaffected(self):
+        shrunk = MicroarchConfig(window_size=16, n_ialu=2, n_fpu=1)
+        for s in ("l1d", "l1i", "intreg", "fpreg", "lsq", "bpred", "agen", "other"):
+            assert shrunk.powered_fraction(s) == 1.0
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"fetch_width": 0},
+            {"window_size": -1},
+            {"n_ialu": 0},
+            {"memory_queue_size": 0},
+        ],
+    )
+    def test_non_positive_counts_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            MicroarchConfig(**kwargs)
+
+    def test_cannot_exceed_base_window(self):
+        with pytest.raises(ConfigurationError, match="only shrink"):
+            MicroarchConfig(window_size=256)
+
+    def test_cannot_add_functional_units(self):
+        with pytest.raises(ConfigurationError):
+            MicroarchConfig(n_ialu=8)
+        with pytest.raises(ConfigurationError):
+            MicroarchConfig(n_fpu=6)
+
+
+class TestAdaptationSpace:
+    def test_exactly_18_configs(self):
+        assert len(arch_adaptation_space()) == 18
+
+    def test_first_config_is_base(self):
+        assert arch_adaptation_space()[0] == BASE_MICROARCH
+
+    def test_range_matches_paper(self):
+        # "ranging from a 128 entry instruction window, 6 ALU, 4 FPU
+        # processor, to a 16 entry instruction window, 2 ALU, 1 FPU".
+        space = arch_adaptation_space()
+        assert any(c.window_size == 128 and c.n_ialu == 6 and c.n_fpu == 4 for c in space)
+        assert any(c.window_size == 16 and c.n_ialu == 2 and c.n_fpu == 1 for c in space)
+
+    def test_all_configs_unique(self):
+        space = arch_adaptation_space()
+        assert len({c.describe() for c in space}) == 18
+
+    def test_no_config_more_aggressive_than_base(self):
+        for c in arch_adaptation_space():
+            assert c.window_size <= BASE_MICROARCH.window_size
+            assert c.n_ialu <= BASE_MICROARCH.n_ialu
+            assert c.n_fpu <= BASE_MICROARCH.n_fpu
+
+    def test_non_adapted_fields_preserved(self):
+        for c in arch_adaptation_space():
+            assert c.fetch_width == BASE_MICROARCH.fetch_width
+            assert c.memory_queue_size == BASE_MICROARCH.memory_queue_size

@@ -1,0 +1,197 @@
+"""Tests for the DRM and DTM oracles.
+
+These exercise the full stack (simulation cache -> platform -> RAMP), so
+they lean on the session-scoped, small-budget fixtures from conftest.
+"""
+
+import pytest
+
+from repro.config.microarch import BASE_MICROARCH
+from repro.core.drm import AdaptationMode
+from repro.workloads.suite import workload_by_name
+
+MPG = workload_by_name("MPGdec")
+TWOLF = workload_by_name("twolf")
+BZIP2 = workload_by_name("bzip2")
+
+
+class TestQualificationPlumbing:
+    def test_p_qual_covers_all_structures(self, oracle):
+        p = oracle.p_qual()
+        from repro.config.technology import STRUCTURE_NAMES
+
+        assert set(p) == set(STRUCTURE_NAMES)
+        assert all(0.0 < v <= 1.0 for v in p.values())
+
+    def test_ramp_models_memoised(self, oracle):
+        assert oracle.ramp_for(370.0) is oracle.ramp_for(370.0)
+        assert oracle.ramp_for(370.0) is not oracle.ramp_for(400.0)
+
+    def test_base_evaluation_memoised(self, oracle):
+        assert oracle.base_evaluation(MPG) is oracle.base_evaluation(MPG)
+
+
+class TestCandidateSpaces:
+    def test_arch_space_is_18_at_nominal(self, oracle):
+        cands = oracle.candidates(AdaptationMode.ARCH)
+        assert len(cands) == 18
+        assert all(op == oracle.vf_curve.nominal for _, op in cands)
+
+    def test_dvs_space_uses_base_microarch(self, oracle):
+        cands = oracle.candidates(AdaptationMode.DVS)
+        assert all(c == BASE_MICROARCH for c, _ in cands)
+        freqs = [op.frequency_hz for _, op in cands]
+        assert min(freqs) == pytest.approx(2.5e9)
+        assert max(freqs) == pytest.approx(5.0e9)
+
+    def test_archdvs_is_cross_product(self, oracle):
+        arch = oracle.candidates(AdaptationMode.ARCH)
+        dvs = oracle.candidates(AdaptationMode.DVS)
+        archdvs = oracle.candidates(AdaptationMode.ARCHDVS)
+        assert len(archdvs) == len(arch) * len(dvs)
+
+
+class TestOracleDecisions:
+    def test_decision_meets_target_when_feasible(self, oracle):
+        d = oracle.best(TWOLF, 400.0, AdaptationMode.DVS)
+        assert d.meets_target
+        assert d.fit <= oracle.fit_target + 1e-6
+
+    def test_overdesigned_processor_overclocks(self, oracle):
+        d = oracle.best(TWOLF, 400.0, AdaptationMode.DVS)
+        assert d.performance > 1.0
+        assert d.op.frequency_hz > 4.0e9
+
+    def test_underdesigned_processor_throttles(self, oracle):
+        d = oracle.best(MPG, 330.0, AdaptationMode.DVS)
+        assert d.op.frequency_hz < 4.0e9
+        assert d.performance < 1.0
+
+    def test_performance_monotone_in_tqual(self, oracle):
+        perfs = [
+            oracle.best(BZIP2, tq, AdaptationMode.DVS).performance
+            for tq in (330.0, 345.0, 370.0, 400.0)
+        ]
+        assert perfs == sorted(perfs)
+
+    def test_arch_never_beats_base_performance(self, oracle):
+        for tq in (345.0, 400.0):
+            d = oracle.best(BZIP2, tq, AdaptationMode.ARCH)
+            assert d.performance <= 1.0 + 1e-9
+
+    def test_dvs_beats_arch_when_overdesigned(self, oracle):
+        """Paper Fig. 3: Arch is capped at 1.0, DVS can overclock."""
+        dvs = oracle.best(BZIP2, 400.0, AdaptationMode.DVS)
+        arch = oracle.best(BZIP2, 400.0, AdaptationMode.ARCH)
+        assert dvs.performance > 1.0
+        assert arch.performance <= 1.0 + 1e-9
+
+    def test_dvs_meets_targets_arch_cannot(self, oracle):
+        """Paper Fig. 3: at low T_qual, voltage drops crush the TDDB FIT
+        and temperature, so DVS reaches reliability targets (or gets far
+        closer) than resource shrinking at full voltage can."""
+        dvs = oracle.best(BZIP2, 335.0, AdaptationMode.DVS)
+        arch = oracle.best(BZIP2, 335.0, AdaptationMode.ARCH)
+        assert dvs.meets_target
+        assert not arch.meets_target
+
+    def test_dvs_more_reliable_than_arch_at_floor(self, oracle):
+        """Even when the target is unreachable for both, DVS's floor FIT
+        beats Arch's (it can drop voltage; Arch cannot)."""
+        dvs = oracle.best(BZIP2, 325.0, AdaptationMode.DVS)
+        arch = oracle.best(BZIP2, 325.0, AdaptationMode.ARCH)
+        if not dvs.meets_target and not arch.meets_target:
+            assert dvs.fit < arch.fit
+
+    def test_archdvs_at_least_as_good_as_both(self, oracle):
+        tq = 345.0
+        archdvs = oracle.best(BZIP2, tq, AdaptationMode.ARCHDVS)
+        dvs = oracle.best(BZIP2, tq, AdaptationMode.DVS)
+        arch = oracle.best(BZIP2, tq, AdaptationMode.ARCH)
+        assert archdvs.performance >= max(dvs.performance, arch.performance) - 1e-9
+
+    def test_infeasible_case_returns_most_reliable(self, oracle):
+        # Absurdly low target: nothing can meet it, so the oracle returns
+        # the least-FIT candidate flagged infeasible.
+        d = oracle.best(MPG, 325.0, AdaptationMode.DVS)
+        if not d.meets_target:
+            assert d.op.frequency_hz == pytest.approx(2.5e9)
+
+    def test_decision_record_fields(self, oracle):
+        d = oracle.best(TWOLF, 370.0, AdaptationMode.DVS)
+        assert d.profile_name == "twolf"
+        assert d.t_qual_k == 370.0
+        assert d.mode is AdaptationMode.DVS
+
+
+class TestDTM:
+    def test_loose_limit_allows_overclock(self, dtm_oracle):
+        d = dtm_oracle.best(TWOLF, 400.0)
+        assert d.meets_limit
+        assert d.op.frequency_hz > 4.0e9
+
+    def test_tight_limit_throttles(self, dtm_oracle):
+        d = dtm_oracle.best(MPG, 345.0)
+        assert d.op.frequency_hz < 4.0e9
+
+    def test_peak_temperature_respects_limit(self, dtm_oracle):
+        d = dtm_oracle.best(BZIP2, 370.0)
+        assert d.meets_limit
+        assert d.peak_temperature_k <= 370.0 + 1e-6
+
+    def test_unattainable_limit_reports_coolest(self, dtm_oracle):
+        d = dtm_oracle.best(MPG, 326.0)
+        assert not d.meets_limit
+        assert d.op.frequency_hz == pytest.approx(2.5e9)
+
+    def test_frequency_monotone_in_limit(self, dtm_oracle):
+        freqs = [
+            dtm_oracle.best(BZIP2, t).op.frequency_hz
+            for t in (345.0, 360.0, 380.0, 400.0)
+        ]
+        assert freqs == sorted(freqs)
+
+    def test_hot_app_gets_lower_frequency(self, dtm_oracle):
+        limit = 370.0
+        assert (
+            dtm_oracle.best(MPG, limit).op.frequency_hz
+            <= dtm_oracle.best(TWOLF, limit).op.frequency_hz
+        )
+
+
+class TestDRMvsDTM:
+    """Paper Section 7.3: neither policy subsumes the other."""
+
+    def test_policies_choose_different_frequencies_somewhere(self, oracle, dtm_oracle):
+        diffs = 0
+        for temp in (345.0, 370.0, 400.0):
+            drm = oracle.best(BZIP2, temp, AdaptationMode.DVS)
+            dtm = dtm_oracle.best(BZIP2, temp)
+            if abs(drm.op.frequency_hz - dtm.op.frequency_hz) > 1e6:
+                diffs += 1
+        assert diffs >= 1
+
+    def test_dtm_violates_reliability_at_high_temperature(self, oracle, dtm_oracle):
+        """Fig. 4 right side: above the crossover DTM picks a higher
+        frequency than DRM allows, and that frequency breaks the FIT
+        target."""
+        temp = 400.0
+        dtm = dtm_oracle.best(BZIP2, temp)
+        drm = oracle.best(BZIP2, temp, AdaptationMode.DVS)
+        assert dtm.op.frequency_hz > drm.op.frequency_hz
+        ramp = oracle.ramp_for(temp)
+        run = oracle.cache.run(BZIP2, BASE_MICROARCH)
+        rel = ramp.application_reliability(oracle.platform.evaluate(run, dtm.op))
+        assert not rel.meets_target
+
+    def test_drm_violates_thermal_at_low_temperature(self, oracle, dtm_oracle):
+        """Fig. 4 left side: below the crossover DRM picks a higher
+        frequency than the thermal cap allows, and that frequency exceeds
+        T_limit."""
+        temp = 345.0
+        drm = oracle.best(BZIP2, temp, AdaptationMode.DVS)
+        dtm = dtm_oracle.best(BZIP2, temp)
+        assert drm.op.frequency_hz > dtm.op.frequency_hz
+        run = oracle.cache.run(BZIP2, BASE_MICROARCH)
+        evaluation = oracle.platform.evaluate(run, drm.op)
+        assert evaluation.peak_temperature_k > temp

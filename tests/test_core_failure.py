@@ -1,0 +1,168 @@
+"""Tests for the four RAMP failure-mechanism models (paper Section 3)."""
+
+import math
+
+import pytest
+
+from repro.constants import BOLTZMANN_EV_PER_K
+from repro.core.failure import (
+    ALL_MECHANISMS,
+    Electromigration,
+    StressMigration,
+    StressConditions,
+    ThermalCycling,
+    TimeDependentDielectricBreakdown,
+)
+from repro.errors import ReliabilityError
+
+
+def cond(t=360.0, v=1.0, f=4.0e9, p=0.5):
+    return StressConditions(temperature_k=t, voltage_v=v, frequency_hz=f, activity=p)
+
+
+class TestStressConditions:
+    def test_ratios(self):
+        c = cond(v=1.1, f=2.0e9)
+        assert c.v_ratio == pytest.approx(1.1)
+        assert c.f_ratio == pytest.approx(0.5)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"t": 600.0},
+            {"v": 0.0},
+            {"f": -1.0},
+            {"p": 1.5},
+            {"p": -0.1},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises((ReliabilityError, ValueError)):
+            cond(**kwargs)
+
+
+class TestElectromigration:
+    em = Electromigration()
+
+    def test_hotter_is_worse(self):
+        assert self.em.relative_mttf(cond(t=400.0)) < self.em.relative_mttf(cond(t=345.0))
+
+    def test_arrhenius_ratio_exact(self):
+        # Pure Arrhenius in temperature at fixed current density.
+        r = self.em.relative_mttf(cond(t=345.0)) / self.em.relative_mttf(cond(t=400.0))
+        expected = math.exp(0.9 / BOLTZMANN_EV_PER_K * (1 / 345.0 - 1 / 400.0))
+        assert r == pytest.approx(expected)
+
+    def test_higher_activity_is_worse(self):
+        assert self.em.relative_mttf(cond(p=0.9)) < self.em.relative_mttf(cond(p=0.1))
+
+    def test_blacks_current_density_exponent(self):
+        # MTTF ~ J^-1.1: doubling current density costs 2^1.1.
+        r = self.em.relative_mttf(cond(p=0.25)) / self.em.relative_mttf(cond(p=0.5))
+        assert r == pytest.approx(2 ** 1.1)
+
+    def test_voltage_and_frequency_raise_current_density(self):
+        assert self.em.relative_mttf(cond(v=1.1)) < self.em.relative_mttf(cond(v=0.9))
+        assert self.em.relative_mttf(cond(f=5e9)) < self.em.relative_mttf(cond(f=3e9))
+
+    def test_idle_structure_cannot_electromigrate(self):
+        assert self.em.relative_mttf(cond(p=0.0)) == math.inf
+        assert self.em.relative_fit(cond(p=0.0)) == 0.0
+
+    def test_scales_with_powered_area(self):
+        assert self.em.scales_with_powered_area is True
+
+
+class TestStressMigration:
+    sm = StressMigration()
+
+    def test_hotter_is_worse_despite_lower_stress(self):
+        # The paper: the Arrhenius term dominates the |T0-T| term.
+        assert self.sm.relative_mttf(cond(t=400.0)) < self.sm.relative_mttf(cond(t=340.0))
+
+    def test_model_form(self):
+        c = cond(t=360.0)
+        expected = abs(500.0 - 360.0) ** -2.5 * math.exp(
+            0.9 / (BOLTZMANN_EV_PER_K * 360.0)
+        )
+        assert self.sm.relative_mttf(c) == pytest.approx(expected)
+
+    def test_independent_of_voltage_frequency_activity(self):
+        assert self.sm.relative_mttf(cond(v=0.9)) == self.sm.relative_mttf(cond(v=1.1))
+        assert self.sm.relative_mttf(cond(p=0.1)) == self.sm.relative_mttf(cond(p=0.9))
+
+    def test_no_stress_at_deposition_temperature(self):
+        sm = StressMigration(deposition_temperature_k=360.0)
+        assert sm.relative_mttf(cond(t=360.0)) == math.inf
+
+    def test_mechanical_mechanism_does_not_scale_with_power_gating(self):
+        assert self.sm.scales_with_powered_area is False
+
+
+class TestTDDB:
+    tddb = TimeDependentDielectricBreakdown()
+
+    def test_voltage_exponent_magnitude(self):
+        # a - bT with b = +0.081: ~50 at 350 K, decreasing in T.
+        assert self.tddb.voltage_exponent(350.0) == pytest.approx(78 - 0.081 * 350)
+        assert self.tddb.voltage_exponent(400.0) < self.tddb.voltage_exponent(300.0)
+
+    def test_huge_voltage_sensitivity(self):
+        # Paper Sec. 7.2: small voltage drops reduce TDDB FIT drastically.
+        ratio = self.tddb.relative_mttf(cond(v=0.95)) / self.tddb.relative_mttf(cond(v=1.0))
+        assert ratio > 5.0
+
+    def test_hotter_is_worse(self):
+        assert self.tddb.relative_mttf(cond(t=400.0)) < self.tddb.relative_mttf(cond(t=345.0))
+
+    def test_worse_than_exponential_temperature_dependence(self):
+        # Paper: "larger than exponential degradation due to temperature".
+        r1 = self.tddb.relative_mttf(cond(t=345.0)) / self.tddb.relative_mttf(cond(t=365.0))
+        r2 = self.tddb.relative_mttf(cond(t=380.0)) / self.tddb.relative_mttf(cond(t=400.0))
+        assert r1 > 1.0 and r2 > 1.0
+
+    def test_independent_of_activity(self):
+        assert self.tddb.relative_mttf(cond(p=0.1)) == self.tddb.relative_mttf(cond(p=0.9))
+
+    def test_scales_with_powered_area(self):
+        assert self.tddb.scales_with_powered_area is True
+
+
+class TestThermalCycling:
+    tc = ThermalCycling()
+
+    def test_coffin_manson_exponent(self):
+        # MTTF ~ dT^-2.35 in the cycle amplitude.
+        r = self.tc.relative_mttf(cond(t=320.0)) / self.tc.relative_mttf(cond(t=340.0))
+        assert r == pytest.approx((40.0 / 20.0) ** 2.35)
+
+    def test_never_above_cold_end_means_no_fatigue(self):
+        assert self.tc.relative_mttf(cond(t=299.0)) == math.inf
+
+    def test_independent_of_electrical_conditions(self):
+        assert self.tc.relative_mttf(cond(v=0.9)) == self.tc.relative_mttf(cond(v=1.1))
+        assert self.tc.relative_mttf(cond(f=3e9)) == self.tc.relative_mttf(cond(f=5e9))
+
+    def test_package_mechanism_not_gated(self):
+        assert self.tc.scales_with_powered_area is False
+
+
+class TestMechanismSet:
+    def test_four_mechanisms(self):
+        assert len(ALL_MECHANISMS) == 4
+
+    def test_names(self):
+        assert [m.name for m in ALL_MECHANISMS] == ["EM", "SM", "TDDB", "TC"]
+
+    def test_all_finite_and_positive_under_normal_conditions(self):
+        for m in ALL_MECHANISMS:
+            mttf = m.relative_mttf(cond())
+            assert 0.0 < mttf < math.inf
+
+    def test_relative_fit_is_reciprocal(self):
+        for m in ALL_MECHANISMS:
+            assert m.relative_fit(cond()) == pytest.approx(1.0 / m.relative_mttf(cond()))
+
+    def test_all_mechanisms_worse_at_400k(self):
+        for m in ALL_MECHANISMS:
+            assert m.relative_fit(cond(t=400.0)) > m.relative_fit(cond(t=345.0))

@@ -1,0 +1,65 @@
+"""Tests for the online (hardware-loop) RAMP monitor."""
+
+import pytest
+
+from repro.core.online import OnlineRampMonitor
+from repro.errors import ReliabilityError
+
+
+@pytest.fixture()
+def monitor(oracle):
+    return OnlineRampMonitor(oracle.ramp_for(400.0))
+
+
+class TestConstruction:
+    def test_invalid_epoch_rejected(self, oracle):
+        with pytest.raises(ReliabilityError):
+            OnlineRampMonitor(oracle.ramp_for(400.0), epoch_hours=0.0)
+
+    def test_no_history_no_projection(self, monitor):
+        with pytest.raises(ReliabilityError):
+            monitor.projected_mttf_years
+
+
+class TestObservation:
+    def test_epoch_recorded(self, monitor, mpgdec_eval):
+        record = monitor.observe(mpgdec_eval.intervals[0])
+        assert record.fit > 0
+        assert len(monitor.history) == 1
+
+    def test_fit_matches_exact_model_closely(self, monitor, oracle, mpgdec_eval):
+        interval = mpgdec_eval.intervals[0]
+        record = monitor.observe(interval)
+        exact = oracle.ramp_for(400.0).interval_fit(interval).total
+        assert record.fit == pytest.approx(exact, rel=0.10)
+
+    def test_cool_epochs_bank_budget(self, monitor, twolf_eval):
+        record = monitor.observe(twolf_eval.intervals[0])
+        # twolf under worst-case qualification is far below target.
+        assert record.banked > 0
+        assert record.sustainable_fit > monitor.budget.fit_target
+        assert not record.alarm
+
+    def test_alarm_on_overdraft(self, oracle, mpgdec_eval):
+        # Qualify cheaply so the hot app overdraws immediately.
+        monitor = OnlineRampMonitor(oracle.ramp_for(330.0))
+        record = monitor.observe(mpgdec_eval.intervals[0])
+        assert record.alarm
+        assert record.banked < 0
+        assert record.sustainable_fit < monitor.budget.fit_target
+
+    def test_lifetime_average_accumulates(self, monitor, mpgdec_eval, twolf_eval):
+        r1 = monitor.observe(mpgdec_eval.intervals[0])
+        r2 = monitor.observe(twolf_eval.intervals[0])
+        avg = monitor.lifetime_average_fit
+        assert min(r1.fit, r2.fit) <= avg <= max(r1.fit, r2.fit)
+
+    def test_projected_mttf(self, monitor, twolf_eval):
+        monitor.observe(twolf_eval.intervals[0])
+        years = monitor.projected_mttf_years
+        assert years == pytest.approx(1e9 / monitor.lifetime_average_fit / 8760.0)
+
+    def test_setpoint_tracks_bank(self, monitor, twolf_eval):
+        before = monitor.setpoint()
+        monitor.observe(twolf_eval.intervals[0])  # banks margin
+        assert monitor.setpoint() > before

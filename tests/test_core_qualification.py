@@ -1,0 +1,116 @@
+"""Tests for reliability qualification (paper Section 3.7)."""
+
+import pytest
+
+from repro.config.technology import STRUCTURES
+from repro.constants import TARGET_FIT
+from repro.core.failure import ALL_MECHANISMS, StressConditions
+from repro.core.qualification import QualificationPoint, calibrate
+from repro.errors import QualificationError
+from tests.conftest import uniform_activity
+
+
+def qual_point(t=400.0, p=0.8):
+    return QualificationPoint(
+        temperature_k=t,
+        voltage_v=1.0,
+        frequency_hz=4.0e9,
+        activity=uniform_activity(p),
+    )
+
+
+class TestQualificationPoint:
+    def test_conditions_for_structure(self):
+        from repro.config.technology import DEFAULT_TECHNOLOGY
+
+        point = qual_point()
+        c = point.conditions_for("fpu", DEFAULT_TECHNOLOGY)
+        assert isinstance(c, StressConditions)
+        assert c.temperature_k == 400.0
+        assert c.activity == 0.8
+
+    def test_missing_structure_activity_rejected(self):
+        with pytest.raises(QualificationError, match="missing"):
+            QualificationPoint(400.0, 1.0, 4e9, activity={"fpu": 0.5})
+
+    def test_invalid_point_rejected(self):
+        with pytest.raises(QualificationError):
+            QualificationPoint(400.0, 0.0, 4e9, activity=uniform_activity())
+        with pytest.raises(ValueError):
+            QualificationPoint(600.0, 1.0, 4e9, activity=uniform_activity())
+
+
+class TestCalibration:
+    def test_budget_split_even_across_mechanisms(self):
+        model = calibrate(qual_point())
+        by_mech = {}
+        for (mech, _), budget in model.budgets.items():
+            by_mech[mech] = by_mech.get(mech, 0.0) + budget
+        for mech in by_mech:
+            assert by_mech[mech] == pytest.approx(TARGET_FIT / 4)
+
+    def test_budget_split_by_area_within_mechanism(self):
+        model = calibrate(qual_point())
+        total_area = sum(s.area_mm2 for s in STRUCTURES)
+        for spec in STRUCTURES:
+            budget = model.budgets[("EM", spec.name)]
+            assert budget == pytest.approx(TARGET_FIT / 4 * spec.area_mm2 / total_area)
+
+    def test_budgets_sum_to_target(self):
+        model = calibrate(qual_point())
+        assert sum(model.budgets.values()) == pytest.approx(TARGET_FIT)
+
+    def test_qual_conditions_exactly_meet_target(self):
+        """The defining property: sustained worst-case operation = target FIT."""
+        from repro.config.technology import DEFAULT_TECHNOLOGY
+        from repro.constants import FIT_DEVICE_HOURS
+
+        point = qual_point()
+        model = calibrate(point)
+        total = 0.0
+        for mech in ALL_MECHANISMS:
+            for spec in STRUCTURES:
+                c = point.conditions_for(spec.name, DEFAULT_TECHNOLOGY)
+                constant = model.constant(mech.name, spec.name)
+                total += FIT_DEVICE_HOURS * mech.relative_fit(c) / constant
+        assert total == pytest.approx(TARGET_FIT, rel=1e-9)
+
+    def test_higher_tqual_means_higher_constants(self):
+        """Surviving harsher conditions = more 'cost' (bigger constants)."""
+        cheap = calibrate(qual_point(t=330.0))
+        expensive = calibrate(qual_point(t=400.0))
+        for key in cheap.constants:
+            assert expensive.constants[key] > cheap.constants[key]
+
+    def test_custom_mechanism_shares(self):
+        shares = {"EM": 0.7, "SM": 0.1, "TDDB": 0.1, "TC": 0.1}
+        model = calibrate(qual_point(), mechanism_shares=shares)
+        em_total = sum(b for (m, _), b in model.budgets.items() if m == "EM")
+        assert em_total == pytest.approx(0.7 * TARGET_FIT)
+
+    def test_invalid_shares_rejected(self):
+        with pytest.raises(QualificationError):
+            calibrate(qual_point(), mechanism_shares={"EM": 1.0})
+        with pytest.raises(QualificationError):
+            calibrate(
+                qual_point(),
+                mechanism_shares={"EM": 0.5, "SM": 0.5, "TDDB": 0.5, "TC": -0.5},
+            )
+
+    def test_non_positive_target_rejected(self):
+        with pytest.raises(QualificationError):
+            calibrate(qual_point(), fit_target=0.0)
+
+    def test_zero_activity_qual_point_rejected(self):
+        """EM cannot act at p=0, so no finite constant exists."""
+        with pytest.raises(QualificationError, match="cannot act"):
+            calibrate(qual_point(p=0.0))
+
+    def test_unknown_constant_lookup_raises(self):
+        model = calibrate(qual_point())
+        with pytest.raises(QualificationError):
+            model.constant("EM", "l3")
+
+    def test_custom_fit_target(self):
+        model = calibrate(qual_point(), fit_target=8000.0)
+        assert sum(model.budgets.values()) == pytest.approx(8000.0)

@@ -1,0 +1,153 @@
+"""Tests for the RAMP engine (application FIT accounting)."""
+
+import pytest
+
+from repro.config.dvs import DEFAULT_VF_CURVE, OperatingPoint
+from repro.config.microarch import BASE_MICROARCH, MicroarchConfig
+from repro.core.failure import Electromigration, StressMigration
+from repro.core.qualification import QualificationPoint, calibrate
+from repro.core.ramp import RampModel
+from repro.errors import ReliabilityError
+from repro.harness.platform import Interval, PlatformEvaluation
+from repro.power.model import PowerBreakdown
+from tests.conftest import uniform_activity, uniform_temps
+
+NOMINAL = DEFAULT_VF_CURVE.nominal
+
+
+def qualified(t=400.0, p=0.8):
+    return calibrate(
+        QualificationPoint(t, 1.0, 4.0e9, activity=uniform_activity(p))
+    )
+
+
+def make_interval(temp=360.0, activity=0.5, op=NOMINAL, config=BASE_MICROARCH, weight=1.0):
+    zero = {name: 0.0 for name in uniform_activity()}
+    return Interval(
+        weight=weight,
+        temperatures=uniform_temps(temp),
+        activity=uniform_activity(activity),
+        power=PowerBreakdown(dynamic=zero, leakage=zero),
+        op=op,
+        config=config,
+    )
+
+
+def make_eval(intervals):
+    return PlatformEvaluation(
+        intervals=tuple(intervals),
+        sink_temperature_k=330.0,
+        ips=1e9,
+        avg_power_w=25.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def ramp400():
+    return RampModel(qualified(400.0))
+
+
+class TestIntervalFit:
+    def test_instantaneous_excludes_thermal_cycling(self, ramp400):
+        account = ramp400.interval_fit(make_interval())
+        mechs = {m for m, _ in account.entries}
+        assert mechs == {"EM", "SM", "TDDB"}
+
+    def test_running_at_qual_point_consumes_budget_exactly(self, ramp400):
+        account = ramp400.interval_fit(make_interval(temp=400.0, activity=0.8))
+        for key, fit in account.entries.items():
+            assert fit == pytest.approx(ramp400.qualified.budgets[key], rel=1e-9)
+
+    def test_cooler_operation_is_under_budget(self, ramp400):
+        account = ramp400.interval_fit(make_interval(temp=350.0, activity=0.4))
+        for key, fit in account.entries.items():
+            assert fit < ramp400.qualified.budgets[key]
+
+    def test_hotter_than_qual_exceeds_budget(self, ramp400):
+        account = ramp400.interval_fit(make_interval(temp=420.0, activity=0.9))
+        assert account.total > ramp400.qualified.fit_target * 0.75  # EM+SM+TDDB share
+
+    def test_powered_down_slices_reduce_em_and_tddb(self, ramp400):
+        shrunk = MicroarchConfig(window_size=64, n_ialu=3, n_fpu=2)
+        full = ramp400.interval_fit(make_interval())
+        half = ramp400.interval_fit(make_interval(config=shrunk))
+        assert half.entries[("EM", "fpu")] == pytest.approx(full.entries[("EM", "fpu")] * 0.5)
+        assert half.entries[("TDDB", "window")] == pytest.approx(
+            full.entries[("TDDB", "window")] * 0.5
+        )
+        # Mechanical stress doesn't care about clock gating.
+        assert half.entries[("SM", "fpu")] == pytest.approx(full.entries[("SM", "fpu")])
+
+    def test_lower_voltage_cuts_tddb_drastically(self, ramp400):
+        low = make_interval(op=OperatingPoint(3.0e9, 0.9))
+        high = make_interval(op=OperatingPoint(4.5e9, 1.05))
+        fit_low = ramp400.interval_fit(low).by_mechanism()["TDDB"]
+        fit_high = ramp400.interval_fit(high).by_mechanism()["TDDB"]
+        assert fit_high > fit_low * 10
+
+
+class TestApplicationReliability:
+    def test_includes_all_four_mechanisms(self, ramp400):
+        rel = ramp400.application_reliability(make_eval([make_interval()]))
+        assert set(rel.account.by_mechanism()) == {"EM", "SM", "TDDB", "TC"}
+
+    def test_time_averaging_of_instantaneous_fit(self, ramp400):
+        hot = make_interval(temp=390.0, weight=0.5)
+        cool = make_interval(temp=340.0, weight=0.5)
+        mixed = ramp400.application_reliability(make_eval([hot, cool]))
+        hot_only = ramp400.application_reliability(make_eval([make_interval(temp=390.0)]))
+        cool_only = ramp400.application_reliability(make_eval([make_interval(temp=340.0)]))
+        em = lambda r: r.account.by_mechanism()["EM"]
+        assert em(cool_only) < em(mixed) < em(hot_only)
+        assert em(mixed) == pytest.approx((em(hot_only) + em(cool_only)) / 2, rel=1e-9)
+
+    def test_thermal_cycling_uses_average_temperature(self, ramp400):
+        hot = make_interval(temp=390.0, weight=0.5)
+        cool = make_interval(temp=340.0, weight=0.5)
+        mixed = ramp400.application_reliability(make_eval([hot, cool]))
+        avg_only = ramp400.application_reliability(make_eval([make_interval(temp=365.0)]))
+        tc = lambda r: r.account.by_mechanism()["TC"]
+        # TC from the average T, NOT the average of per-interval TC FITs.
+        assert tc(mixed) == pytest.approx(tc(avg_only), rel=1e-9)
+
+    def test_meets_target_flag(self, ramp400):
+        good = ramp400.application_reliability(make_eval([make_interval(temp=345.0, activity=0.3)]))
+        assert good.meets_target
+        assert good.margin > 0
+        bad = ramp400.application_reliability(make_eval([make_interval(temp=425.0, activity=0.9)]))
+        assert not bad.meets_target
+        assert bad.margin < 0
+
+    def test_mttf_years_consistent(self, ramp400):
+        rel = ramp400.application_reliability(make_eval([make_interval()]))
+        assert rel.mttf_years == pytest.approx(1e9 / rel.total_fit / 8760.0)
+
+    def test_empty_evaluation_rejected(self, ramp400):
+        with pytest.raises(ReliabilityError):
+            ramp400.application_reliability(make_eval([]))
+
+    def test_worst_instant_at_least_average(self, ramp400):
+        ev = make_eval([make_interval(temp=390.0, weight=0.3), make_interval(temp=340.0, weight=0.7)])
+        rel = ramp400.application_reliability(ev)
+        instantaneous_total = rel.total_fit - rel.account.by_mechanism()["TC"]
+        assert ramp400.worst_instant_fit(ev) >= instantaneous_total
+
+
+class TestModelWiring:
+    def test_mechanism_set_must_match_calibration(self):
+        q = calibrate(
+            QualificationPoint(400.0, 1.0, 4e9, activity=uniform_activity(0.8)),
+            mechanisms=(Electromigration(), StressMigration()),
+        )
+        with pytest.raises(ReliabilityError):
+            RampModel(q)  # default ALL_MECHANISMS vs 2-mechanism calibration
+
+    def test_reduced_mechanism_model_works(self):
+        mechs = (Electromigration(), StressMigration())
+        q = calibrate(
+            QualificationPoint(400.0, 1.0, 4e9, activity=uniform_activity(0.8)),
+            mechanisms=mechs,
+        )
+        model = RampModel(q, mechanisms=mechs)
+        rel = model.application_reliability(make_eval([make_interval()]))
+        assert set(rel.account.by_mechanism()) == {"EM", "SM"}

@@ -1,0 +1,76 @@
+"""Tests for the technology-scaling reliability study."""
+
+import pytest
+
+from repro.core.scaling import (
+    DEFAULT_TRAJECTORY,
+    ScalingScenario,
+    ScalingStudy,
+)
+from repro.errors import ReliabilityError
+
+
+@pytest.fixture(scope="module")
+def study(oracle, platform):
+    return ScalingStudy(oracle.ramp_for(400.0), base_platform=platform)
+
+
+class TestScenario:
+    def test_defaults_neutral(self):
+        s = ScalingScenario("x", power_density_scale=1.0)
+        assert s.vdd_scale == 1.0 and s.frequency_scale == 1.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"power_density_scale": 0.0},
+            {"power_density_scale": 1.0, "vdd_scale": -1.0},
+            {"power_density_scale": 1.0, "frequency_scale": 0.0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ReliabilityError):
+            ScalingScenario("x", **kwargs)
+
+    def test_default_trajectory_monotone_density(self):
+        densities = [s.power_density_scale for s in DEFAULT_TRAJECTORY]
+        assert densities == sorted(densities)
+
+    def test_default_trajectory_contains_calibrated_node(self):
+        node = next(s for s in DEFAULT_TRAJECTORY if s.label == "65nm")
+        assert node.power_density_scale == 1.0
+        assert node.vdd_scale == 1.0
+        assert node.frequency_scale == 1.0
+
+
+class TestStudy:
+    def test_fit_grows_monotonically_with_scaling(self, study, mpgdec_run):
+        """The paper's Section 1.2 claim, executable: smaller nodes run
+        hotter and fail faster."""
+        results = study.trajectory(mpgdec_run)
+        fits = [r.fit for r in results]
+        assert fits == sorted(fits)
+
+    def test_temperature_grows_with_density(self, study, twolf_run):
+        results = study.trajectory(twolf_run)
+        temps = [r.peak_temperature_k for r in results]
+        assert temps == sorted(temps)
+
+    def test_fit_growth_is_superlinear_in_density(self, study, mpgdec_run):
+        """Exponential temperature acceleration: doubling density much
+        more than doubles the failure rate."""
+        lo = study.evaluate(mpgdec_run, ScalingScenario("a", 0.7))
+        hi = study.evaluate(mpgdec_run, ScalingScenario("b", 1.4))
+        assert hi.fit / lo.fit > 2.0 * (1.4 / 0.7)
+
+    def test_65nm_node_matches_base_platform(self, study, oracle, mpgdec_run):
+        node = next(s for s in DEFAULT_TRAJECTORY if s.label == "65nm")
+        result = study.evaluate(mpgdec_run, node)
+        base = oracle.ramp_for(400.0).application_reliability(
+            oracle.base_evaluation(mpgdec_run.profile)
+        )
+        assert result.fit == pytest.approx(base.total_fit, rel=1e-6)
+
+    def test_empty_trajectory_rejected(self, study, mpgdec_run):
+        with pytest.raises(ReliabilityError):
+            study.trajectory(mpgdec_run, scenarios=())

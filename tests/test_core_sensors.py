@@ -1,0 +1,81 @@
+"""Tests for the hardware sensor/counter view of RAMP."""
+
+import pytest
+
+from repro.core.sensors import SensorBank, SensorSpec, interval_from_readings
+from repro.errors import ReliabilityError
+
+
+class TestSensorSpec:
+    def test_defaults(self):
+        spec = SensorSpec()
+        assert spec.temperature_resolution_k == 1.0
+        assert spec.counter_max == (1 << 22) - 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"temperature_resolution_k": 0.0},
+            {"temperature_range_k": (400.0, 300.0)},
+            {"activity_counter_bits": 0},
+            {"epoch_cycles": 0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ReliabilityError):
+            SensorSpec(**kwargs)
+
+
+class TestSensorBank:
+    def test_temperatures_quantized(self, mpgdec_eval):
+        readings = SensorBank().sample(mpgdec_eval.intervals[0])
+        for name, t in readings.temperatures.items():
+            assert t == round(t)  # 1 K resolution
+            exact = mpgdec_eval.intervals[0].temperatures[name]
+            assert abs(t - exact) <= 0.5 + 1e-9
+
+    def test_saturating_range(self, mpgdec_eval):
+        spec = SensorSpec(temperature_range_k=(273.0, 350.0))
+        readings = SensorBank(spec).sample(mpgdec_eval.intervals[0])
+        assert max(readings.temperatures.values()) <= 350.0
+
+    def test_activity_counts_reconstruct(self, mpgdec_eval):
+        interval = mpgdec_eval.intervals[0]
+        readings = SensorBank().sample(interval)
+        factors = readings.activity_factors()
+        for name, a in factors.items():
+            assert a == pytest.approx(interval.activity[name], abs=1e-5)
+
+    def test_voltage_frequency_registers(self, mpgdec_eval):
+        readings = SensorBank().sample(mpgdec_eval.intervals[0])
+        assert readings.voltage_mv == 1000
+        assert readings.frequency_khz == 4_000_000
+
+    def test_narrow_counters_saturate(self, mpgdec_eval):
+        spec = SensorSpec(activity_counter_bits=4, epoch_cycles=1_000_000)
+        readings = SensorBank(spec).sample(mpgdec_eval.intervals[0])
+        assert max(readings.activity_counts.values()) <= 15
+
+
+class TestHardwareFitAccuracy:
+    def test_quantized_fit_close_to_exact(self, oracle, mpgdec_eval):
+        """A hardware RAMP (1 K sensors, finite counters) must agree with
+        the exact model to within a few percent — the viability condition
+        for a hardware DRM loop."""
+        ramp = oracle.ramp_for(400.0)
+        bank = SensorBank()
+        exact = ramp.application_reliability(mpgdec_eval).total_fit
+
+        from repro.harness.platform import PlatformEvaluation
+
+        quantized_eval = PlatformEvaluation(
+            intervals=tuple(
+                interval_from_readings(bank.sample(iv), iv)
+                for iv in mpgdec_eval.intervals
+            ),
+            sink_temperature_k=mpgdec_eval.sink_temperature_k,
+            ips=mpgdec_eval.ips,
+            avg_power_w=mpgdec_eval.avg_power_w,
+        )
+        quantized = ramp.application_reliability(quantized_eval).total_fit
+        assert quantized == pytest.approx(exact, rel=0.10)

@@ -1,0 +1,75 @@
+"""Tests for the qualification cost-performance tools."""
+
+import pytest
+
+from repro.core.tradeoff import (
+    cheapest_qualification,
+    qualification_frontier,
+    segment,
+)
+from repro.errors import AdaptationError
+from repro.workloads.suite import WORKLOAD_SUITE
+
+GRID = (335.0, 350.0, 365.0, 380.0, 400.0)
+
+
+class TestSegment:
+    def test_three_per_segment(self):
+        for cat in ("media", "specint", "specfp"):
+            assert len(segment(WORKLOAD_SUITE, cat)) == 3
+
+    def test_unknown_segment_rejected(self):
+        with pytest.raises(AdaptationError):
+            segment(WORKLOAD_SUITE, "crypto")
+
+
+class TestFrontier:
+    def test_mean_performance_monotone(self, oracle):
+        points = qualification_frontier(oracle, GRID, WORKLOAD_SUITE[::4])
+        means = [p.mean_performance for p in points]
+        assert means == sorted(means)
+
+    def test_min_never_exceeds_mean(self, oracle):
+        points = qualification_frontier(oracle, GRID[:3], WORKLOAD_SUITE[::4])
+        for p in points:
+            assert p.min_performance <= p.mean_performance + 1e-12
+
+    def test_sorted_by_temperature(self, oracle):
+        points = qualification_frontier(oracle, (400.0, 350.0), WORKLOAD_SUITE[:1])
+        assert [p.t_qual_k for p in points] == [350.0, 400.0]
+
+    def test_empty_inputs_rejected(self, oracle):
+        with pytest.raises(AdaptationError):
+            qualification_frontier(oracle, (), WORKLOAD_SUITE[:1])
+        with pytest.raises(AdaptationError):
+            qualification_frontier(oracle, GRID, ())
+
+
+class TestCheapestQualification:
+    def test_segments_order_as_paper_claims(self, oracle):
+        """SPEC-targeted processors can be qualified cheaper than
+        media-targeted ones (Section 7.1)."""
+        media_t = cheapest_qualification(
+            oracle, segment(WORKLOAD_SUITE, "media"), GRID, min_performance=0.95
+        )
+        specint_t = cheapest_qualification(
+            oracle, segment(WORKLOAD_SUITE, "specint"), GRID, min_performance=0.95
+        )
+        assert specint_t <= media_t
+
+    def test_tighter_bar_needs_hotter_qualification(self, oracle):
+        seg = segment(WORKLOAD_SUITE, "media")
+        loose = cheapest_qualification(oracle, seg, GRID, min_performance=0.75)
+        tight = cheapest_qualification(oracle, seg, GRID, min_performance=0.98)
+        assert loose <= tight
+
+    def test_unreachable_bar_raises(self, oracle):
+        with pytest.raises(AdaptationError, match="no T_qual"):
+            cheapest_qualification(
+                oracle, segment(WORKLOAD_SUITE, "media"), (335.0,),
+                min_performance=0.999,
+            )
+
+    def test_empty_segment_rejected(self, oracle):
+        with pytest.raises(AdaptationError):
+            cheapest_qualification(oracle, (), GRID)

@@ -1,0 +1,79 @@
+"""Tests for the DVS frequency-scaling performance model."""
+
+import pytest
+
+from repro.cpu.analytical import FrequencyScalingModel
+from repro.errors import SimulationError
+
+
+def model(cpi_core=0.5, cpi_mem=0.25, f=4.0e9):
+    return FrequencyScalingModel(cpi_core=cpi_core, cpi_mem=cpi_mem, f_base_hz=f)
+
+
+class TestAlgebra:
+    def test_cpi_at_base_matches_inputs(self):
+        m = model()
+        assert m.cpi_at(4.0e9) == pytest.approx(0.75)
+
+    def test_cpi_grows_with_frequency(self):
+        m = model()
+        assert m.cpi_at(5.0e9) > m.cpi_at(4.0e9) > m.cpi_at(2.5e9)
+
+    def test_core_component_constant_in_cycles(self):
+        m = model(cpi_mem=0.0)
+        assert m.cpi_at(2.5e9) == m.cpi_at(5.0e9) == 0.5
+
+    def test_ips_monotone_in_frequency(self):
+        m = model()
+        assert m.ips_at(5.0e9) > m.ips_at(4.0e9) > m.ips_at(2.5e9)
+
+    def test_core_bound_scales_linearly(self):
+        m = model(cpi_mem=0.0)
+        assert m.speedup(5.0e9) == pytest.approx(1.25)
+
+    def test_memory_bound_scales_sublinearly(self):
+        m = model(cpi_core=0.1, cpi_mem=1.0)
+        assert 1.0 < m.speedup(5.0e9) < 1.05
+
+    def test_fully_memory_bound_barely_scales(self):
+        m = model(cpi_core=1e-9, cpi_mem=2.0)
+        assert m.speedup(5.0e9) == pytest.approx(1.0, abs=1e-6)
+
+    def test_speedup_at_base_is_one(self):
+        assert model().speedup(4.0e9) == pytest.approx(1.0)
+
+    def test_speedup_against_explicit_reference(self):
+        m = model()
+        assert m.speedup(4.0e9, reference_hz=2.0e9) > 1.0
+
+    def test_ipc_is_reciprocal_cpi(self):
+        m = model()
+        assert m.ipc_at(3.0e9) == pytest.approx(1.0 / m.cpi_at(3.0e9))
+
+
+class TestConstruction:
+    def test_from_stats(self, mpgdec_run):
+        stats = mpgdec_run.phases[0].stats
+        m = FrequencyScalingModel.from_stats(stats, 4.0e9)
+        assert m.cpi_core == pytest.approx(stats.cpi_core)
+        assert m.cpi_mem == pytest.approx(stats.cpi_mem)
+        assert m.cpi_at(4.0e9) == pytest.approx(stats.cpi)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"cpi_core": 0.0},
+            {"cpi_core": -1.0},
+            {"cpi_mem": -0.1},
+            {"f_base_hz": 0.0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        base = dict(cpi_core=0.5, cpi_mem=0.2, f_base_hz=4e9)
+        base.update(kwargs)
+        with pytest.raises(SimulationError):
+            FrequencyScalingModel(**base)
+
+    def test_negative_query_frequency_rejected(self):
+        with pytest.raises(SimulationError):
+            model().cpi_at(-1.0)

@@ -1,0 +1,87 @@
+"""Tests for the simulation cache and the report formatters."""
+
+import pytest
+
+from repro.config.microarch import BASE_MICROARCH, MicroarchConfig
+from repro.errors import ReproError
+from repro.harness.reporting import format_series, format_table
+from repro.harness.sweep import SimulationCache
+from repro.workloads.suite import workload_by_name
+
+TWOLF = workload_by_name("twolf")
+
+
+class TestSimulationCache:
+    def test_memoises_runs(self):
+        cache = SimulationCache(instructions=1500, warmup=300)
+        a = cache.run(TWOLF)
+        b = cache.run(TWOLF)
+        assert a is b
+
+    def test_different_configs_different_runs(self):
+        cache = SimulationCache(instructions=1500, warmup=300)
+        a = cache.run(TWOLF, BASE_MICROARCH)
+        b = cache.run(TWOLF, MicroarchConfig(window_size=16))
+        assert a is not b
+        assert a.ipc != b.ipc
+
+    def test_disk_cache_round_trip(self, tmp_path):
+        c1 = SimulationCache(instructions=1500, warmup=300, disk_dir=tmp_path)
+        run1 = c1.run(TWOLF)
+        c2 = SimulationCache(instructions=1500, warmup=300, disk_dir=tmp_path)
+        run2 = c2.run(TWOLF)
+        assert run2.ipc == pytest.approx(run1.ipc)
+        assert run2.phases[0].stats.activity == pytest.approx(
+            run1.phases[0].stats.activity
+        )
+        assert [p.phase.name for p in run2.phases] == [p.phase.name for p in run1.phases]
+
+    def test_disk_cache_files_created(self, tmp_path):
+        cache = SimulationCache(instructions=1500, warmup=300, disk_dir=tmp_path)
+        cache.run(TWOLF)
+        assert list(tmp_path.glob("twolf_*.json"))
+
+
+class TestFormatTable:
+    def test_basic_render(self):
+        text = format_table(["app", "ipc"], [["twolf", 0.8], ["art", 0.7]])
+        lines = text.splitlines()
+        assert lines[0].startswith("app")
+        assert "twolf" in lines[2]
+        assert "0.800" in lines[2]
+
+    def test_title_included(self):
+        text = format_table(["x"], [[1]], title="Table 2")
+        assert text.splitlines()[0] == "Table 2"
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            format_table(["a", "b"], [[1]])
+
+    def test_columns_aligned(self):
+        text = format_table(["name", "v"], [["long-name-here", 1.0], ["x", 22.5]])
+        lines = text.splitlines()
+        # The value column starts at the same offset in every row.
+        idx = lines[0].index("v")
+        assert lines[2][idx] != " " or lines[3][idx] != " "
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestFormatSeries:
+    def test_series_render(self):
+        text = format_series("Tqual", [400, 370], {"bzip2": [1.1, 1.05]})
+        assert "Tqual" in text
+        assert "bzip2" in text
+        assert "1.100" in text
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            format_series("x", [1, 2], {"y": [1.0]})
+
+    def test_multiple_series_columns(self):
+        text = format_series("f", [1], {"a": [0.5], "b": [0.7]})
+        header = text.splitlines()[0]
+        assert "a" in header and "b" in header

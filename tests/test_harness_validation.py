@@ -1,0 +1,75 @@
+"""Tests for the self-validation audits."""
+
+import pytest
+
+from repro.harness.validation import (
+    ValidationReport,
+    audit_energy_balance,
+    audit_qualification,
+    audit_sofr_consistency,
+    validate_stack,
+)
+
+
+class TestReport:
+    def test_empty_report_is_ok(self):
+        assert ValidationReport().ok
+
+    def test_failure_recorded(self):
+        r = ValidationReport()
+        r.record("x", False, "broke")
+        assert not r.ok
+        assert r.failures() == [("x", "broke")]
+
+    def test_render_contains_marks(self):
+        r = ValidationReport()
+        r.record("a", True, "fine")
+        r.record("b", False, "bad")
+        text = r.render()
+        assert "[PASS] a" in text
+        assert "[FAIL] b" in text
+        assert "FAILURES PRESENT" in text
+
+
+class TestIndividualAudits:
+    def test_energy_balance_passes(self, platform):
+        r = ValidationReport()
+        audit_energy_balance(platform, r)
+        assert r.ok
+
+    def test_qualification_audit_passes(self, oracle):
+        r = ValidationReport()
+        audit_qualification(oracle.ramp_for(400.0).qualified, r)
+        assert r.ok
+        assert len(r.checks) == 4
+
+    def test_sofr_consistency_passes(self, oracle, mpgdec_eval):
+        r = ValidationReport()
+        audit_sofr_consistency(oracle.ramp_for(400.0), mpgdec_eval, r)
+        assert r.ok
+
+    def test_qualification_audit_catches_corruption(self, oracle):
+        from dataclasses import replace
+
+        good = oracle.ramp_for(370.0).qualified
+        budgets = dict(good.budgets)
+        key = next(iter(budgets))
+        budgets[key] *= 2.0  # corrupt one budget
+        bad = replace(good, budgets=budgets)
+        r = ValidationReport()
+        audit_qualification(bad, r)
+        assert not r.ok
+
+
+class TestFullValidation:
+    def test_full_stack_validates(self, test_cache, platform):
+        report = validate_stack(cache=test_cache, platform=platform)
+        assert report.ok, report.render()
+
+    def test_report_covers_suite_and_invariants(self, test_cache, platform):
+        report = validate_stack(cache=test_cache, platform=platform)
+        names = [n for n, _, _ in report.checks]
+        assert any("energy balance" in n for n in names)
+        assert any("qualification identity" in n for n in names)
+        assert sum(1 for n in names if n.startswith("calibration ")) == 9
+        assert any("thermal anchor" in n for n in names)

@@ -1,0 +1,146 @@
+"""End-to-end integration tests: the paper's headline behaviours.
+
+These run the full stack (synthetic workloads -> cycle simulator ->
+power -> thermal -> RAMP -> DRM/DTM) at reduced budgets and assert the
+qualitative results the paper reports.
+"""
+
+import pytest
+
+from repro.config.dvs import DEFAULT_VF_CURVE
+from repro.core.drm import AdaptationMode
+from repro.workloads.suite import WORKLOAD_SUITE, workload_by_name
+
+
+@pytest.fixture(scope="module")
+def suite_evals(platform, test_cache):
+    """Base-machine evaluations of the full nine-application suite."""
+    return {
+        p.name: platform.evaluate(test_cache.run(p), DEFAULT_VF_CURVE.nominal)
+        for p in WORKLOAD_SUITE
+    }
+
+
+class TestTable2Shape:
+    def test_ipc_ordering_media_fastest(self, test_cache):
+        ipcs = {p.name: test_cache.run(p).ipc for p in WORKLOAD_SUITE}
+        assert ipcs["MPGdec"] == max(ipcs.values())
+        assert min(ipcs["twolf"], ipcs["art"]) == min(ipcs.values())
+
+    def test_ipc_spans_a_wide_range(self, test_cache):
+        ipcs = [test_cache.run(p).ipc for p in WORKLOAD_SUITE]
+        assert max(ipcs) / min(ipcs) > 2.5
+
+    def test_power_correlates_with_ipc(self, suite_evals, test_cache):
+        import numpy as np
+
+        ipcs = [test_cache.run(p).ipc for p in WORKLOAD_SUITE]
+        powers = [suite_evals[p.name].avg_power_w for p in WORKLOAD_SUITE]
+        assert np.corrcoef(ipcs, powers)[0, 1] > 0.8
+
+    def test_power_ordering_vs_paper_extremes(self, suite_evals):
+        powers = {name: e.avg_power_w for name, e in suite_evals.items()}
+        assert powers["MPGdec"] == max(powers.values())
+        assert powers["twolf"] <= sorted(powers.values())[1]
+
+
+class TestThermalAnchors:
+    def test_hottest_app_near_400k(self, suite_evals):
+        """Section 7.1: the hottest on-chip temperature across the suite
+        is near 400 K — the anchor for the worst-case T_qual."""
+        hottest = max(e.peak_temperature_k for e in suite_evals.values())
+        assert 380.0 < hottest < 410.0
+
+    def test_coolest_app_well_below(self, suite_evals):
+        coolest = min(e.peak_temperature_k for e in suite_evals.values())
+        assert coolest < 360.0
+
+    def test_no_app_exceeds_sanity_bound(self, suite_evals):
+        for e in suite_evals.values():
+            assert e.peak_temperature_k < 425.0
+
+
+class TestFigure2Shape:
+    """ArchDVS/DVS DRM performance vs T_qual (Figure 2 shapes)."""
+
+    def test_everyone_gains_at_worst_case_qualification(self, oracle):
+        for profile in WORKLOAD_SUITE:
+            d = oracle.best(profile, 400.0, AdaptationMode.DVS)
+            assert d.performance > 1.0, profile.name
+
+    def test_cool_low_ipc_apps_hold_base_at_345(self, oracle):
+        for name in ("twolf", "art"):
+            d = oracle.best(workload_by_name(name), 345.0, AdaptationMode.DVS)
+            assert d.performance > 0.9
+
+    def test_hot_media_apps_throttle_at_345(self, oracle):
+        d = oracle.best(workload_by_name("MPGdec"), 345.0, AdaptationMode.DVS)
+        assert d.performance < 0.95
+
+    def test_media_loses_most_at_325(self, oracle):
+        media = oracle.best(workload_by_name("MPGdec"), 325.0, AdaptationMode.DVS)
+        cool = oracle.best(workload_by_name("art"), 325.0, AdaptationMode.DVS)
+        assert media.performance <= cool.performance
+
+    def test_performance_monotone_in_tqual_all_apps(self, oracle):
+        for profile in WORKLOAD_SUITE[::3]:
+            perfs = [
+                oracle.best(profile, tq, AdaptationMode.DVS).performance
+                for tq in (325.0, 345.0, 370.0, 400.0)
+            ]
+            assert perfs == sorted(perfs), profile.name
+
+
+class TestFigure4Shape:
+    """DRM vs DTM frequency curves (Figure 4 shapes)."""
+
+    def test_dtm_steeper_than_drm(self, oracle, dtm_oracle):
+        """The DVS-Temp curve is steeper than DVS-Rel (Section 7.3)."""
+        app = workload_by_name("bzip2")
+        t_lo, t_hi = 345.0, 400.0
+        drm_span = (
+            oracle.best(app, t_hi, AdaptationMode.DVS).op.frequency_hz
+            - oracle.best(app, t_lo, AdaptationMode.DVS).op.frequency_hz
+        )
+        dtm_span = (
+            dtm_oracle.best(app, t_hi).op.frequency_hz
+            - dtm_oracle.best(app, t_lo).op.frequency_hz
+        )
+        assert dtm_span >= drm_span
+
+    def test_curves_cross(self, oracle, dtm_oracle):
+        """DTM picks higher f than DRM at hot design points and lower (or
+        equal) at cool ones — the crossover of Figure 4."""
+        app = workload_by_name("gzip")
+        hot_gap = (
+            dtm_oracle.best(app, 400.0).op.frequency_hz
+            - oracle.best(app, 400.0, AdaptationMode.DVS).op.frequency_hz
+        )
+        cool_gap = (
+            dtm_oracle.best(app, 345.0).op.frequency_hz
+            - oracle.best(app, 345.0, AdaptationMode.DVS).op.frequency_hz
+        )
+        assert hot_gap > cool_gap
+
+
+class TestEndToEndReliability:
+    def test_base_machine_meets_worst_case_qualification(self, oracle):
+        """Qualified at the 400 K worst case, every application's actual
+        FIT is under target — the over-design the paper exploits."""
+        ramp = oracle.ramp_for(400.0)
+        for profile in WORKLOAD_SUITE:
+            rel = ramp.application_reliability(oracle.base_evaluation(profile))
+            assert rel.meets_target, profile.name
+
+    def test_hot_apps_violate_cheap_qualification(self, oracle):
+        ramp = oracle.ramp_for(330.0)
+        rel = ramp.application_reliability(
+            oracle.base_evaluation(workload_by_name("MPGdec"))
+        )
+        assert not rel.meets_target
+
+    def test_fit_ordering_tracks_temperature(self, oracle, suite_evals):
+        ramp = oracle.ramp_for(370.0)
+        fit_mpg = ramp.application_reliability(suite_evals["MPGdec"]).total_fit
+        fit_twolf = ramp.application_reliability(suite_evals["twolf"]).total_fit
+        assert fit_mpg > fit_twolf * 2

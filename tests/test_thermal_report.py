@@ -1,0 +1,57 @@
+"""Tests for the ASCII floorplan/thermal rendering."""
+
+import pytest
+
+from repro.errors import ThermalError
+from repro.thermal.floorplan import build_default_floorplan
+from repro.thermal.report import HEAT_GLYPHS, render_floorplan, render_thermal_map
+from tests.conftest import uniform_temps
+
+
+@pytest.fixture(scope="module")
+def floorplan():
+    return build_default_floorplan()
+
+
+class TestFloorplanRender:
+    def test_every_cell_assigned(self, floorplan):
+        text = render_floorplan(floorplan)
+        grid_lines = text.splitlines()[:-1]
+        assert all("?" not in line for line in grid_lines)
+
+    def test_dimensions(self, floorplan):
+        text = render_floorplan(floorplan, width=30, height=10)
+        lines = text.splitlines()
+        assert len(lines) == 11  # 10 rows + legend
+        assert all(len(line) == 30 for line in lines[:-1])
+
+    def test_legend_names_blocks(self, floorplan):
+        text = render_floorplan(floorplan)
+        assert "fpu" in text and "l1d" in text
+
+    def test_invalid_raster_rejected(self, floorplan):
+        with pytest.raises(ThermalError):
+            render_floorplan(floorplan, width=0)
+
+
+class TestThermalRender:
+    def test_uniform_field_renders(self, floorplan):
+        text = render_thermal_map(floorplan, uniform_temps(350.0))
+        assert "350.0K" in text
+
+    def test_hotspot_uses_hottest_glyph(self, floorplan):
+        temps = uniform_temps(340.0)
+        temps["fpu"] = 400.0
+        text = render_thermal_map(floorplan, temps)
+        assert HEAT_GLYPHS[-1] in text
+        assert "hottest: fpu" in text
+
+    def test_missing_block_rejected(self, floorplan):
+        temps = uniform_temps(350.0)
+        del temps["fpu"]
+        with pytest.raises(ThermalError, match="missing"):
+            render_thermal_map(floorplan, temps)
+
+    def test_real_field_from_platform(self, floorplan, mpgdec_eval):
+        text = render_thermal_map(floorplan, mpgdec_eval.intervals[0].temperatures)
+        assert "hottest:" in text

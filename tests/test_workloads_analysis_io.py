@@ -1,0 +1,193 @@
+"""Tests for the trace analysis toolkit and trace persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.analysis import (
+    branch_stats,
+    dependency_histogram,
+    fetch_run_lengths,
+    instruction_mix,
+    mean_dependency_distance,
+    miss_rate_for_capacity,
+    stack_distance_profile,
+)
+from repro.workloads.generator import TraceGenerator
+from repro.workloads.suite import workload_by_name
+from repro.workloads.trace import Instruction, OpClass, Trace
+from repro.workloads.tracefile import FORMAT_VERSION, load_trace, save_trace
+
+MPG = workload_by_name("MPGdec")
+TWOLF = workload_by_name("twolf")
+
+
+@pytest.fixture(scope="module")
+def mpg_trace():
+    return TraceGenerator(MPG, seed=2).phase_trace(MPG.phases[0], 6000)
+
+
+class TestInstructionMix:
+    def test_sums_to_one(self, mpg_trace):
+        assert sum(instruction_mix(mpg_trace).values()) == pytest.approx(1.0)
+
+    def test_names_are_op_classes(self, mpg_trace):
+        assert set(instruction_mix(mpg_trace)) == {o.name for o in OpClass}
+
+
+class TestDependencyAnalysis:
+    def test_histogram_counts_everything(self, mpg_trace):
+        hist = dependency_histogram(mpg_trace)
+        assert hist.sum() == len(mpg_trace)
+
+    def test_overflow_bin_accumulates(self):
+        instrs = [Instruction(op=OpClass.IALU, dep1=min(i, 99), pc=0) for i in range(200)]
+        hist = dependency_histogram(Trace.from_instructions(instrs), max_distance=10)
+        assert hist[10] == sum(1 for i in range(200) if min(i, 99) >= 10)
+
+    def test_invalid_max_distance(self, mpg_trace):
+        with pytest.raises(WorkloadError):
+            dependency_histogram(mpg_trace, max_distance=0)
+
+    def test_mean_matches_profile_scale(self, mpg_trace):
+        mean = mean_dependency_distance(mpg_trace)
+        assert 0.4 * MPG.dep_distance_mean < mean < 2.0 * MPG.dep_distance_mean
+
+    def test_mean_zero_without_dependences(self):
+        instrs = [Instruction(op=OpClass.IALU, pc=0) for _ in range(5)]
+        assert mean_dependency_distance(Trace.from_instructions(instrs)) == 0.0
+
+
+class TestStackDistance:
+    def test_repeating_block_gives_zero_distances(self):
+        instrs = [Instruction(op=OpClass.LOAD, addr=0x40, pc=0) for _ in range(10)]
+        dist = stack_distance_profile(Trace.from_instructions(instrs))
+        assert dist[-1] == 1  # one first touch
+        assert dist[0] == 9
+
+    def test_round_robin_distance(self):
+        # A,B,C,A,B,C...: every reuse has distance 2.
+        instrs = []
+        for i in range(12):
+            instrs.append(Instruction(op=OpClass.LOAD, addr=(i % 3) * 64, pc=0))
+        dist = stack_distance_profile(Trace.from_instructions(instrs))
+        assert dist[-1] == 3
+        assert dist[2] == 9
+
+    def test_miss_rate_monotone_in_capacity(self, mpg_trace):
+        dist = stack_distance_profile(mpg_trace)
+        rates = [miss_rate_for_capacity(dist, c) for c in (16, 128, 1024, 8192)]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_miss_rate_bounds(self, mpg_trace):
+        dist = stack_distance_profile(mpg_trace)
+        rate = miss_rate_for_capacity(dist, 1024)
+        assert 0.0 <= rate <= 1.0
+
+    def test_hot_set_fits_in_its_nominal_capacity(self, mpg_trace):
+        """Reuses of the profile's hot set should hit at L1D capacity
+        (compulsory misses excluded: a long run amortises them)."""
+        dist = stack_distance_profile(mpg_trace)
+        assert miss_rate_for_capacity(dist, 1024, include_first_touch=False) < 0.1
+
+    def test_first_touch_toggle(self, mpg_trace):
+        dist = stack_distance_profile(mpg_trace)
+        with_ft = miss_rate_for_capacity(dist, 1024)
+        without_ft = miss_rate_for_capacity(dist, 1024, include_first_touch=False)
+        assert with_ft > without_ft
+
+    def test_invalid_capacity(self, mpg_trace):
+        dist = stack_distance_profile(mpg_trace)
+        with pytest.raises(WorkloadError):
+            miss_rate_for_capacity(dist, 0)
+
+    def test_empty_profile_rejected(self):
+        from collections import Counter
+
+        with pytest.raises(WorkloadError):
+            miss_rate_for_capacity(Counter(), 8)
+
+
+class TestBranchStats:
+    def test_stats_shape(self, mpg_trace):
+        stats = branch_stats(mpg_trace)
+        assert stats.dynamic_branches > 0
+        assert 0 < stats.static_branches <= stats.dynamic_branches
+        assert 0.0 <= stats.taken_fraction <= 1.0
+        assert 0.0 <= stats.mean_bias_entropy <= 1.0
+
+    def test_biased_profile_has_low_entropy(self, mpg_trace):
+        # MPGdec's branches are 99% biased.
+        assert branch_stats(mpg_trace).mean_bias_entropy < 0.35
+
+    def test_hostile_profile_has_higher_entropy(self, mpg_trace):
+        twolf_trace = TraceGenerator(TWOLF, seed=2).phase_trace(TWOLF.phases[0], 6000)
+        assert (
+            branch_stats(twolf_trace).mean_bias_entropy
+            > branch_stats(mpg_trace).mean_bias_entropy
+        )
+
+    def test_branchless_trace_rejected(self):
+        instrs = [Instruction(op=OpClass.IALU, pc=0) for _ in range(5)]
+        with pytest.raises(WorkloadError):
+            branch_stats(Trace.from_instructions(instrs))
+
+
+class TestFetchRuns:
+    def test_no_taken_branches_is_one_run(self):
+        instrs = [Instruction(op=OpClass.IALU, pc=0) for _ in range(10)]
+        runs = fetch_run_lengths(Trace.from_instructions(instrs))
+        assert list(runs) == [10]
+
+    def test_taken_branch_every_k(self):
+        instrs = []
+        for i in range(20):
+            if i % 5 == 4:
+                instrs.append(Instruction(op=OpClass.BRANCH, taken=True, pc=0))
+            else:
+                instrs.append(Instruction(op=OpClass.IALU, pc=0))
+        runs = fetch_run_lengths(Trace.from_instructions(instrs))
+        assert list(runs) == [5, 5, 5, 5]
+
+    def test_lengths_sum_to_trace(self, mpg_trace):
+        assert fetch_run_lengths(mpg_trace).sum() == len(mpg_trace)
+
+
+class TestTraceFile:
+    def test_round_trip(self, mpg_trace, tmp_path):
+        path = save_trace(mpg_trace, tmp_path / "mpg")
+        assert path.suffix == ".npz"
+        loaded = load_trace(path)
+        assert len(loaded) == len(mpg_trace)
+        assert (loaded.op == mpg_trace.op).all()
+        assert (loaded.addr == mpg_trace.addr).all()
+        assert (loaded.pc == mpg_trace.pc).all()
+        assert (loaded.taken == mpg_trace.taken).all()
+        assert loaded.name == mpg_trace.name
+
+    def test_replay_gives_identical_stats(self, mpg_trace, tmp_path):
+        from repro.cpu.simulator import simulate_trace
+
+        path = save_trace(mpg_trace, tmp_path / "t.npz")
+        original = simulate_trace(mpg_trace)
+        replayed = simulate_trace(load_trace(path))
+        assert replayed.cycles == original.cycles
+        assert replayed.activity == original.activity
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(WorkloadError, match="no trace file"):
+            load_trace(tmp_path / "nope.npz")
+
+    def test_wrong_version_rejected(self, mpg_trace, tmp_path):
+        path = save_trace(mpg_trace, tmp_path / "t.npz")
+        data = dict(np.load(path, allow_pickle=False))
+        data["version"] = np.array([FORMAT_VERSION + 1])
+        np.savez_compressed(path, **data)
+        with pytest.raises(WorkloadError, match="unsupported"):
+            load_trace(path)
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(b"not a zip archive")
+        with pytest.raises(WorkloadError):
+            load_trace(bad)

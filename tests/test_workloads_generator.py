@@ -1,0 +1,194 @@
+"""Unit tests for repro.workloads.generator."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.caches import MemoryHierarchy
+from repro.errors import WorkloadError
+from repro.workloads.generator import (
+    BLOCK_BYTES,
+    CODE_BASE,
+    COLD_BASE,
+    HOT_BASE,
+    MAX_DEP_DISTANCE,
+    TraceGenerator,
+    WARM_BASE,
+    preload_hierarchy,
+)
+from repro.workloads.phases import Phase
+from repro.workloads.suite import workload_by_name
+from repro.workloads.trace import OpClass
+
+MPG = workload_by_name("MPGdec")
+TWOLF = workload_by_name("twolf")
+
+
+@pytest.fixture(scope="module")
+def gen():
+    return TraceGenerator(MPG, seed=11)
+
+
+@pytest.fixture(scope="module")
+def trace(gen):
+    return gen.phase_trace(MPG.phases[0], 8000)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = TraceGenerator(MPG, seed=5).phase_trace(MPG.phases[0], 2000)
+        b = TraceGenerator(MPG, seed=5).phase_trace(MPG.phases[0], 2000)
+        assert (a.op == b.op).all()
+        assert (a.addr == b.addr).all()
+        assert (a.pc == b.pc).all()
+        assert (a.taken == b.taken).all()
+
+    def test_different_seeds_differ(self):
+        a = TraceGenerator(MPG, seed=5).phase_trace(MPG.phases[0], 2000)
+        b = TraceGenerator(MPG, seed=6).phase_trace(MPG.phases[0], 2000)
+        assert not (a.op == b.op).all() or not (a.addr == b.addr).all()
+
+    def test_phases_have_independent_streams(self, gen):
+        a = gen.phase_trace(MPG.phases[0], 1000)
+        b = gen.phase_trace(MPG.phases[1], 1000)
+        assert not (a.op == b.op).all()
+
+
+class TestStreamShape:
+    def test_requested_length(self, trace):
+        assert len(trace) == 8000
+
+    def test_mix_close_to_profile(self, trace):
+        mix = trace.mix()
+        for op, want in MPG.mix.items():
+            assert mix[op] == pytest.approx(want, abs=0.05)
+
+    def test_branch_pcs_repeat(self, trace):
+        """Static-program walking must give real pc reuse (predictor food)."""
+        pcs = trace.pc[trace.op == int(OpClass.BRANCH)]
+        unique = len(np.unique(pcs))
+        assert unique < 0.5 * len(pcs)
+
+    def test_dep_distances_bounded(self, trace):
+        assert trace.dep1.max() <= MAX_DEP_DISTANCE
+        assert trace.dep2.max() <= MAX_DEP_DISTANCE
+
+    def test_dep_distances_never_reach_before_trace(self, trace):
+        idx = np.arange(len(trace))
+        assert (trace.dep1 <= idx).all()
+        assert (trace.dep2 <= idx).all()
+
+    def test_non_memory_ops_have_zero_addr(self, trace):
+        non_mem = ~np.isin(trace.op, [int(OpClass.LOAD), int(OpClass.STORE)])
+        assert (trace.addr[non_mem] == 0).all()
+
+    def test_memory_addresses_block_aligned(self, trace):
+        mem = np.isin(trace.op, [int(OpClass.LOAD), int(OpClass.STORE)])
+        assert (trace.addr[mem] % BLOCK_BYTES == 0).all()
+
+    def test_fp_dest_marks_fp_ops(self, trace):
+        fp = np.isin(trace.op, [int(OpClass.FADD), int(OpClass.FMUL), int(OpClass.FDIV)])
+        assert (trace.fp_dest == fp).all()
+
+    def test_taken_only_on_control_ops(self, trace):
+        control = np.isin(
+            trace.op,
+            [int(OpClass.BRANCH), int(OpClass.CALL), int(OpClass.RETURN)],
+        )
+        assert not trace.taken[~control].any()
+
+    def test_calls_and_returns_balance_roughly(self, trace):
+        calls = (trace.op == int(OpClass.CALL)).sum()
+        rets = (trace.op == int(OpClass.RETURN)).sum()
+        assert calls > 0 and rets > 0
+        assert abs(int(calls) - int(rets)) < 0.5 * max(calls, rets)
+
+    def test_pcs_live_in_code_segment(self, trace):
+        assert (trace.pc >= CODE_BASE).all()
+        assert (trace.pc < WARM_BASE + CODE_BASE).all()
+
+    def test_rejects_non_positive_length(self, gen):
+        with pytest.raises(WorkloadError):
+            gen.phase_trace(MPG.phases[0], 0)
+
+
+class TestWorkingSets:
+    def test_address_regions_disjoint(self, gen, trace):
+        mem = np.isin(trace.op, [int(OpClass.LOAD), int(OpClass.STORE)])
+        addrs = trace.addr[mem]
+        hot = addrs < WARM_BASE
+        warm = (addrs >= WARM_BASE) & (addrs < CODE_BASE)
+        cold = addrs >= COLD_BASE
+        assert (hot | warm | cold).all()
+
+    def test_hot_set_dominates_for_media(self, trace):
+        mem = np.isin(trace.op, [int(OpClass.LOAD), int(OpClass.STORE)])
+        addrs = trace.addr[mem]
+        hot_fraction = (addrs < WARM_BASE).mean()
+        assert hot_fraction > 0.9
+
+    def test_cold_addresses_never_repeat_across_phases(self):
+        g = TraceGenerator(TWOLF, seed=3)
+        t1 = g.phase_trace(TWOLF.phases[0], 4000)
+        t2 = g.phase_trace(TWOLF.phases[1], 4000)
+        cold1 = set(t1.addr[t1.addr >= COLD_BASE].tolist())
+        cold2 = set(t2.addr[t2.addr >= COLD_BASE].tolist())
+        assert not (cold1 & cold2)
+
+    def test_hot_blocks_span_profile_size(self, gen):
+        blocks = gen.hot_blocks()
+        assert len(blocks) == MPG.memory.hot_blocks
+        assert blocks[0] == HOT_BASE // BLOCK_BYTES
+
+
+class TestPhaseModulation:
+    def test_fp_scale_down_reduces_fp_share(self):
+        g = TraceGenerator(MPG, seed=9)
+        lo = g.phase_trace(Phase("fp-light", 1.0, fp_scale=0.3), 8000)
+        hi = g.phase_trace(Phase("fp-heavy", 1.0, fp_scale=1.3), 8000)
+        def fp_share(t):
+            return np.isin(t.op, [int(OpClass.FADD), int(OpClass.FMUL), int(OpClass.FDIV)]).mean()
+        assert fp_share(lo) < fp_share(hi)
+
+    def test_fp_scale_preserves_memory_ops(self):
+        g = TraceGenerator(MPG, seed=9)
+        base = g.phase_trace(Phase("n", 1.0), 6000)
+        scaled = g.phase_trace(Phase("n", 1.0, fp_scale=0.2), 6000)
+        def mem_share(t):
+            return np.isin(t.op, [int(OpClass.LOAD), int(OpClass.STORE)]).mean()
+        assert mem_share(base) == pytest.approx(mem_share(scaled), abs=1e-9)
+
+    def test_miss_scale_increases_cold_share(self):
+        g1 = TraceGenerator(TWOLF, seed=4)
+        g2 = TraceGenerator(TWOLF, seed=4)
+        lo = g1.phase_trace(Phase("cool", 1.0, miss_scale=0.5), 8000)
+        hi = g2.phase_trace(Phase("hot", 1.0, miss_scale=3.0), 8000)
+        def cold_share(t):
+            mem = np.isin(t.op, [int(OpClass.LOAD), int(OpClass.STORE)])
+            return (t.addr[mem] >= COLD_BASE).mean()
+        assert cold_share(hi) > cold_share(lo)
+
+    def test_ilp_scale_lengthens_dependencies(self):
+        g = TraceGenerator(TWOLF, seed=4)
+        short = g.phase_trace(Phase("serial", 1.0, ilp_scale=0.5), 6000)
+        wide = g.phase_trace(Phase("parallel", 1.0, ilp_scale=3.0), 6000)
+        assert wide.dep1.mean() > short.dep1.mean()
+
+
+class TestPreload:
+    def test_preload_makes_hot_set_l1_resident(self, gen):
+        h = MemoryHierarchy()
+        preload_hierarchy(h, gen)
+        for block in gen.hot_blocks()[:50]:
+            assert h.l1d.contains(int(block))
+
+    def test_preload_makes_warm_set_l2_resident(self, gen):
+        h = MemoryHierarchy()
+        preload_hierarchy(h, gen)
+        for block in gen.warm_blocks()[::500]:
+            assert h.l2.contains(int(block))
+
+    def test_preload_makes_code_l1i_resident(self, gen):
+        h = MemoryHierarchy()
+        preload_hierarchy(h, gen)
+        for block in gen.code_blocks()[:20]:
+            assert h.l1i.contains(int(block))

@@ -1,0 +1,59 @@
+"""Unit tests for repro.workloads.phases."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.phases import Phase, STEADY, expand_phases
+
+
+class TestPhase:
+    def test_defaults_are_neutral(self):
+        p = Phase("x", weight=1.0)
+        assert p.ilp_scale == 1.0
+        assert p.miss_scale == 1.0
+        assert p.fp_scale == 1.0
+
+    @pytest.mark.parametrize("w", [0.0, -0.5, 1.5])
+    def test_bad_weight_rejected(self, w):
+        with pytest.raises(WorkloadError):
+            Phase("x", weight=w)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"ilp_scale": 0.0}, {"miss_scale": -1.0}, {"fp_scale": 0.0}],
+    )
+    def test_bad_scale_rejected(self, kwargs):
+        with pytest.raises(WorkloadError):
+            Phase("x", weight=0.5, **kwargs)
+
+    def test_steady_is_single_full_weight_phase(self):
+        assert len(STEADY) == 1
+        assert STEADY[0].weight == 1.0
+
+
+class TestExpandPhases:
+    def test_counts_sum_exactly(self):
+        phases = (Phase("a", 0.6), Phase("b", 0.25), Phase("c", 0.15))
+        split = expand_phases(phases, 10_000)
+        assert sum(n for _, n in split) == 10_000
+
+    def test_counts_proportional_to_weights(self):
+        phases = (Phase("a", 0.75), Phase("b", 0.25))
+        split = dict((p.name, n) for p, n in expand_phases(phases, 1000))
+        assert split["a"] == pytest.approx(750, abs=2)
+        assert split["b"] == pytest.approx(250, abs=2)
+
+    def test_every_phase_gets_at_least_one(self):
+        phases = (Phase("a", 0.999), Phase("b", 0.001))
+        split = expand_phases(phases, 100)
+        assert all(n >= 1 for _, n in split)
+
+    def test_preserves_order(self):
+        phases = (Phase("a", 0.3), Phase("b", 0.7))
+        split = expand_phases(phases, 100)
+        assert [p.name for p, _ in split] == ["a", "b"]
+
+    def test_budget_smaller_than_phases_rejected(self):
+        phases = (Phase("a", 0.5), Phase("b", 0.5))
+        with pytest.raises(WorkloadError):
+            expand_phases(phases, 1)

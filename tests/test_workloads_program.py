@@ -1,0 +1,110 @@
+"""Unit tests for repro.workloads.program (static basic-block model)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.characteristics import BranchBehavior, MemoryBehavior, WorkloadProfile, make_mix
+from repro.workloads.phases import STEADY
+from repro.workloads.program import build_static_program
+from repro.workloads.trace import OpClass
+
+
+def profile(branch=0.125, n_blocks=64, bias=0.9):
+    return WorkloadProfile(
+        name="toy",
+        category="specint",
+        mix=make_mix(ialu=0.6 - branch + 0.125, load=0.2, store=0.075, branch=branch),
+        dep_distance_mean=4.0,
+        branch=BranchBehavior(bias=bias),
+        memory=MemoryBehavior(),
+        code_blocks=n_blocks,
+        phases=STEADY,
+        table2_ipc=1.0,
+        table2_power_w=20.0,
+    )
+
+
+@pytest.fixture()
+def program():
+    return build_static_program(profile(), np.random.default_rng(0))
+
+
+class TestBuildStaticProgram:
+    def test_block_count_matches_profile(self, program):
+        assert program.n_blocks == 64
+
+    def test_every_block_ends_in_control_op(self, program):
+        control = {int(OpClass.BRANCH), int(OpClass.CALL), int(OpClass.RETURN)}
+        for ops in program.block_ops:
+            assert int(ops[-1]) in control
+
+    def test_only_last_op_is_control(self, program):
+        control = [int(OpClass.BRANCH), int(OpClass.CALL), int(OpClass.RETURN)]
+        import numpy as np
+        for ops in program.block_ops:
+            assert not np.isin(ops[:-1], control).any()
+
+    def test_terminator_matches_block_ops(self, program):
+        for i, ops in enumerate(program.block_ops):
+            assert int(ops[-1]) == int(program.terminator[i])
+
+    def test_function_blocks_occupy_the_tail(self, program):
+        first_fn = program.first_function_block()
+        assert 0 < first_fn < program.n_blocks
+        for i in range(first_fn, program.n_blocks):
+            assert int(program.terminator[i]) in (
+                int(OpClass.RETURN), int(OpClass.CALL)
+            )
+
+    def test_nested_calls_go_forward(self, program):
+        for i in range(program.first_function_block(), program.n_blocks):
+            if int(program.terminator[i]) == int(OpClass.CALL):
+                assert program.target[i] > i
+
+    def test_branch_targets_avoid_function_region(self, program):
+        first_fn = program.first_function_block()
+        for i in range(program.n_blocks):
+            if int(program.terminator[i]) == int(OpClass.BRANCH):
+                assert program.target[i] < first_fn
+
+    def test_blocks_laid_out_sequentially(self, program):
+        end = None
+        for pcs in program.block_pc:
+            if end is not None:
+                assert pcs[0] == end
+            assert (np.diff(pcs) == 4).all()
+            end = pcs[-1] + 4
+
+    def test_mean_block_length_tracks_branch_fraction(self):
+        prog = build_static_program(profile(branch=0.125, n_blocks=400), np.random.default_rng(1))
+        mean_len = np.mean([len(b) for b in prog.block_ops])
+        assert mean_len == pytest.approx(8.0, rel=0.2)
+
+    def test_targets_in_range(self, program):
+        assert (program.target >= 0).all()
+        assert (program.target < program.n_blocks).all()
+
+    def test_p_taken_values_are_legal(self, program):
+        assert set(np.round(program.p_taken, 2)) <= {0.01, 0.5, 0.99}
+
+    def test_bias_fraction_is_deterministic_spread(self):
+        prog = build_static_program(profile(bias=0.9, n_blocks=200), np.random.default_rng(2))
+        unbiased = np.isclose(prog.p_taken, 0.5).mean()
+        assert unbiased == pytest.approx(0.1, abs=0.02)
+
+    def test_footprint_bytes(self, program):
+        total = sum(len(b) for b in program.block_ops)
+        assert program.footprint_bytes() == total * 4
+
+    def test_mix_without_branches_rejected(self):
+        bad = profile()
+        object.__setattr__(bad, "mix", make_mix(ialu=1.0))
+        with pytest.raises(WorkloadError, match="branch"):
+            build_static_program(bad, np.random.default_rng(0))
+
+    def test_deterministic_for_seed(self):
+        a = build_static_program(profile(), np.random.default_rng(3))
+        b = build_static_program(profile(), np.random.default_rng(3))
+        assert all((x == y).all() for x, y in zip(a.block_ops, b.block_ops))
+        assert (a.target == b.target).all()
