@@ -1,6 +1,9 @@
 """Helpers shared by the bench modules (kept out of conftest so imports
 cannot collide with the test suite's conftest)."""
 
+from repro.config.microarch import arch_adaptation_space
+from repro.workloads.suite import WORKLOAD_SUITE
+
 
 def run_once(benchmark, fn):
     """Benchmark a whole-experiment function exactly once.
@@ -10,3 +13,22 @@ def run_once(benchmark, fn):
     timing meaningful (the experiment's wall clock) without repeats.
     """
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def prewarm_simulations(cache, profiles=None, configs=None, max_workers=None):
+    """Fan the cycle-level simulations out through ``repro.engine``.
+
+    Figure-2-style sweeps need 9 applications x 18 configurations = 162
+    independent simulations before any reliability math runs.  Calling
+    this first populates ``cache``'s store in parallel; the serial oracle
+    search that follows then hits the warm cache for every candidate and
+    produces byte-identical results to a cold serial run.
+
+    No-op fallback: with an in-memory cache (no disk store) the runs
+    happen serially through the cache itself.
+    """
+    profiles = list(WORKLOAD_SUITE) if profiles is None else list(profiles)
+    configs = (
+        list(arch_adaptation_space()) if configs is None else list(configs)
+    )
+    return cache.run_many(profiles, configs, max_workers=max_workers)

@@ -9,9 +9,7 @@ the phase-richest application, and measures the resulting FIT error —
 the reason the methodology matters for reliability work at all.
 """
 
-import numpy as np
 
-from repro.config.dvs import DEFAULT_VF_CURVE
 from repro.harness.reporting import format_table
 from repro.thermal.solver import SteadyStateSolver, TransientSolver
 from repro.workloads.suite import workload_by_name

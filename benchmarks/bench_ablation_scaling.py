@@ -10,7 +10,7 @@ and the 65 nm node is the last one where the hot application still meets
 the 30-year target without intervention.
 """
 
-from repro.core.scaling import DEFAULT_TRAJECTORY, ScalingStudy
+from repro.core.scaling import ScalingStudy
 from repro.harness.reporting import format_table
 from repro.workloads.suite import workload_by_name
 

@@ -17,12 +17,15 @@ from repro.core.drm import AdaptationMode
 from repro.harness.reporting import format_series
 from repro.workloads.suite import WORKLOAD_SUITE
 
-from _bench_utils import run_once
+from _bench_utils import prewarm_simulations, run_once
 
 T_QUALS = (400.0, 370.0, 345.0, 325.0)
 
 
 def reproduce_fig2(drm_oracle):
+    # Parallelise the 162 cycle-level simulations through the engine;
+    # the oracle search below then runs over a warm cache.
+    prewarm_simulations(drm_oracle.cache)
     series = {}
     for profile in WORKLOAD_SUITE:
         series[profile.name] = [

@@ -13,6 +13,9 @@ Public API tour:
   FIT accounting) plus the DRM and DTM oracles.
 - :mod:`repro.harness` — the evaluable platform, simulation caching, and
   reporting used by the example scripts and benches.
+- :mod:`repro.engine` — the parallel, fault-tolerant job engine that
+  fans sweeps out across worker processes over a content-addressed
+  result store.
 
 Quickstart::
 
@@ -50,6 +53,7 @@ from repro.core import (
     calibrate,
 )
 from repro.cpu import CycleSimulator, SimulationStats
+from repro.engine import Engine
 from repro.harness import Platform, SimulationCache
 from repro.workloads import WORKLOAD_SUITE, SUITE_NAMES, WorkloadProfile, workload_by_name
 
@@ -80,6 +84,7 @@ __all__ = [
     "calibrate",
     "CycleSimulator",
     "SimulationStats",
+    "Engine",
     "Platform",
     "SimulationCache",
     "WORKLOAD_SUITE",

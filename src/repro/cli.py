@@ -8,6 +8,7 @@ user asks of this reproduction:
 - ``drm``               the DRM oracle's decision for one (app, T_qual)
 - ``dtm``               the DTM decision for one (app, T_limit)
 - ``sweep``             DRM performance across T_qual values for one app
+- ``engine``            parallel DRM sweep through the job engine
 - ``suite``             list the workload suite
 - ``validate``          run the stack's self-audits
 - ``map``               ASCII thermal map of an application on the die
@@ -21,7 +22,6 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.config.dvs import DEFAULT_VF_CURVE
 from repro.core.drm import AdaptationMode, DRMOracle
 from repro.core.dtm import DTMOracle
 from repro.harness.platform import Platform
@@ -149,6 +149,69 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_engine(args: argparse.Namespace) -> int:
+    from repro.engine import Engine, stderr_progress
+
+    if args.apps == "all":
+        apps = list(SUITE_NAMES)
+    else:
+        apps = [workload_by_name(a.strip()).name for a in args.apps.split(",")]
+    tquals = [float(t) for t in args.tquals.split(",")]
+    engine = Engine(
+        store_dir=args.cache_dir,
+        max_workers=args.workers,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        progress=stderr_progress if args.progress else None,
+    )
+    decisions = engine.drm_sweep(
+        apps,
+        tquals,
+        mode=args.mode,
+        dvs_steps=args.dvs_steps,
+        instructions=args.instructions,
+        warmup=args.warmup,
+        seed=args.seed,
+    )
+    if args.progress:
+        print(file=sys.stderr)
+    rows = []
+    failed = 0
+    for app in apps:
+        for t_qual in tquals:
+            d = decisions[(app, t_qual)]
+            if d is None:
+                failed += 1
+                rows.append([app, t_qual, "FAILED", "-", "-", "-"])
+                continue
+            rows.append([
+                app, t_qual, d.config.describe(),
+                d.op.frequency_ghz, d.performance, d.fit,
+            ])
+    print(format_table(
+        ["App", "Tqual (K)", "Config", "f (GHz)", "Perf vs base", "FIT"],
+        rows,
+        title=f"DRM ({args.mode}) sweep via repro.engine "
+              f"({len(apps)} apps x {len(tquals)} T_qual)",
+    ))
+    print()
+    print(engine.events.render())
+    store = engine.store
+    if store is not None and store.stats.quarantined > engine.events.counters["quarantined"]:
+        # Corruption caught at the JSON-parse layer never reaches the
+        # event log; surface the store's own count.
+        print(
+            f"store: {store.stats.quarantined} corrupt entries quarantined "
+            f"(kept in {store.quarantine_dir})"
+        )
+    if args.events_jsonl:
+        from pathlib import Path
+
+        Path(args.events_jsonl).write_text(engine.events.to_jsonl() + "\n")
+        print(f"event log written to {args.events_jsonl}")
+    return 1 if failed else 0
+
+
 def _cmd_map(args: argparse.Namespace) -> int:
     from repro.thermal.report import render_thermal_map
 
@@ -229,6 +292,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mode", choices=[m.value for m in AdaptationMode], default="dvs")
     _add_common(p)
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "engine",
+        help="parallel DRM sweep through the repro.engine job engine",
+    )
+    p.add_argument("--apps", default="all",
+                   help='comma-separated app list, or "all" (default)')
+    p.add_argument("--tquals", default="325,345,370,400",
+                   help="comma-separated T_qual list (K)")
+    p.add_argument("--mode", choices=[m.value for m in AdaptationMode],
+                   default="archdvs")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker processes (default: cpu count; 1 = serial)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-job wall-clock budget in seconds")
+    p.add_argument("--retries", type=int, default=1,
+                   help="extra attempts per failing job (default 1)")
+    p.add_argument("--progress", action="store_true",
+                   help="live progress line on stderr")
+    p.add_argument("--events-jsonl", default=None,
+                   help="write the structured event log to this file")
+    _add_common(p)
+    p.set_defaults(func=_cmd_engine)
 
     return parser
 

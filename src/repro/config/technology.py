@@ -18,7 +18,7 @@ so the areas sum to the quoted 20.2 mm^2.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 

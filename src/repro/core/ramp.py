@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.constants import FIT_DEVICE_HOURS, fit_to_mttf_years
+from repro.constants import FIT_DEVICE_HOURS
 from repro.core.failure import ALL_MECHANISMS, FailureMechanism, StressConditions
 from repro.core.fit import FitAccount
 from repro.core.qualification import QualifiedReliabilityModel

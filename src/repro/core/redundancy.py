@@ -24,7 +24,7 @@ performance-weighted lifetime, with SOFR / no-redundancy baselines.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -244,7 +244,6 @@ def evaluate_degradation(
 
     # Lifetime-average performance: full speed until the earliest
     # degradable first-failure (if it precedes death), degraded after.
-    perf = np.ones(n_samples)
     weighted_time = system.copy()
     for struct, rel_perf in degradable.items():
         degraded_start = np.minimum(first_failures[struct], system)

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.config.dvs import DEFAULT_VF_CURVE, OperatingPoint
+from repro.config.dvs import OperatingPoint
 from repro.core.ramp import RampModel
 from repro.cpu.simulator import WorkloadRun
 from repro.errors import ReliabilityError

@@ -13,7 +13,7 @@ RAMP consumes three things from the timing simulator:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.config.microarch import MicroarchConfig
 from repro.config.technology import STRUCTURE_NAMES

@@ -1,0 +1,209 @@
+"""Structured event log and metrics for engine runs.
+
+Every scheduling decision and execution outcome emits one :class:`Event`
+— a flat, JSON-ready record — into an :class:`EventLog`.  The log doubles
+as the engine's metrics surface: counters (submitted / deduped / run /
+cached / retried / failed / quarantined) and per-stage wall time, with a
+human-readable renderer for CLI output and a ``jsonl`` dump for tooling.
+
+The accounting invariant every run must satisfy (and the tests assert)::
+
+    submitted == run + cached + failed
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Event:
+    """One engine occurrence.
+
+    Attributes:
+        seq: monotonically increasing sequence number within a log.
+        wall_s: seconds since the log was created.
+        kind: event type (``submitted``, ``deduped``, ``cache_hit``,
+            ``run_started``, ``run_finished``, ``retried``, ``failed``,
+            ``quarantined``, ``degraded``, ...).
+        job_key: content hash of the job involved ("" for engine-level
+            events).
+        stage: scheduler stage of that job ("" for engine-level events).
+        detail: free-form human-readable context.
+        data: extra structured fields (durations, attempt counts, ...).
+    """
+
+    seq: int
+    wall_s: float
+    kind: str
+    job_key: str = ""
+    stage: str = ""
+    detail: str = ""
+    data: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "wall_s": self.wall_s,
+            "kind": self.kind,
+            "job_key": self.job_key,
+            "stage": self.stage,
+            "detail": self.detail,
+            "data": self.data,
+        }
+
+
+#: Event kinds that bump a like-named counter.
+_COUNTED = {
+    "submitted",
+    "deduped",
+    "cache_hit",
+    "run_finished",
+    "retried",
+    "failed",
+    "quarantined",
+    "degraded",
+}
+
+_COUNTER_NAMES = {
+    "submitted": "submitted",
+    "deduped": "deduped",
+    "cache_hit": "cached",
+    "run_finished": "run",
+    "retried": "retried",
+    "failed": "failed",
+    "quarantined": "quarantined",
+    "degraded": "degraded",
+}
+
+
+class EventLog:
+    """Thread-safe append-only event log with derived metrics.
+
+    Args:
+        progress: optional callable invoked with a one-line progress
+            string after each outcome event (see :func:`stderr_progress`).
+    """
+
+    def __init__(self, progress=None) -> None:
+        self._events: list[Event] = []
+        self._lock = threading.Lock()
+        self._t0 = time.monotonic()
+        self.counters: dict[str, int] = {
+            name: 0 for name in _COUNTER_NAMES.values()
+        }
+        self.stage_wall_s: dict[str, float] = {}
+        self.stage_jobs: dict[str, int] = {}
+        self._progress = progress
+
+    # ---- recording -----------------------------------------------------
+
+    def emit(
+        self,
+        kind: str,
+        job_key: str = "",
+        stage: str = "",
+        detail: str = "",
+        **data,
+    ) -> Event:
+        """Append one event and update derived counters."""
+        with self._lock:
+            event = Event(
+                seq=len(self._events),
+                wall_s=time.monotonic() - self._t0,
+                kind=kind,
+                job_key=job_key,
+                stage=stage,
+                detail=detail,
+                data=data,
+            )
+            self._events.append(event)
+            if kind in _COUNTED:
+                self.counters[_COUNTER_NAMES[kind]] += 1
+            if kind == "run_finished" and stage:
+                self.stage_wall_s[stage] = (
+                    self.stage_wall_s.get(stage, 0.0) + data.get("duration_s", 0.0)
+                )
+                self.stage_jobs[stage] = self.stage_jobs.get(stage, 0) + 1
+        if self._progress is not None and kind in (
+            "cache_hit",
+            "run_finished",
+            "failed",
+        ):
+            self._progress(self.progress_line())
+        return event
+
+    # ---- reading -------------------------------------------------------
+
+    @property
+    def events(self) -> tuple[Event, ...]:
+        with self._lock:
+            return tuple(self._events)
+
+    def summary(self) -> dict:
+        """Counters plus per-stage timing, JSON-ready."""
+        with self._lock:
+            return {
+                "counters": dict(self.counters),
+                "stages": {
+                    stage: {
+                        "jobs": self.stage_jobs.get(stage, 0),
+                        "wall_s": round(self.stage_wall_s.get(stage, 0.0), 6),
+                    }
+                    for stage in sorted(
+                        set(self.stage_wall_s) | set(self.stage_jobs)
+                    )
+                },
+                "events": len(self._events),
+            }
+
+    def accounted(self) -> bool:
+        """The invariant: every submitted job ended run, cached or failed."""
+        c = self.counters
+        return c["submitted"] == c["run"] + c["cached"] + c["failed"]
+
+    def progress_line(self) -> str:
+        c = self.counters
+        done = c["run"] + c["cached"] + c["failed"]
+        return (
+            f"engine {done}/{c['submitted']} "
+            f"(run {c['run']}, cached {c['cached']}, failed {c['failed']}, "
+            f"retried {c['retried']})"
+        )
+
+    def render(self) -> str:
+        """Multi-line human-readable run report."""
+        c = self.counters
+        lines = [
+            f"jobs: {c['submitted']} submitted"
+            + (f" (+{c['deduped']} deduped)" if c["deduped"] else "")
+            + f" | {c['run']} run | {c['cached']} cached"
+            + f" | {c['failed']} failed | {c['retried']} retried"
+        ]
+        if c["quarantined"]:
+            lines.append(f"store: {c['quarantined']} corrupt entries quarantined")
+        if c["degraded"]:
+            lines.append("executor: degraded to in-process serial execution")
+        for stage in sorted(set(self.stage_wall_s) | set(self.stage_jobs)):
+            lines.append(
+                f"  {stage:13s} {self.stage_jobs.get(stage, 0):4d} jobs  "
+                f"{self.stage_wall_s.get(stage, 0.0):8.2f} s"
+            )
+        lines.append(
+            "accounting: submitted == run + cached + failed -> "
+            + ("OK" if self.accounted() else "VIOLATED")
+        )
+        return "\n".join(lines)
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line, schema per :meth:`Event.as_dict`."""
+        return "\n".join(json.dumps(e.as_dict()) for e in self.events)
+
+
+def stderr_progress(line: str) -> None:
+    """Default progress sink: overwrite a status line on stderr."""
+    print(f"\r{line}", end="", file=sys.stderr, flush=True)

@@ -1,0 +1,395 @@
+"""Fault-tolerant job execution: process pools, retries, degradation.
+
+Execution policy, in order of preference:
+
+1. **Shared pool** — all runnable jobs of a wave go to one
+   ``ProcessPoolExecutor``; a job that raises an ordinary exception is
+   retried (bounded, with exponential backoff) without disturbing the
+   pool.
+2. **Isolation mode** — if the pool itself breaks (a worker died, or a
+   job blew its wall-clock budget and cannot be cancelled), the pool is
+   torn down and every unresolved job re-runs in its own fresh
+   single-worker pool.  That attributes crashes to the right job and
+   shields healthy jobs from a poisoned batch, at the cost of pool
+   startup per job — acceptable because incidents are rare.
+3. **Serial fallback** — if process pools are unavailable at all (no
+   usable start method, fork blocked, resource limits), jobs run
+   in-process, serially.  Timeouts cannot be enforced there; everything
+   else behaves identically.
+
+Results flow back to the parent, which is the only process that writes
+the store — workers only read it.  That keeps persistence single-writer
+and the event accounting exact.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import time
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.engine.events import EventLog
+from repro.engine.jobs import Job, JobContext
+from repro.engine.store import ResultStore, decode_result, encode_result
+
+
+def _worker_run(job: Job, store_dir: str | None):
+    """Top-level (picklable) worker entry point."""
+    return job.run(JobContext(store_dir=store_dir))
+
+
+@dataclasses.dataclass(frozen=True)
+class ExecutorConfig:
+    """Execution policy (never part of any cache key).
+
+    Attributes:
+        max_workers: process count; ``None`` uses ``os.cpu_count()``;
+            ``1`` (or 0) means in-process serial execution.
+        timeout_s: default per-job wall-clock budget (``None`` = none);
+            a job's own ``timeout_s`` attribute takes precedence.
+        retries: additional attempts after the first failure.
+        backoff_s: base of the exponential retry backoff.
+    """
+
+    max_workers: int | None = None
+    timeout_s: float | None = None
+    retries: int = 1
+    backoff_s: float = 0.05
+
+
+@dataclasses.dataclass
+class JobOutcome:
+    """How one job concluded.
+
+    Attributes:
+        job: the spec.
+        status: ``"run"``, ``"cached"`` or ``"failed"``.
+        result: the job's return value (``None`` when failed).
+        error: last error string for failed jobs.
+        attempts: execution attempts consumed (0 for cache hits).
+        duration_s: wall time of the successful attempt.
+    """
+
+    job: Job
+    status: str
+    result: object = None
+    error: str | None = None
+    attempts: int = 0
+    duration_s: float = 0.0
+
+
+class JobExecutor:
+    """Runs job specs against a store with bounded fault tolerance.
+
+    Args:
+        config: execution policy.
+        store: optional persistent result store (hit before running).
+        events: event log (a private one is created if omitted).
+    """
+
+    def __init__(
+        self,
+        config: ExecutorConfig | None = None,
+        store: ResultStore | None = None,
+        events: EventLog | None = None,
+    ) -> None:
+        self.config = config or ExecutorConfig()
+        self.store = store
+        self.events = events if events is not None else EventLog()
+        self.memory: dict[str, object] = {}
+
+    # ---- cache lookups -------------------------------------------------
+
+    def _lookup(self, job: Job):
+        """(found, result) from memory or the persistent store."""
+        key = job.cache_key
+        if key in self.memory:
+            return True, self.memory[key]
+        if self.store is not None:
+            payload = self.store.get(key)
+            if payload is not None:
+                try:
+                    result = decode_result(job.kind, payload)
+                except Exception as exc:
+                    # Valid JSON but an undecodable payload: quarantine
+                    # it and recompute, exactly like on-disk corruption.
+                    self.store.invalidate(key)
+                    self.events.emit(
+                        "quarantined",
+                        job_key=key,
+                        stage=job.stage,
+                        detail=f"{job.describe()}: {exc!r}",
+                    )
+                    return False, None
+                self.memory[key] = result
+                return True, result
+        return False, None
+
+    def _persist(self, job: Job, result) -> None:
+        self.memory[job.cache_key] = result
+        if self.store is not None:
+            payload = encode_result(job.kind, result)
+            if payload is not None:
+                self.store.put(job.cache_key, job.kind, payload)
+
+    # ---- public API ----------------------------------------------------
+
+    def execute(self, jobs: list[Job]) -> dict[str, JobOutcome]:
+        """Execute a wave of mutually independent jobs.
+
+        Returns outcomes keyed by cache key; every input job is present
+        (as run, cached, or failed).
+        """
+        outcomes: dict[str, JobOutcome] = {}
+        to_run: list[Job] = []
+        for job in jobs:
+            if job.cache_key in outcomes:
+                continue
+            found, result = self._lookup(job)
+            if found:
+                outcomes[job.cache_key] = JobOutcome(
+                    job=job, status="cached", result=result
+                )
+                self.events.emit(
+                    "cache_hit",
+                    job_key=job.cache_key,
+                    stage=job.stage,
+                    detail=job.describe(),
+                )
+            else:
+                to_run.append(job)
+        if not to_run:
+            return outcomes
+        workers = self._effective_workers(len(to_run))
+        if workers <= 1:
+            ran = self._execute_serial(to_run)
+        else:
+            ran = self._execute_parallel(to_run, workers)
+        outcomes.update(ran)
+        return outcomes
+
+    # ---- execution strategies -----------------------------------------
+
+    def _effective_workers(self, n_jobs: int) -> int:
+        import os
+
+        workers = self.config.max_workers
+        if workers is None:
+            workers = os.cpu_count() or 1
+        return max(0, min(workers, n_jobs))
+
+    def _timeout_for(self, job: Job) -> float | None:
+        if job.timeout_s is not None:
+            return job.timeout_s
+        return self.config.timeout_s
+
+    def _store_dir(self) -> str | None:
+        return str(self.store.root) if self.store is not None else None
+
+    def _backoff(self, attempt: int) -> None:
+        if self.config.backoff_s > 0.0:
+            time.sleep(self.config.backoff_s * (2 ** (attempt - 1)))
+
+    def _finish(self, job: Job, result, attempts: int, duration: float) -> JobOutcome:
+        self._persist(job, result)
+        self.events.emit(
+            "run_finished",
+            job_key=job.cache_key,
+            stage=job.stage,
+            detail=job.describe(),
+            duration_s=duration,
+            attempts=attempts,
+        )
+        return JobOutcome(
+            job=job,
+            status="run",
+            result=result,
+            attempts=attempts,
+            duration_s=duration,
+        )
+
+    def _fail(self, job: Job, error: str, attempts: int) -> JobOutcome:
+        self.events.emit(
+            "failed",
+            job_key=job.cache_key,
+            stage=job.stage,
+            detail=f"{job.describe()}: {error}",
+            attempts=attempts,
+        )
+        return JobOutcome(job=job, status="failed", error=error, attempts=attempts)
+
+    def _note_retry(self, job: Job, attempt: int, error: str) -> None:
+        self.events.emit(
+            "retried",
+            job_key=job.cache_key,
+            stage=job.stage,
+            detail=f"{job.describe()}: attempt {attempt} failed: {error}",
+        )
+
+    def _execute_serial(self, jobs: list[Job]) -> dict[str, JobOutcome]:
+        """In-process execution (also the no-multiprocessing fallback)."""
+        ctx = JobContext(store_dir=self._store_dir())
+        outcomes: dict[str, JobOutcome] = {}
+        max_attempts = self.config.retries + 1
+        for job in jobs:
+            for attempt in range(1, max_attempts + 1):
+                start = time.monotonic()
+                try:
+                    result = job.run(ctx)
+                except Exception as exc:
+                    error = repr(exc)
+                    if attempt < max_attempts:
+                        self._note_retry(job, attempt, error)
+                        self._backoff(attempt)
+                        continue
+                    outcomes[job.cache_key] = self._fail(job, error, attempt)
+                    break
+                duration = time.monotonic() - start
+                outcomes[job.cache_key] = self._finish(
+                    job, result, attempt, duration
+                )
+                break
+        return outcomes
+
+    def _new_pool(self, workers: int):
+        try:
+            return concurrent.futures.ProcessPoolExecutor(max_workers=workers)
+        except (OSError, ValueError, NotImplementedError):
+            return None
+
+    def _execute_parallel(
+        self, jobs: list[Job], workers: int
+    ) -> dict[str, JobOutcome]:
+        pool = self._new_pool(workers)
+        if pool is None:
+            self.events.emit(
+                "degraded", detail="process pool unavailable; running serially"
+            )
+            return self._execute_serial(jobs)
+
+        outcomes: dict[str, JobOutcome] = {}
+        attempts: dict[str, int] = {job.cache_key: 0 for job in jobs}
+        max_attempts = self.config.retries + 1
+        store_dir = self._store_dir()
+        queue = list(jobs)
+        pool_broken = False
+        try:
+            while queue and not pool_broken:
+                batch = queue
+                queue = []
+                for job in batch:
+                    attempts[job.cache_key] += 1
+                starts = {job.cache_key: time.monotonic() for job in batch}
+                futures = [
+                    (job, pool.submit(_worker_run, job, store_dir))
+                    for job in batch
+                ]
+                for job, future in futures:
+                    key = job.cache_key
+                    if pool_broken:
+                        # Pool already condemned: anything unresolved is
+                        # handed to isolation mode below.
+                        if not future.done() or future.cancelled():
+                            queue.append(job)
+                            attempts[key] -= 1  # attempt never concluded
+                            continue
+                    try:
+                        result = future.result(timeout=self._timeout_for(job))
+                    except concurrent.futures.TimeoutError:
+                        pool_broken = True  # rogue worker may still run
+                        error = (
+                            f"timed out after {self._timeout_for(job):.1f}s"
+                        )
+                        if attempts[key] < max_attempts:
+                            self._note_retry(job, attempts[key], error)
+                            queue.append(job)
+                        else:
+                            outcomes[key] = self._fail(job, error, attempts[key])
+                    except concurrent.futures.CancelledError:
+                        attempts[key] -= 1
+                        queue.append(job)
+                    except BrokenProcessPool:
+                        # Every pending future raises this when any worker
+                        # dies, so the shared pool cannot attribute the
+                        # crash.  Requeue uncharged; isolation mode below
+                        # re-runs each job alone and assigns exact blame.
+                        pool_broken = True
+                        attempts[key] -= 1
+                        queue.append(job)
+                    except Exception as exc:
+                        # The job itself raised; the pool is fine.
+                        error = repr(exc)
+                        if attempts[key] < max_attempts:
+                            self._note_retry(job, attempts[key], error)
+                            queue.append(job)
+                        else:
+                            outcomes[key] = self._fail(job, error, attempts[key])
+                    else:
+                        duration = time.monotonic() - starts[key]
+                        outcomes[key] = self._finish(
+                            job, result, attempts[key], duration
+                        )
+                if queue and not pool_broken:
+                    self._backoff(max(attempts[j.cache_key] for j in queue))
+        finally:
+            pool.shutdown(wait=not pool_broken, cancel_futures=True)
+
+        if queue:
+            self.events.emit(
+                "degraded",
+                detail=(
+                    f"pool incident; isolating {len(queue)} unresolved "
+                    "job(s) in single-worker pools"
+                ),
+            )
+            outcomes.update(self._execute_isolated(queue, attempts))
+        return outcomes
+
+    def _execute_isolated(
+        self, jobs: list[Job], attempts: dict[str, int]
+    ) -> dict[str, JobOutcome]:
+        """One fresh single-worker pool per attempt: exact crash blame."""
+        outcomes: dict[str, JobOutcome] = {}
+        max_attempts = self.config.retries + 1
+        store_dir = self._store_dir()
+        for job in jobs:
+            key = job.cache_key
+            while True:
+                attempts[key] += 1
+                pool = self._new_pool(1)
+                if pool is None:
+                    self.events.emit(
+                        "degraded",
+                        detail="process pool unavailable; running serially",
+                    )
+                    serial = self._execute_serial([job])
+                    outcomes.update(serial)
+                    break
+                start = time.monotonic()
+                rogue = False
+                try:
+                    future = pool.submit(_worker_run, job, store_dir)
+                    result = future.result(timeout=self._timeout_for(job))
+                except concurrent.futures.TimeoutError:
+                    rogue = True
+                    error = f"timed out after {self._timeout_for(job):.1f}s"
+                except BrokenProcessPool as exc:
+                    error = f"worker died: {exc!r}"
+                except Exception as exc:
+                    error = repr(exc)
+                else:
+                    duration = time.monotonic() - start
+                    outcomes[key] = self._finish(
+                        job, result, attempts[key], duration
+                    )
+                    pool.shutdown(wait=True)
+                    break
+                pool.shutdown(wait=not rogue, cancel_futures=True)
+                if attempts[key] < max_attempts:
+                    self._note_retry(job, attempts[key], error)
+                    self._backoff(attempts[key])
+                    continue
+                outcomes[key] = self._fail(job, error, attempts[key])
+                break
+        return outcomes

@@ -1,0 +1,366 @@
+"""Content-addressed, schema-versioned on-disk result store.
+
+The store is the persistence layer of the job engine (and, through
+:class:`~repro.harness.sweep.SimulationCache`, of the whole harness).
+Entries are addressed purely by the content hash of the producing job's
+inputs, so a result can never be attributed to the wrong inputs and the
+filename is always filesystem-safe regardless of what a config's
+``describe()`` string contains.
+
+Durability rules:
+
+- **Atomic writes** — every entry is written to a temporary file in the
+  same directory and ``os.replace``d into place, so a crash mid-write can
+  never leave a half-written entry under the final name.
+- **Corrupt-entry quarantine** — an entry that fails to parse (truncated
+  JSON, wrong envelope, bad payload) is moved into ``quarantine/`` and
+  reported as a miss; the caller simply recomputes.  A damaged cache can
+  therefore never take down a sweep.
+- **Schema versioning** — every envelope records the code schema version
+  of the payload encoding.  A version mismatch is a miss (the stale entry
+  is left in place and overwritten by the next ``put``).
+
+Layout::
+
+    root/
+      objects/ab/abcdef....json     one entry per content hash
+      quarantine/                   corrupt entries, preserved for autopsy
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+import threading
+from pathlib import Path
+
+#: Version of the persisted payload encodings.  Bump when the meaning or
+#: shape of any stored payload changes; old entries then read as misses.
+SCHEMA_VERSION = 1
+
+
+@dataclasses.dataclass
+class StoreStats:
+    """Operation counters for one :class:`ResultStore` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    quarantined: int = 0
+    schema_misses: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+class ResultStore:
+    """A content-addressed JSON store for job results.
+
+    Args:
+        root: directory that holds the store (created on demand).
+        schema_version: payload schema the caller understands; entries
+            recorded under any other version read as misses.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        schema_version: int = SCHEMA_VERSION,
+    ) -> None:
+        self.root = Path(root)
+        self.schema_version = schema_version
+        self.stats = StoreStats()
+        self._lock = threading.Lock()
+        (self.root / "objects").mkdir(parents=True, exist_ok=True)
+
+    # ---- paths ---------------------------------------------------------
+
+    def _object_path(self, key: str) -> Path:
+        return self.root / "objects" / key[:2] / f"{key}.json"
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
+
+    # ---- operations ----------------------------------------------------
+
+    def get(self, key: str) -> dict | None:
+        """Return the payload stored under ``key``, or ``None`` on a miss.
+
+        Corrupt entries are quarantined; stale-schema entries are left in
+        place (a subsequent :meth:`put` overwrites them).  Both count as
+        misses.
+        """
+        path = self._object_path(key)
+        try:
+            raw = path.read_text()
+        except FileNotFoundError:
+            with self._lock:
+                self.stats.misses += 1
+            return None
+        except OSError:
+            with self._lock:
+                self.stats.misses += 1
+            return None
+        try:
+            envelope = json.loads(raw)
+            if not isinstance(envelope, dict):
+                raise ValueError("envelope is not an object")
+            schema = envelope["schema"]
+            payload = envelope["payload"]
+            if envelope["key"] != key:
+                raise ValueError(
+                    f"entry records key {envelope['key']!r}, expected {key!r}"
+                )
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            self._quarantine(path)
+            with self._lock:
+                self.stats.quarantined += 1
+                self.stats.misses += 1
+            return None
+        if schema != self.schema_version:
+            with self._lock:
+                self.stats.schema_misses += 1
+                self.stats.misses += 1
+            return None
+        with self._lock:
+            self.stats.hits += 1
+        return payload
+
+    def put(self, key: str, kind: str, payload: dict) -> None:
+        """Atomically persist ``payload`` under ``key``."""
+        path = self._object_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {
+            "schema": self.schema_version,
+            "key": key,
+            "kind": kind,
+            "payload": payload,
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{key[:8]}-", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(envelope, handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        with self._lock:
+            self.stats.writes += 1
+
+    def contains(self, key: str) -> bool:
+        """Whether an entry exists on disk (without validating it)."""
+        return self._object_path(key).exists()
+
+    def invalidate(self, key: str) -> None:
+        """Quarantine an entry whose payload failed to decode.
+
+        Used when the JSON envelope was readable but the domain objects
+        could not be rebuilt from it (e.g. written by incompatible code
+        under the same schema number); the entry is preserved for autopsy
+        and the caller recomputes.
+        """
+        path = self._object_path(key)
+        if path.exists():
+            self._quarantine(path)
+            with self._lock:
+                self.stats.quarantined += 1
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside, preserving it for inspection."""
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        target = self.quarantine_dir / path.name
+        n = 0
+        while target.exists():
+            n += 1
+            target = self.quarantine_dir / f"{path.stem}.{n}{path.suffix}"
+        try:
+            os.replace(path, target)
+        except OSError:
+            # Someone else already moved/removed it; a miss either way.
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Payload codecs.
+#
+# Each persistable job kind has an (encode, decode) pair.  Encoding never
+# needs heavyweight imports; decoders lazily import the domain types so
+# this module stays import-light and cycle-free (harness.sweep imports it
+# at module scope).
+# ---------------------------------------------------------------------------
+
+
+def encode_workload_run(run) -> dict:
+    """JSON payload for a :class:`~repro.cpu.simulator.WorkloadRun`."""
+    return {
+        "profile": run.profile.name,
+        "config": _config_payload(run.config),
+        "phases": [
+            {
+                "phase": {
+                    "name": pr.phase.name,
+                    "weight": pr.phase.weight,
+                    "ilp_scale": pr.phase.ilp_scale,
+                    "miss_scale": pr.phase.miss_scale,
+                    "fp_scale": pr.phase.fp_scale,
+                },
+                "stats": {
+                    "instructions": pr.stats.instructions,
+                    "cycles": pr.stats.cycles,
+                    "activity": pr.stats.activity,
+                    "mem_stall_cycles": pr.stats.mem_stall_cycles,
+                    "branch_mispredict_rate": pr.stats.branch_mispredict_rate,
+                    "l1d_miss_rate": pr.stats.l1d_miss_rate,
+                    "l1i_miss_rate": pr.stats.l1i_miss_rate,
+                    "l2_miss_rate": pr.stats.l2_miss_rate,
+                    "lsq_forwards": pr.stats.lsq_forwards,
+                    "ras_mispredicts": pr.stats.ras_mispredicts,
+                },
+            }
+            for pr in run.phases
+        ],
+    }
+
+
+def decode_workload_run(payload: dict, profile=None, config=None):
+    """Rebuild a ``WorkloadRun``; raises on malformed payloads.
+
+    Args:
+        payload: output of :func:`encode_workload_run`.
+        profile: the profile object to attach; looked up in the workload
+            suite by the recorded name when omitted.
+        config: the config to attach; rebuilt from the payload when
+            omitted.
+    """
+    from repro.config.microarch import MicroarchConfig
+    from repro.cpu.simulator import PhaseResult, WorkloadRun
+    from repro.cpu.stats import SimulationStats
+    from repro.workloads.phases import Phase
+    from repro.workloads.suite import workload_by_name
+
+    if profile is None:
+        profile = workload_by_name(payload["profile"])
+    if config is None:
+        config = MicroarchConfig(**payload["config"])
+    phases = []
+    for entry in payload["phases"]:
+        phase = Phase(**entry["phase"])
+        stats = SimulationStats(config=config, **entry["stats"])
+        phases.append(PhaseResult(phase=phase, stats=stats))
+    if not phases:
+        raise ValueError("workload-run payload has no phases")
+    return WorkloadRun(profile=profile, config=config, phases=tuple(phases))
+
+
+def encode_drm_decision(decision) -> dict:
+    return {
+        "profile_name": decision.profile_name,
+        "t_qual_k": decision.t_qual_k,
+        "mode": decision.mode.value,
+        "config": _config_payload(decision.config),
+        "op": {
+            "frequency_hz": decision.op.frequency_hz,
+            "voltage_v": decision.op.voltage_v,
+        },
+        "performance": float(decision.performance),
+        "fit": float(decision.fit),
+        # Coerce: these may arrive as numpy scalars (np.bool_ is not
+        # JSON-serializable, and exact float round-tripping needs the
+        # builtin type).
+        "meets_target": bool(decision.meets_target),
+    }
+
+
+def decode_drm_decision(payload: dict):
+    from repro.config.dvs import OperatingPoint
+    from repro.config.microarch import MicroarchConfig
+    from repro.core.drm import AdaptationMode, DRMDecision
+
+    return DRMDecision(
+        profile_name=payload["profile_name"],
+        t_qual_k=payload["t_qual_k"],
+        mode=AdaptationMode(payload["mode"]),
+        config=MicroarchConfig(**payload["config"]),
+        op=OperatingPoint(**payload["op"]),
+        performance=payload["performance"],
+        fit=payload["fit"],
+        meets_target=payload["meets_target"],
+    )
+
+
+def encode_dtm_decision(decision) -> dict:
+    return {
+        "profile_name": decision.profile_name,
+        "t_limit_k": decision.t_limit_k,
+        "op": {
+            "frequency_hz": decision.op.frequency_hz,
+            "voltage_v": decision.op.voltage_v,
+        },
+        "performance": float(decision.performance),
+        "peak_temperature_k": float(decision.peak_temperature_k),
+        "meets_limit": bool(decision.meets_limit),
+    }
+
+
+def decode_dtm_decision(payload: dict):
+    from repro.config.dvs import OperatingPoint
+    from repro.core.dtm import DTMDecision
+
+    return DTMDecision(
+        profile_name=payload["profile_name"],
+        t_limit_k=payload["t_limit_k"],
+        op=OperatingPoint(**payload["op"]),
+        performance=payload["performance"],
+        peak_temperature_k=payload["peak_temperature_k"],
+        meets_limit=payload["meets_limit"],
+    )
+
+
+def _identity_encode(value: dict) -> dict:
+    return value
+
+
+def _identity_decode(payload: dict) -> dict:
+    return payload
+
+
+def _config_payload(config) -> dict:
+    return {f.name: getattr(config, f.name) for f in dataclasses.fields(config)}
+
+
+#: kind -> (encode, decode).  Job kinds without a codec are memory-cached
+#: only (their results are not JSON-representable or not worth persisting).
+CODECS = {
+    "simulate": (encode_workload_run, decode_workload_run),
+    "drm": (encode_drm_decision, decode_drm_decision),
+    "dtm": (encode_dtm_decision, decode_dtm_decision),
+    "qualification": (_identity_encode, _identity_decode),
+}
+
+
+def encode_result(kind: str, result):
+    """Encode a job result for persistence; ``None`` if not persistable."""
+    codec = CODECS.get(kind)
+    if codec is None:
+        return None
+    return codec[0](result)
+
+
+def decode_result(kind: str, payload: dict):
+    """Decode a persisted payload back into a live result object.
+
+    Raises whatever the underlying constructors raise on malformed
+    payloads — callers treat any exception as a cache miss.
+    """
+    codec = CODECS.get(kind)
+    if codec is None:
+        raise KeyError(f"no codec for job kind {kind!r}")
+    return codec[1](payload)

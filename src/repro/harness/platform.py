@@ -18,7 +18,7 @@ workload executes at an arbitrary DVS operating point:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro.config.dvs import OperatingPoint, VoltageFrequencyCurve, DEFAULT_VF_CURVE
 from repro.config.microarch import MicroarchConfig
@@ -117,10 +117,27 @@ class Platform:
     ) -> None:
         self.technology = technology
         self.vf_curve = vf_curve
+        self.power_scale = power_scale
         self.power_model = PowerModel(technology, dynamic_scale=power_scale)
         self.floorplan = build_default_floorplan(technology)
         self.network = ThermalRCNetwork(self.floorplan, thermal_params)
         self.thermal = TwoPassThermalModel(self.network)
+
+    def fingerprint(self) -> dict:
+        """Canonical JSON-ready description of the platform's physics.
+
+        Everything that can change an evaluation's numbers is included:
+        technology constants, package-stack parameters, the DVS law, and
+        the dynamic-power scale.  The job engine hashes this into the
+        cache keys of power/thermal-dependent jobs, so cached decisions
+        are invalidated when the modelled hardware changes.
+        """
+        return {
+            "technology": asdict(self.technology),
+            "thermal": asdict(self.network.params),
+            "vf_curve": asdict(self.vf_curve),
+            "power_scale": self.power_scale,
+        }
 
     # ------------------------------------------------------------------
 

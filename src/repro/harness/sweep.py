@@ -4,13 +4,25 @@ The DRM sweeps evaluate 9 applications x 18 microarchitectural
 configurations; each (application, configuration) pair needs exactly one
 cycle-level simulation, after which every DVS point is an analytical
 rescale.  :class:`SimulationCache` memoises those runs in memory and,
-optionally, on disk (as JSON of the per-phase statistics) so repeated
-bench invocations skip straight to the reliability math.
+optionally, on disk, so repeated bench invocations skip straight to the
+reliability math.
+
+The disk layer is the engine's content-addressed
+:class:`~repro.engine.store.ResultStore`: entries are keyed by a SHA-256
+over *all* simulation inputs (full profile, full config, budgets, seed,
+schema version), not by a ``describe()``-derived filename — so two
+configs can never collide, keys are always filesystem-safe, and editing a
+profile invalidates its cached runs.  A corrupt or truncated entry is
+quarantined and the simulation simply re-runs; a damaged cache can never
+crash a sweep.
+
+For parallel population of the cache (Fig-2-style 162-simulation
+sweeps), see :meth:`SimulationCache.run_many`, which routes through
+:class:`repro.engine.Engine`.
 """
 
 from __future__ import annotations
 
-import json
 import os
 from pathlib import Path
 
@@ -19,12 +31,15 @@ from repro.cpu.simulator import (
     DEFAULT_INSTRUCTIONS,
     DEFAULT_WARMUP,
     CycleSimulator,
-    PhaseResult,
     WorkloadRun,
 )
-from repro.cpu.stats import SimulationStats
+from repro.engine.jobs import simulate_cache_key
+from repro.engine.store import (
+    ResultStore,
+    decode_workload_run,
+    encode_workload_run,
+)
 from repro.workloads.characteristics import WorkloadProfile
-from repro.workloads.phases import Phase
 
 
 class SimulationCache:
@@ -33,7 +48,8 @@ class SimulationCache:
     Args:
         instructions / warmup / seed: forwarded to the simulator; part of
             the cache key.
-        disk_dir: optional directory for a persistent JSON cache.
+        disk_dir: optional directory for the persistent content-addressed
+            store (shared freely between processes and with the engine).
     """
 
     def __init__(
@@ -47,31 +63,38 @@ class SimulationCache:
         self.warmup = warmup
         self.seed = seed
         self.disk_dir = Path(disk_dir) if disk_dir is not None else None
-        if self.disk_dir is not None:
-            self.disk_dir.mkdir(parents=True, exist_ok=True)
-        self._memory: dict[tuple[str, str], WorkloadRun] = {}
+        self.store = ResultStore(self.disk_dir) if self.disk_dir is not None else None
+        self._memory: dict[str, WorkloadRun] = {}
 
-    def _key(self, profile: WorkloadProfile, config: MicroarchConfig) -> tuple[str, str]:
-        return (profile.name, config.describe())
-
-    def _disk_path(self, key: tuple[str, str]) -> Path:
-        name = f"{key[0]}_{key[1]}_{self.instructions}_{self.warmup}_{self.seed}.json"
-        return self.disk_dir / name
+    def _key(self, profile: WorkloadProfile, config: MicroarchConfig) -> str:
+        return simulate_cache_key(
+            profile, config, self.instructions, self.warmup, self.seed
+        )
 
     def run(
         self, profile: WorkloadProfile, config: MicroarchConfig = BASE_MICROARCH
     ) -> WorkloadRun:
-        """Return the (possibly cached) cycle-level run."""
+        """Return the (possibly cached) cycle-level run.
+
+        Lookup order: in-memory memo, then the disk store, then a fresh
+        simulation.  Undecodable store entries are quarantined and the
+        simulation re-runs — corruption degrades to recomputation, never
+        to an exception.
+        """
         key = self._key(profile, config)
         cached = self._memory.get(key)
         if cached is not None:
             return cached
-        if self.disk_dir is not None:
-            path = self._disk_path(key)
-            if path.exists():
-                run = _load_run(path, profile, config)
-                self._memory[key] = run
-                return run
+        if self.store is not None:
+            payload = self.store.get(key)
+            if payload is not None:
+                try:
+                    run = decode_workload_run(payload, profile, config)
+                except Exception:
+                    self.store.invalidate(key)
+                else:
+                    self._memory[key] = run
+                    return run
         simulator = CycleSimulator(
             config=config,
             instructions=self.instructions,
@@ -80,46 +103,51 @@ class SimulationCache:
         )
         run = simulator.run(profile)
         self._memory[key] = run
-        if self.disk_dir is not None:
-            _store_run(self._disk_path(key), run)
+        if self.store is not None:
+            self.store.put(key, "simulate", encode_workload_run(run))
         return run
 
+    def run_many(
+        self,
+        profiles,
+        configs=None,
+        max_workers: int | None = None,
+    ) -> dict[tuple[str, str], WorkloadRun]:
+        """Populate the cache for (profile × config) pairs in parallel.
 
-def _store_run(path: Path, run: WorkloadRun) -> None:
-    payload = {
-        "phases": [
-            {
-                "phase": {
-                    "name": pr.phase.name,
-                    "weight": pr.phase.weight,
-                    "ilp_scale": pr.phase.ilp_scale,
-                    "miss_scale": pr.phase.miss_scale,
-                    "fp_scale": pr.phase.fp_scale,
-                },
-                "stats": {
-                    "instructions": pr.stats.instructions,
-                    "cycles": pr.stats.cycles,
-                    "activity": pr.stats.activity,
-                    "mem_stall_cycles": pr.stats.mem_stall_cycles,
-                    "branch_mispredict_rate": pr.stats.branch_mispredict_rate,
-                    "l1d_miss_rate": pr.stats.l1d_miss_rate,
-                    "l1i_miss_rate": pr.stats.l1i_miss_rate,
-                    "l2_miss_rate": pr.stats.l2_miss_rate,
-                    "lsq_forwards": pr.stats.lsq_forwards,
-                    "ras_mispredicts": pr.stats.ras_mispredicts,
-                },
+        Suite profiles only (the engine addresses them by name).  With a
+        disk store the simulations fan out across worker processes and
+        land in the shared store; without one the pairs run serially
+        in-process (worker memory would be unreachable).  Either way the
+        in-memory memo ends up warm and the returned runs are identical
+        to what sequential :meth:`run` calls would produce.
+
+        Returns ``{(profile.name, config.describe()): WorkloadRun}``.
+        """
+        from repro.engine import Engine
+
+        if configs is None:
+            configs = (BASE_MICROARCH,)
+        profiles = list(profiles)
+        configs = list(configs)
+        if self.store is None or max_workers == 1:
+            return {
+                (p.name, c.describe()): self.run(p, c)
+                for p in profiles
+                for c in configs
             }
-            for pr in run.phases
-        ]
-    }
-    path.write_text(json.dumps(payload))
-
-
-def _load_run(path: Path, profile: WorkloadProfile, config: MicroarchConfig) -> WorkloadRun:
-    payload = json.loads(path.read_text())
-    phases = []
-    for entry in payload["phases"]:
-        phase = Phase(**entry["phase"])
-        stats = SimulationStats(config=config, **entry["stats"])
-        phases.append(PhaseResult(phase=phase, stats=stats))
-    return WorkloadRun(profile=profile, config=config, phases=tuple(phases))
+        engine = Engine(store_dir=self.disk_dir, max_workers=max_workers)
+        engine.simulate_many(
+            [p.name for p in profiles],
+            configs,
+            instructions=self.instructions,
+            warmup=self.warmup,
+            seed=self.seed,
+        )
+        # Re-read through the normal path so the memo fills from the
+        # store and every entry went through the same decode checks.
+        return {
+            (p.name, c.describe()): self.run(p, c)
+            for p in profiles
+            for c in configs
+        }

@@ -25,7 +25,6 @@ from repro.config.dvs import DEFAULT_VF_CURVE
 from repro.config.technology import STRUCTURES
 from repro.core.qualification import QualifiedReliabilityModel
 from repro.core.ramp import RampModel
-from repro.errors import ReproError
 from repro.harness.platform import Platform
 from repro.harness.sweep import SimulationCache
 from repro.thermal.solver import SteadyStateSolver

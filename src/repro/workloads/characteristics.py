@@ -22,7 +22,7 @@ The knobs and what they control:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import WorkloadError
 from repro.workloads.trace import OpClass

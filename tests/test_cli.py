@@ -80,4 +80,4 @@ class TestCommands:
             + FAST
         )
         assert code == 0
-        assert list(tmp_path.glob("*.json"))
+        assert list(tmp_path.glob("objects/*/*.json"))

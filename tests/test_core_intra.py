@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.drm import AdaptationMode
 from repro.core.intra import IntraAppOracle
 from repro.errors import AdaptationError
 from repro.workloads.suite import workload_by_name

@@ -7,7 +7,6 @@ from repro.core.fit import FitAccount
 from repro.core.lifetime import (
     ExponentialLifetime,
     LognormalLifetime,
-    SeriesSystemResult,
     WeibullLifetime,
     component_mttfs_from_account,
     series_system_mttf,

@@ -97,7 +97,9 @@ class TestApplicationReliability:
         mixed = ramp400.application_reliability(make_eval([hot, cool]))
         hot_only = ramp400.application_reliability(make_eval([make_interval(temp=390.0)]))
         cool_only = ramp400.application_reliability(make_eval([make_interval(temp=340.0)]))
-        em = lambda r: r.account.by_mechanism()["EM"]
+        def em(r):
+            return r.account.by_mechanism()["EM"]
+
         assert em(cool_only) < em(mixed) < em(hot_only)
         assert em(mixed) == pytest.approx((em(hot_only) + em(cool_only)) / 2, rel=1e-9)
 
@@ -106,7 +108,9 @@ class TestApplicationReliability:
         cool = make_interval(temp=340.0, weight=0.5)
         mixed = ramp400.application_reliability(make_eval([hot, cool]))
         avg_only = ramp400.application_reliability(make_eval([make_interval(temp=365.0)]))
-        tc = lambda r: r.account.by_mechanism()["TC"]
+        def tc(r):
+            return r.account.by_mechanism()["TC"]
+
         # TC from the average T, NOT the average of per-interval TC FITs.
         assert tc(mixed) == pytest.approx(tc(avg_only), rel=1e-9)
 

@@ -43,7 +43,6 @@ class TestStructureLifetimes:
 
     def test_structure_lifetime_is_min_over_mechanisms(self):
         """A structure with two mechanisms dies sooner than either alone."""
-        rng = np.random.default_rng(1)
         one_mech = FitAccount({("EM", "fpu"): 1000.0})
         two_mech = FitAccount({("EM", "fpu"): 1000.0, ("SM", "fpu"): 1000.0})
         a = structure_lifetimes(one_mech, ExponentialLifetime(), np.random.default_rng(1), 20_000)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.config.microarch import BASE_MICROARCH, MicroarchConfig
+from repro.config.microarch import BASE_MICROARCH
 from repro.cpu.pipeline import PipelineEngine
 from repro.cpu.simulator import simulate_trace, simulate_with_timeline
 from repro.errors import SimulationError, WorkloadError
@@ -94,6 +94,7 @@ class TestMicrobenchmarks:
         streaming = simulate_trace(ub.stream(600, stride_blocks=0x100000))
         # Dependent loads cannot overlap; independent misses can.
         assert chase.ipc < 0.5
+        assert chase.ipc < streaming.ipc
 
     def test_stream_exploits_mlp(self):
         cold_stream = simulate_trace(ub.stream(600))

@@ -6,7 +6,7 @@ from repro.config.microarch import BASE_MICROARCH, MicroarchConfig
 from repro.cpu.functional_units import FunctionalUnitPool, FunctionalUnits
 from repro.cpu.isa import OP_LATENCY, FuKind
 from repro.cpu.regfile import RegisterFileModel
-from repro.cpu.window import ISSUED, WAITING, InstructionWindow, WindowEntry
+from repro.cpu.window import WAITING, InstructionWindow, WindowEntry
 from repro.errors import ConfigurationError, SimulationError
 from repro.workloads.trace import OpClass
 

@@ -1,0 +1,101 @@
+"""Graph construction: dedupe, wave ordering, cycle detection."""
+
+import pytest
+
+from repro.engine.events import EventLog
+from repro.engine.jobs import DRMSearchJob, EngineError, Job, SimulateJob
+from repro.engine.scheduler import JobGraph
+from repro.workloads.suite import SUITE_NAMES
+
+
+class _Named(Job):
+    """Minimal in-test job with hand-wired dependencies."""
+
+    kind = "fake"
+    stage = "simulate"
+
+    def __init__(self, name, deps=()):
+        self.name = name
+        self._deps = tuple(deps)
+
+    def payload(self):
+        return {"name": self.name}
+
+    def run(self, ctx):
+        return self.name
+
+    def dependencies(self):
+        return self._deps
+
+
+class TestDedupe:
+    def test_duplicate_add_returns_canonical_instance(self):
+        events = EventLog()
+        graph = JobGraph(events)
+        first = graph.add(SimulateJob("twolf"))
+        second = graph.add(SimulateJob("twolf"))
+        assert second is first
+        assert len(graph) == 1
+        assert events.counters["submitted"] == 1
+        assert events.counters["deduped"] == 1
+
+    def test_shared_dependencies_submitted_once(self):
+        events = EventLog()
+        graph = JobGraph(events)
+        graph.add(DRMSearchJob("twolf", 370.0, mode="dvs", instructions=1000))
+        graph.add(DRMSearchJob("twolf", 380.0, mode="dvs", instructions=1000))
+        # Both sweeps need the same nine base simulations; the graph holds
+        # 9 sims + 2 searches, with the second search's deps all deduped.
+        assert len(graph) == len(SUITE_NAMES) + 2
+        assert events.counters["deduped"] == len(SUITE_NAMES)
+
+    def test_contains_uses_content_identity(self):
+        graph = JobGraph()
+        graph.add(SimulateJob("twolf"))
+        assert SimulateJob("twolf") in graph
+        assert SimulateJob("bzip2") not in graph
+
+
+class TestWaves:
+    def test_simulations_precede_searches(self):
+        graph = JobGraph()
+        graph.add(DRMSearchJob("twolf", 370.0, mode="dvs", instructions=1000))
+        waves = graph.waves()
+        assert len(waves) == 2
+        assert {j.stage for j in waves[0]} == {"simulate"}
+        assert {j.stage for j in waves[1]} == {"drm"}
+
+    def test_wave_order_is_deterministic(self):
+        def build(order):
+            graph = JobGraph()
+            for name in order:
+                graph.add(SimulateJob(name, instructions=1000))
+            return [j.cache_key for wave in graph.waves() for j in wave]
+
+        assert build(["twolf", "art", "bzip2"]) == build(["bzip2", "art", "twolf"])
+
+    def test_independent_jobs_share_one_wave(self):
+        graph = JobGraph()
+        for name in ("twolf", "art", "bzip2"):
+            graph.add(SimulateJob(name))
+        waves = graph.waves()
+        assert len(waves) == 1
+        assert len(waves[0]) == 3
+
+    def test_chain_produces_one_wave_per_link(self):
+        a = _Named("a")
+        b = _Named("b", [a])
+        c = _Named("c", [b])
+        graph = JobGraph()
+        graph.add(c)  # pulls in b and a recursively
+        waves = graph.waves()
+        assert [[j.name for j in wave] for wave in waves] == [["a"], ["b"], ["c"]]
+
+    def test_cycle_raises_engine_error(self):
+        a = _Named("a")
+        b = _Named("b", [a])
+        a._deps = (b,)  # close the loop after construction
+        graph = JobGraph()
+        graph.add(a)
+        with pytest.raises(EngineError, match="cycle"):
+            graph.waves()

@@ -1,0 +1,159 @@
+"""Result-store durability: roundtrips, quarantine, schema versioning."""
+
+import json
+
+import pytest
+
+from repro.config.microarch import BASE_MICROARCH, MicroarchConfig
+from repro.engine.store import (
+    ResultStore,
+    decode_result,
+    decode_workload_run,
+    encode_result,
+    encode_workload_run,
+)
+
+KEY = "ab" + "0" * 62
+OTHER = "cd" + "1" * 62
+
+
+class TestResultStore:
+    def test_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY, "qualification", {"window": 0.5})
+        assert store.get(KEY) == {"window": 0.5}
+        assert store.stats.hits == 1
+        assert store.stats.writes == 1
+
+    def test_miss_counts(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get(KEY) is None
+        assert store.stats.misses == 1
+
+    def test_entries_shard_by_hash_prefix(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY, "qualification", {})
+        assert (tmp_path / "objects" / "ab" / f"{KEY}.json").exists()
+
+    def test_overwrite_is_atomic_no_tmp_litter(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY, "qualification", {"v": 1})
+        store.put(KEY, "qualification", {"v": 2})
+        assert store.get(KEY) == {"v": 2}
+        leftovers = list((tmp_path / "objects" / "ab").glob("*.tmp"))
+        assert leftovers == []
+
+    def test_truncated_entry_quarantined_and_missed(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY, "qualification", {"v": 1})
+        path = tmp_path / "objects" / "ab" / f"{KEY}.json"
+        path.write_text(path.read_text()[:17])  # truncate mid-JSON
+        assert store.get(KEY) is None
+        assert store.stats.quarantined == 1
+        assert not path.exists()
+        assert list(store.quarantine_dir.iterdir())
+        # The store recovers: a fresh put works again.
+        store.put(KEY, "qualification", {"v": 3})
+        assert store.get(KEY) == {"v": 3}
+
+    def test_wrong_envelope_key_quarantined(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY, "qualification", {"v": 1})
+        src = tmp_path / "objects" / "ab" / f"{KEY}.json"
+        dst = tmp_path / "objects" / "cd"
+        dst.mkdir(parents=True)
+        (dst / f"{OTHER}.json").write_text(src.read_text())
+        assert store.get(OTHER) is None
+        assert store.stats.quarantined == 1
+
+    def test_schema_mismatch_is_a_miss_not_a_crash(self, tmp_path):
+        old = ResultStore(tmp_path, schema_version=1)
+        old.put(KEY, "qualification", {"v": 1})
+        new = ResultStore(tmp_path, schema_version=2)
+        assert new.get(KEY) is None
+        assert new.stats.schema_misses == 1
+        # Stale entry is replaced on the next write, not quarantined.
+        new.put(KEY, "qualification", {"v": 2})
+        assert new.get(KEY) == {"v": 2}
+
+    def test_invalidate_moves_entry_to_quarantine(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY, "qualification", {"v": 1})
+        store.invalidate(KEY)
+        assert not store.contains(KEY)
+        assert store.stats.quarantined == 1
+
+    def test_quarantine_preserves_multiple_corpses(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for _ in range(3):
+            store.put(KEY, "qualification", {"v": 1})
+            store.invalidate(KEY)
+        assert len(list(store.quarantine_dir.iterdir())) == 3
+
+
+class TestWorkloadRunCodec:
+    def test_roundtrip_is_exact(self, test_cache):
+        from repro.workloads.suite import workload_by_name
+
+        profile = workload_by_name("twolf")
+        run = test_cache.run(profile)
+        payload = encode_workload_run(run)
+        # Through actual JSON, as the store would do it.
+        decoded = decode_workload_run(
+            json.loads(json.dumps(payload)), profile, run.config
+        )
+        assert decoded == run
+
+    def test_decode_rebuilds_profile_and_config_from_payload(self, test_cache):
+        from repro.workloads.suite import workload_by_name
+
+        profile = workload_by_name("twolf")
+        config = MicroarchConfig(window_size=32)
+        run = test_cache.run(profile, config)
+        decoded = decode_workload_run(encode_workload_run(run))
+        assert decoded.profile is profile
+        assert decoded.config == config
+        assert decoded == run
+
+    def test_empty_phases_payload_rejected(self):
+        with pytest.raises(Exception):
+            decode_workload_run({"profile": "twolf",
+                                 "config": {"window_size": 128},
+                                 "phases": []})
+
+
+class TestDecisionCodecs:
+    def test_drm_decision_roundtrip(self):
+        from repro.config.dvs import DEFAULT_VF_CURVE
+        from repro.core.drm import AdaptationMode, DRMDecision
+
+        decision = DRMDecision(
+            profile_name="twolf",
+            t_qual_k=370.0,
+            mode=AdaptationMode.ARCHDVS,
+            config=BASE_MICROARCH,
+            op=DEFAULT_VF_CURVE.nominal,
+            performance=1.05,
+            fit=3999.5,
+            meets_target=True,
+        )
+        payload = json.loads(json.dumps(encode_result("drm", decision)))
+        assert decode_result("drm", payload) == decision
+
+    def test_dtm_decision_roundtrip(self):
+        from repro.config.dvs import DEFAULT_VF_CURVE
+        from repro.core.dtm import DTMDecision
+
+        decision = DTMDecision(
+            profile_name="art",
+            t_limit_k=360.0,
+            op=DEFAULT_VF_CURVE.nominal,
+            performance=0.93,
+            peak_temperature_k=359.2,
+            meets_limit=True,
+        )
+        payload = json.loads(json.dumps(encode_result("dtm", decision)))
+        assert decode_result("dtm", payload) == decision
+
+    def test_unpersistable_kind_encodes_to_none(self):
+        assert encode_result("evaluate", object()) is None

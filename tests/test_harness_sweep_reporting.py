@@ -39,7 +39,32 @@ class TestSimulationCache:
     def test_disk_cache_files_created(self, tmp_path):
         cache = SimulationCache(instructions=1500, warmup=300, disk_dir=tmp_path)
         cache.run(TWOLF)
-        assert list(tmp_path.glob("twolf_*.json"))
+        # Content-addressed layout: objects/<hash[:2]>/<hash>.json.
+        entries = list(tmp_path.glob("objects/*/*.json"))
+        assert len(entries) == 1
+        name = entries[0].stem
+        assert len(name) == 64 and entries[0].parent.name == name[:2]
+
+    def test_disk_cache_key_ignores_profile_name_cosmetics(self, tmp_path):
+        # The key is a content hash of the full profile, not its filename.
+        cache = SimulationCache(instructions=1500, warmup=300, disk_dir=tmp_path)
+        cache.run(TWOLF)
+        (entry,) = tmp_path.glob("objects/*/*.json")
+        assert "twolf" not in entry.name
+
+    def test_corrupt_disk_entry_falls_back_to_resimulation(self, tmp_path):
+        c1 = SimulationCache(instructions=1500, warmup=300, disk_dir=tmp_path)
+        run1 = c1.run(TWOLF)
+        (entry,) = tmp_path.glob("objects/*/*.json")
+        entry.write_text("{not json")
+        c2 = SimulationCache(instructions=1500, warmup=300, disk_dir=tmp_path)
+        run2 = c2.run(TWOLF)  # must re-simulate, not crash
+        assert run2 == run1
+        assert c2.store.stats.quarantined == 1
+        # The re-simulation was persisted again, readable by a third cache.
+        c3 = SimulationCache(instructions=1500, warmup=300, disk_dir=tmp_path)
+        assert c3.run(TWOLF) == run1
+        assert c3.store.stats.hits == 1
 
 
 class TestFormatTable:

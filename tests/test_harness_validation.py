@@ -1,6 +1,5 @@
 """Tests for the self-validation audits."""
 
-import pytest
 
 from repro.harness.validation import (
     ValidationReport,

@@ -56,12 +56,18 @@ class TestSubpackageExports:
     def test_no_import_cycles_from_cold_start(self):
         # A fresh import of the deepest consumer must not trip the
         # harness/core cycle guarded in repro.harness.__init__.
+        import os
         import subprocess
         import sys
+        from pathlib import Path
 
+        # The child process doesn't inherit pytest's pythonpath config.
+        src = str(Path(repro.__file__).resolve().parents[1])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
         code = "from repro.harness.validation import validate_stack; print('ok')"
         out = subprocess.run(
-            [sys.executable, "-c", code], capture_output=True, text=True
+            [sys.executable, "-c", code], capture_output=True, text=True, env=env
         )
         assert out.returncode == 0, out.stderr
         assert out.stdout.strip() == "ok"

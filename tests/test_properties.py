@@ -63,13 +63,39 @@ class TestFitAlgebraProperties:
 
 
 class TestFailureModelProperties:
-    @given(t1=temps, t2=temps)
-    def test_all_mechanisms_monotone_in_temperature(self, t1, t2):
+    @given(t1=temps, t2=temps, v=volts)
+    def test_all_mechanisms_monotone_in_temperature(self, t1, t2, v):
+        """Hotter is never more reliable — within the qualified domain.
+
+        The domain matters (see docs/MODELING.md): TDDB's voltage
+        acceleration exponent (a - b*T) shrinks with temperature, so for
+        supply voltages above the qualified window (V >~ 1.4) its FIT is
+        legitimately *non*-monotone in T; ``volts`` stays inside the
+        qualified [0.7, 1.3] V range where monotonicity is a real model
+        property.  The comparison is relative because stress migration's
+        two opposing temperature effects (Arrhenius vs |T_metal - T|
+        stress) nearly cancel near equal temperatures, leaving only
+        float rounding noise.
+        """
         if t1 == t2:
             return
         lo, hi = sorted((t1, t2))
         for mech in ALL_MECHANISMS:
-            assert mech.relative_fit(cond(hi)) >= mech.relative_fit(cond(lo)) - 1e-30
+            fit_lo = mech.relative_fit(cond(lo, v=v))
+            fit_hi = mech.relative_fit(cond(hi, v=v))
+            assert fit_hi >= fit_lo * (1.0 - 1e-9), (mech.name, lo, hi, v)
+
+    def test_tddb_non_monotone_in_temperature_above_qualified_voltage(self):
+        """Outside the qualified window the TDDB nuance is real, not a bug.
+
+        At V = 1.8 the (1/V)^(a - b*T) term dominates: the voltage
+        exponent falls with temperature, so FIT *decreases* with T over
+        part of the range.  This pins the model behaviour the monotone
+        test above deliberately excludes.
+        """
+        tddb = TimeDependentDielectricBreakdown()
+        fits = [tddb.relative_fit(cond(t, v=1.8)) for t in (320.0, 340.0, 360.0)]
+        assert any(b < a for a, b in zip(fits, fits[1:]))
 
     @given(p1=acts, p2=acts)
     def test_em_monotone_in_activity(self, p1, p2):

@@ -7,7 +7,6 @@ added after the first property pass.
 
 import math
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
