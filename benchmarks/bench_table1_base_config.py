@@ -22,7 +22,7 @@ def build_table() -> tuple[str, list[tuple[str, str, str]]]:
     hierarchy = MemoryHierarchy()
     rows = [
         ("Process technology", f"{tech.process_nm:.0f} nm", "65 nm"),
-        ("Vdd", f"{tech.vdd_nominal:.1f} V", "1.0 V"),
+        ("Vdd", f"{tech.vdd_nominal_v:.1f} V", "1.0 V"),
         ("Processor frequency", f"{tech.frequency_nominal_hz/1e9:.1f} GHz", "4.0 GHz"),
         ("Core size", f"{tech.core_area_mm2:.1f} mm^2", "20.2 mm^2"),
         ("Die edge", f"{tech.die_edge_mm:.1f} mm", "4.5 mm"),

@@ -1,0 +1,50 @@
+"""Physics-aware static analysis for the repro codebase.
+
+An AST-based rule suite that enforces the invariants the type system
+cannot see: unit-suffix naming (RPR001), cache-key determinism
+(RPR002), process-pool picklability (RPR003), no raw float equality
+(RPR004), single-spelling paper constants (RPR005), and no broad
+excepts (RPR006).  Run it as ``python -m repro analyze``; accepted debt
+lives in a committed baseline file with a two-sided ratchet.
+
+Library entry points::
+
+    from repro.analysis import Analyzer, Baseline
+
+    result = Analyzer(root=".").analyze_paths(["src", "tests"])
+    for finding in result.findings:
+        print(finding.render())
+"""
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.emitters import to_json, to_sarif, to_text
+from repro.analysis.engine import Analyzer, FileContext
+from repro.analysis.findings import AnalysisResult, Finding, Severity
+from repro.analysis.registry import (
+    AnalysisError,
+    Rule,
+    all_rules,
+    get_rule,
+    register,
+    select_rules,
+)
+from repro.analysis.suppressions import parse_suppressions
+
+__all__ = [
+    "AnalysisError",
+    "AnalysisResult",
+    "Analyzer",
+    "Baseline",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "get_rule",
+    "parse_suppressions",
+    "register",
+    "select_rules",
+    "to_json",
+    "to_sarif",
+    "to_text",
+]

@@ -1,0 +1,112 @@
+"""Committed-baseline ratchet.
+
+The baseline file records accepted debt as finding fingerprints (rule +
+path + normalised line text) with occurrence counts.  The ratchet is
+two-sided:
+
+- a finding whose fingerprint is NOT in the baseline **fails** the run
+  (debt cannot grow);
+- a baseline entry that matches nothing is **stale** and also fails the
+  run until ``--update-baseline`` removes it (debt cannot silently
+  linger after it is fixed — the ratchet clicks down).
+
+Fingerprints ignore line numbers, so unrelated edits that shift code do
+not churn the file; moving or editing the offending line itself does
+invalidate its entry, which is exactly when a human should re-look.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import AnalysisResult, Finding
+from repro.analysis.registry import AnalysisError
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+@dataclass
+class Baseline:
+    """Accepted findings, keyed by fingerprint with occurrence counts."""
+
+    entries: dict[str, dict] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file.
+
+        Raises:
+            AnalysisError: on unreadable or structurally invalid files.
+        """
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise AnalysisError(f"cannot read baseline {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise AnalysisError(f"baseline {path} is not valid JSON: {exc}") from exc
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != BASELINE_VERSION
+            or not isinstance(payload.get("findings"), dict)
+        ):
+            raise AnalysisError(
+                f"baseline {path} has an unexpected shape "
+                f"(want version {BASELINE_VERSION} with a findings map)"
+            )
+        return cls(entries=payload["findings"])
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        entries: dict[str, dict] = {}
+        for f in sorted(findings, key=Finding.sort_key):
+            entry = entries.setdefault(
+                f.fingerprint,
+                {"rule": f.rule, "path": f.path, "message": f.message, "count": 0},
+            )
+            entry["count"] += 1
+        return cls(entries=entries)
+
+    def write(self, path: Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "tool": "repro-analyze",
+            "findings": {k: self.entries[k] for k in sorted(self.entries)},
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def partition(self, result: AnalysisResult) -> None:
+        """Split ``result.findings`` into new vs baselined, in place.
+
+        Each baseline entry absorbs up to ``count`` matching findings;
+        anything beyond that is new debt.  Any unconsumed allowance
+        (an entry that matched fewer findings than its count) is stale:
+        debt was fixed, and the baseline must ratchet down to match.
+        """
+        remaining = {k: int(v.get("count", 1)) for k, v in self.entries.items()}
+        new: list[Finding] = []
+        matched: list[Finding] = []
+        for finding in result.findings:
+            fp = finding.fingerprint
+            if remaining.get(fp, 0) > 0:
+                remaining[fp] -= 1
+                matched.append(finding)
+            else:
+                new.append(finding)
+        result.findings = new
+        result.baselined = matched
+        result.stale_baseline = sorted(
+            fp for fp, left in remaining.items() if left > 0
+        )
+
+    def describe_stale(self, fingerprints: list[str]) -> list[str]:
+        out = []
+        for fp in fingerprints:
+            entry = self.entries.get(fp, {})
+            out.append(
+                f"{fp} {entry.get('rule', '?')} {entry.get('path', '?')}: "
+                f"{entry.get('message', '?')}"
+            )
+        return out

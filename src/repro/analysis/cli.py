@@ -1,0 +1,156 @@
+"""The ``python -m repro analyze`` subcommand.
+
+Exit codes follow the usual analyzer contract:
+
+- ``0`` — clean: no unbaselined findings, no stale baseline entries;
+- ``1`` — findings (or a stale baseline that must ratchet down);
+- ``2`` — usage error (unknown rule id, unreadable baseline, bad args).
+
+Defaults (paths and baseline location) can be configured in
+``pyproject.toml`` under ``[tool.repro.analysis]``; command-line
+arguments win over configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import DEFAULT_BASELINE, Baseline
+from repro.analysis.emitters import to_json, to_sarif, to_text
+from repro.analysis.engine import Analyzer
+from repro.analysis.registry import AnalysisError, all_rules
+
+_DEFAULT_PATHS = ["src", "tests"]
+
+
+def load_config(root: Path) -> dict:
+    """``[tool.repro.analysis]`` from ``pyproject.toml``, if readable."""
+    pyproject = root / "pyproject.toml"
+    if not pyproject.is_file():
+        return {}
+    try:
+        import tomllib
+    except ImportError:  # pragma: no cover - python < 3.11
+        return {}
+    try:
+        payload = tomllib.loads(pyproject.read_text(encoding="utf-8"))
+    except (OSError, tomllib.TOMLDecodeError):
+        return {}
+    section = payload.get("tool", {}).get("repro", {}).get("analysis", {})
+    return section if isinstance(section, dict) else {}
+
+
+def add_analyze_parser(sub: argparse._SubParsersAction) -> None:
+    """Register the ``analyze`` subcommand on the repro CLI."""
+    p = sub.add_parser(
+        "analyze",
+        help="run the physics-aware static-analysis suite",
+        description=(
+            "AST-based checks for the repo's silent invariants: unit "
+            "suffixes, cache-key determinism, pool safety, float "
+            "equality, paper-constant duplication, broad excepts."
+        ),
+    )
+    p.add_argument("paths", nargs="*", default=None,
+                   help="files/directories to analyze (default: src tests, "
+                        "or [tool.repro.analysis].paths)")
+    p.add_argument("--format", choices=["text", "json", "sarif"],
+                   default="text", help="output format (default text)")
+    p.add_argument("--output", default=None,
+                   help="write the report to this file instead of stdout")
+    p.add_argument("--baseline", default=None,
+                   help=f"baseline file (default {DEFAULT_BASELINE} when it "
+                        "exists)")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="ignore any baseline file")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="rewrite the baseline to exactly the current "
+                        "findings (the ratchet click)")
+    p.add_argument("--select", default=None,
+                   help="comma-separated rule ids to run (default: all)")
+    p.add_argument("--ignore", default=None,
+                   help="comma-separated rule ids to skip")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the registered rules and exit")
+    p.add_argument("--verbose", action="store_true",
+                   help="also show baselined (accepted) findings")
+    p.set_defaults(func=run_analyze)
+
+
+def _split_ids(raw: str | None) -> list[str] | None:
+    if raw is None:
+        return None
+    return [token.strip() for token in raw.split(",") if token.strip()]
+
+
+def run_analyze(args: argparse.Namespace) -> int:
+    """Execute the analyze subcommand; returns the process exit code."""
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  {rule.name:16s} [{rule.severity.value}] "
+                  f"{rule.description}")
+        return 0
+
+    root = Path.cwd()
+    config = load_config(root)
+    paths = args.paths or config.get("paths") or _DEFAULT_PATHS
+    paths = [Path(p) for p in paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"analyze: no such path: {', '.join(map(str, missing))}",
+              file=sys.stderr)
+        return 2
+
+    try:
+        analyzer = Analyzer(
+            root=root,
+            select=_split_ids(args.select),
+            ignore=_split_ids(args.ignore),
+        )
+        result = analyzer.analyze_paths(paths)
+    except AnalysisError as exc:
+        print(f"analyze: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = Path(
+        args.baseline or config.get("baseline") or DEFAULT_BASELINE
+    )
+    baseline: Baseline | None = None
+    if args.update_baseline:
+        Baseline.from_findings(result.findings).write(baseline_path)
+        print(
+            f"baseline updated: {len(result.findings)} finding(s) recorded "
+            f"in {baseline_path}",
+            file=sys.stderr,
+        )
+        result.baselined = result.findings
+        result.findings = []
+        result.stale_baseline = []
+    elif not args.no_baseline and (args.baseline or baseline_path.is_file()):
+        try:
+            baseline = Baseline.load(baseline_path)
+        except AnalysisError as exc:
+            print(f"analyze: {exc}", file=sys.stderr)
+            return 2
+        baseline.partition(result)
+
+    if args.format == "json":
+        report = json.dumps(to_json(result), indent=2)
+    elif args.format == "sarif":
+        report = json.dumps(to_sarif(result, analyzer.rules), indent=2)
+    else:
+        report = to_text(result, verbose=args.verbose)
+        if baseline is not None and result.stale_baseline:
+            stale = baseline.describe_stale(result.stale_baseline)
+            report += "\n" + "\n".join(f"  stale: {line}" for line in stale)
+
+    if args.output:
+        Path(args.output).write_text(report + "\n", encoding="utf-8")
+        print(f"report written to {args.output}", file=sys.stderr)
+    else:
+        print(report)
+
+    return 0 if result.clean else 1

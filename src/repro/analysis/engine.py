@@ -1,0 +1,200 @@
+"""The analysis driver: file collection, parsing, rule dispatch.
+
+One :class:`Analyzer` run parses every target file once, builds the
+project-wide import graph (for reachability-scoped rules), then hands
+each file to each applicable rule and filters the raw findings through
+inline suppressions.  Baseline filtering happens one layer up, in
+:mod:`repro.analysis.baseline`, so library callers can see the full
+finding set.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import AnalysisResult, Finding, Severity
+from repro.analysis.imports import (
+    ImportGraph,
+    build_import_graph,
+    module_name_for,
+    rel_posix,
+)
+from repro.analysis.registry import Rule, select_rules
+from repro.analysis.suppressions import SuppressionIndex, parse_suppressions
+
+#: Modules whose import closure the determinism rule polices: everything
+#: that can influence a job spec's content hash or its worker-side
+#: recomputation.
+DETERMINISM_ROOTS = ("repro.engine.jobs",)
+
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "venv", "build", "dist", ".eggs"}
+
+
+@dataclass
+class ProjectContext:
+    """Whole-run state shared by every file's analysis."""
+
+    root: Path
+    import_graph: ImportGraph
+    determinism_scope: set[str] = field(default_factory=set)
+    #: True when none of DETERMINISM_ROOTS exist among the analyzed
+    #: files; reachability is then unknowable and reachability-scoped
+    #: rules fall back to checking everything (fixture/sandbox mode).
+    determinism_scope_is_global: bool = False
+
+
+@dataclass
+class FileContext:
+    """One parsed file plus everything a rule needs to inspect it."""
+
+    path: Path
+    rel_path: str
+    source: str
+    lines: list[str]
+    tree: ast.Module
+    module: str | None
+    project: ProjectContext
+    suppressions: SuppressionIndex
+
+    @property
+    def is_test(self) -> bool:
+        """Heuristic: test files get looser treatment from src-only rules."""
+        parts = PathPartsCache.parts(self.rel_path)
+        return (
+            "tests" in parts
+            or "test" in parts
+            or parts[-1].startswith(("test_", "bench_"))
+            or parts[-1].endswith("_test.py")
+        )
+
+    @property
+    def in_determinism_scope(self) -> bool:
+        if self.project.determinism_scope_is_global:
+            return not self.is_test
+        return (
+            self.module is not None
+            and self.module in self.project.determinism_scope
+        )
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+
+class PathPartsCache:
+    """Tiny helper so ``is_test`` stays allocation-light on big runs."""
+
+    _cache: dict[str, tuple[str, ...]] = {}
+
+    @classmethod
+    def parts(cls, rel_path: str) -> tuple[str, ...]:
+        parts = cls._cache.get(rel_path)
+        if parts is None:
+            parts = tuple(rel_path.split("/"))
+            cls._cache[rel_path] = parts
+        return parts
+
+
+def collect_files(paths: list[Path]) -> list[Path]:
+    """Expand files/directories into a sorted, deduplicated ``.py`` list."""
+    out: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not any(part in _SKIP_DIRS for part in candidate.parts):
+                    out.add(candidate)
+        elif path.suffix == ".py":
+            out.add(path)
+    return sorted(out)
+
+
+class Analyzer:
+    """Runs a rule set over a file tree.
+
+    Args:
+        root: directory findings' paths are reported relative to
+            (normally the repo root).
+        select: optional rule-id allowlist.
+        ignore: optional rule-id denylist.
+        rules: explicit rule instances (overrides select/ignore).
+    """
+
+    def __init__(
+        self,
+        root: Path | str = ".",
+        select: list[str] | None = None,
+        ignore: list[str] | None = None,
+        rules: tuple[Rule, ...] | None = None,
+    ) -> None:
+        self.root = Path(root)
+        self.rules = rules if rules is not None else select_rules(select, ignore)
+
+    def analyze_paths(self, paths: list[Path | str]) -> AnalysisResult:
+        """Analyze files and directories; returns all raw findings.
+
+        Files that fail to parse produce an ``RPR000`` syntax-error
+        finding rather than aborting the run.
+        """
+        files = collect_files([Path(p) for p in paths])
+        result = AnalysisResult(files_scanned=len(files))
+
+        parsed: dict[str, tuple[Path, str, ast.Module]] = {}
+        trees_by_rel: dict[str, ast.AST] = {}
+        for path in files:
+            rel = rel_posix(path, self.root)
+            try:
+                source = path.read_text(encoding="utf-8")
+                tree = ast.parse(source, filename=str(path))
+            except (OSError, SyntaxError, ValueError) as exc:
+                result.parse_errors += 1
+                line = getattr(exc, "lineno", None) or 1
+                result.findings.append(
+                    Finding(
+                        rule="RPR000",
+                        path=rel,
+                        line=line,
+                        col=1,
+                        message=f"file could not be parsed: {exc}",
+                        severity=Severity.ERROR,
+                    )
+                )
+                continue
+            parsed[rel] = (path, source, tree)
+            trees_by_rel[rel] = tree
+
+        graph = build_import_graph(trees_by_rel)
+        scope = graph.reachable_from(DETERMINISM_ROOTS)
+        project = ProjectContext(
+            root=self.root,
+            import_graph=graph,
+            determinism_scope=scope,
+            determinism_scope_is_global=not scope,
+        )
+
+        for rel, (path, source, tree) in parsed.items():
+            lines = source.splitlines()
+            ctx = FileContext(
+                path=path,
+                rel_path=rel,
+                source=source,
+                lines=lines,
+                tree=tree,
+                module=module_name_for(rel),
+                project=project,
+                suppressions=parse_suppressions(lines),
+            )
+            for rule in self.rules:
+                if not rule.applies_to(ctx):
+                    continue
+                for finding in rule.check(ctx):
+                    if ctx.suppressions.covers(finding):
+                        result.suppressed.append(finding)
+                    else:
+                        result.findings.append(finding)
+
+        result.findings.sort(key=Finding.sort_key)
+        result.suppressed.sort(key=Finding.sort_key)
+        return result

@@ -1,0 +1,10 @@
+"""Bundled rules; importing this package registers them all."""
+
+from repro.analysis.rules import (  # noqa: F401
+    broad_except,
+    constants_audit,
+    determinism,
+    float_eq,
+    pool_safety,
+    units,
+)

@@ -1,0 +1,94 @@
+"""Inline ``# repro: ignore[RULE, ...]`` suppression parsing.
+
+A suppression comment silences the named rules on its own line; a
+comment-only line additionally covers the first non-comment line after
+its comment block, so a justification can run to several lines:
+
+    x == 0.0  # repro: ignore[RPR004] exact-zero sentinel: set by reset()
+
+    # repro: ignore[RPR003] registered at import time, picklable by
+    # name, so the pool can resolve it in the worker process.
+    pool.submit(worker, job)
+
+``# repro: ignore` without a rule list is deliberately NOT supported:
+blanket suppressions hide new rules' findings, which defeats the
+ratchet.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import Finding
+
+_SUPPRESSION = re.compile(r"#\s*repro:\s*ignore\[([A-Za-z0-9_,\s]+)\]")
+_COMMENT_ONLY = re.compile(r"^\s*#")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed suppression comment.
+
+    Attributes:
+        line: the line the comment sits on (1-based).
+        rules: rule ids it silences.
+        covers_next: True for comment-only lines, which also silence
+            the first non-comment line after their comment block.
+    """
+
+    line: int
+    rules: frozenset[str]
+    covers_next: bool
+
+
+@dataclass
+class SuppressionIndex:
+    """All suppressions of one file, with match bookkeeping."""
+
+    suppressions: list[Suppression] = field(default_factory=list)
+    _by_line: dict[int, set[str]] = field(default_factory=dict)
+
+    def covers(self, finding: Finding) -> bool:
+        """Whether ``finding`` is silenced by an inline suppression."""
+        rules = self._by_line.get(finding.line)
+        return rules is not None and finding.rule in rules
+
+    def lines_for(self, rule_id: str) -> set[int]:
+        """Source lines on which ``rule_id`` is suppressed."""
+        return {ln for ln, rules in self._by_line.items() if rule_id in rules}
+
+
+def parse_suppressions(source_lines: list[str]) -> SuppressionIndex:
+    """Scan physical source lines for suppression comments.
+
+    This is a line-level scan, not a tokenizer: a ``# repro: ignore``
+    inside a string literal would count.  That false positive is
+    harmless (it can only ever silence, and only on its own line) and
+    keeps parsing robust on files the AST cannot digest.
+    """
+    index = SuppressionIndex()
+    for i, text in enumerate(source_lines, start=1):
+        match = _SUPPRESSION.search(text)
+        if match is None:
+            continue
+        rules = frozenset(
+            token.strip() for token in match.group(1).split(",") if token.strip()
+        )
+        if not rules:
+            continue
+        covers_next = bool(_COMMENT_ONLY.match(text))
+        index.suppressions.append(
+            Suppression(line=i, rules=rules, covers_next=covers_next)
+        )
+        index._by_line.setdefault(i, set()).update(rules)
+        if covers_next:
+            # Skip the rest of the comment block: the suppression
+            # attaches to the code line it is documenting.
+            target = i + 1
+            while target <= len(source_lines) and _COMMENT_ONLY.match(
+                source_lines[target - 1]
+            ):
+                target += 1
+            index._by_line.setdefault(target, set()).update(rules)
+    return index

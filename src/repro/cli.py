@@ -12,6 +12,8 @@ user asks of this reproduction:
 - ``suite``             list the workload suite
 - ``validate``          run the stack's self-audits
 - ``map``               ASCII thermal map of an application on the die
+- ``analyze``           physics-aware static analysis (units, determinism,
+                        pool safety, float equality, constants audit)
 
 Every command accepts ``--instructions/--warmup/--seed`` to trade speed
 for fidelity, and ``--dvs-steps`` for grid resolution.
@@ -292,6 +294,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mode", choices=[m.value for m in AdaptationMode], default="dvs")
     _add_common(p)
     p.set_defaults(func=_cmd_sweep)
+
+    from repro.analysis.cli import add_analyze_parser
+
+    add_analyze_parser(sub)
 
     p = sub.add_parser(
         "engine",

@@ -95,27 +95,27 @@ class TechnologyParameters:
 
     Attributes:
         process_nm: feature size in nanometres.
-        vdd_nominal: nominal supply voltage in volts.
+        vdd_nominal_v: nominal supply voltage in volts.
         frequency_nominal_hz: base (non-adaptive) clock frequency in hertz.
         core_area_mm2: total core area excluding the L2 cache.
         leakage_density_w_per_mm2: leakage power density at
             ``leakage_reference_temp_k``.
         leakage_reference_temp_k: temperature at which the leakage density
             was characterised (383 K in the paper).
-        leakage_temp_coefficient: the Heo et al. exponential curve-fit
+        leakage_temp_coefficient_per_k: the Heo et al. exponential curve-fit
             constant: P_leak(T) = P_ref * exp(coeff * (T - T_ref)).
     """
 
     process_nm: float = 65.0
-    vdd_nominal: float = 1.0
+    vdd_nominal_v: float = 1.0
     frequency_nominal_hz: float = 4.0e9
     core_area_mm2: float = 20.2
     leakage_density_w_per_mm2: float = 0.5
     leakage_reference_temp_k: float = 383.0
-    leakage_temp_coefficient: float = 0.017
+    leakage_temp_coefficient_per_k: float = 0.017
 
     def __post_init__(self) -> None:
-        if self.vdd_nominal <= 0.0:
+        if self.vdd_nominal_v <= 0.0:
             raise ConfigurationError("nominal Vdd must be positive")
         if self.frequency_nominal_hz <= 0.0:
             raise ConfigurationError("nominal frequency must be positive")

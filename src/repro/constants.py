@@ -46,6 +46,26 @@ CYCLE_COLD_TEMPERATURE_K = 300.0
 #: have an MTTF of around 30 years, i.e. a total failure rate of ~4000 FIT.
 TARGET_FIT = 4000.0
 
+#: Black's-equation current-density exponent n for the copper
+#: interconnects modelled (Section 3.1; JEDEC JEP122-A via the paper).
+EM_CURRENT_DENSITY_EXPONENT = 1.1
+
+#: Electromigration activation energy Ea in eV for copper (Section 3.1).
+EM_ACTIVATION_ENERGY_EV = 0.9
+
+#: Stress-migration temperature exponent m for sputtered copper
+#: (Section 3.2).
+SM_STRESS_EXPONENT = 2.5
+
+#: Stress-migration activation energy Ea in eV (Section 3.2; equal to
+#: the electromigration value for the modelled copper, but kept as its
+#: own name because the mechanisms are qualified independently).
+SM_ACTIVATION_ENERGY_EV = 0.9
+
+#: Coffin-Manson exponent q for the package (thermal cycling,
+#: Section 3.4).
+TC_COFFIN_MANSON_EXPONENT = 2.35
+
 #: Number of intrinsic failure mechanisms modelled by RAMP.  The FIT budget
 #: is split evenly across them during qualification.
 N_FAILURE_MECHANISMS = 4

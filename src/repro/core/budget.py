@@ -59,7 +59,7 @@ class ReliabilityBudget:
     @property
     def average_fit(self) -> float:
         """Lifetime-average FIT so far (0 before any operation)."""
-        if self.elapsed_hours == 0.0:
+        if not self._history:
             return 0.0
         return self.consumed / self.elapsed_hours
 

@@ -128,7 +128,7 @@ class DRMOracle:
         tech = self.platform.technology
         return QualificationPoint(
             temperature_k=t_qual_k,
-            voltage_v=tech.vdd_nominal,
+            voltage_v=tech.vdd_nominal_v,
             frequency_hz=tech.frequency_nominal_hz,
             activity=self.p_qual(),
         )

@@ -11,6 +11,7 @@ cost-vs-reliability function of materials and yield.
 from __future__ import annotations
 
 import abc
+import math
 from dataclasses import dataclass
 
 from repro.constants import validate_temperature
@@ -87,7 +88,7 @@ class FailureMechanism(abc.ABC):
             raise ReliabilityError(
                 f"{self.name}: non-positive relative MTTF {mttf!r}"
             )
-        if mttf == float("inf"):
+        if math.isinf(mttf):
             return 0.0
         return 1.0 / mttf
 

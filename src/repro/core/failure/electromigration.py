@@ -25,7 +25,11 @@ from __future__ import annotations
 
 import math
 
-from repro.constants import BOLTZMANN_EV_PER_K
+from repro.constants import (
+    BOLTZMANN_EV_PER_K,
+    EM_ACTIVATION_ENERGY_EV,
+    EM_CURRENT_DENSITY_EXPONENT,
+)
 from repro.core.failure.base import FailureMechanism, StressConditions
 
 
@@ -42,8 +46,8 @@ class Electromigration(FailureMechanism):
 
     def __init__(
         self,
-        current_density_exponent: float = 1.1,
-        activation_energy_ev: float = 0.9,
+        current_density_exponent: float = EM_CURRENT_DENSITY_EXPONENT,
+        activation_energy_ev: float = EM_ACTIVATION_ENERGY_EV,
     ) -> None:
         self.n = current_density_exponent
         self.ea_ev = activation_energy_ev

@@ -20,7 +20,11 @@ from __future__ import annotations
 
 import math
 
-from repro.constants import BOLTZMANN_EV_PER_K
+from repro.constants import (
+    BOLTZMANN_EV_PER_K,
+    SM_ACTIVATION_ENERGY_EV,
+    SM_STRESS_EXPONENT,
+)
 from repro.core.failure.base import FailureMechanism, StressConditions
 
 
@@ -39,8 +43,8 @@ class StressMigration(FailureMechanism):
 
     def __init__(
         self,
-        stress_exponent: float = 2.5,
-        activation_energy_ev: float = 0.9,
+        stress_exponent: float = SM_STRESS_EXPONENT,
+        activation_energy_ev: float = SM_ACTIVATION_ENERGY_EV,
         deposition_temperature_k: float = 500.0,
     ) -> None:
         self.m = stress_exponent

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 
-from repro.constants import CYCLE_COLD_TEMPERATURE_K
+from repro.constants import CYCLE_COLD_TEMPERATURE_K, TC_COFFIN_MANSON_EXPONENT
 from repro.core.failure.base import FailureMechanism, StressConditions
 
 
@@ -44,7 +44,7 @@ class ThermalCycling(FailureMechanism):
 
     def __init__(
         self,
-        coffin_manson_exponent: float = 2.35,
+        coffin_manson_exponent: float = TC_COFFIN_MANSON_EXPONENT,
         ambient_k: float = CYCLE_COLD_TEMPERATURE_K,
     ) -> None:
         self.q = coffin_manson_exponent

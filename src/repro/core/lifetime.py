@@ -44,15 +44,15 @@ class LifetimeDistribution(abc.ABC):
     name: str = "abstract"
 
     @abc.abstractmethod
-    def sample(self, rng: np.random.Generator, mttf: float, size: int) -> np.ndarray:
-        """Draw ``size`` lifetimes with mean ``mttf``.
+    def sample(self, rng: np.random.Generator, mttf_hours: float, size: int) -> np.ndarray:
+        """Draw ``size`` lifetimes with mean ``mttf_hours``.
 
         Raises:
-            ReliabilityError: if ``mttf`` is not positive.
+            ReliabilityError: if ``mttf_hours`` is not positive.
         """
 
-    def _check(self, mttf: float) -> None:
-        if mttf <= 0.0 or not math.isfinite(mttf):
+    def _check(self, mttf_hours: float) -> None:
+        if mttf_hours <= 0.0 or not math.isfinite(mttf_hours):
             raise ReliabilityError(f"{self.name}: MTTF must be positive/finite")
 
 
@@ -61,9 +61,9 @@ class ExponentialLifetime(LifetimeDistribution):
 
     name = "exponential"
 
-    def sample(self, rng: np.random.Generator, mttf: float, size: int) -> np.ndarray:
-        self._check(mttf)
-        return rng.exponential(mttf, size=size)
+    def sample(self, rng: np.random.Generator, mttf_hours: float, size: int) -> np.ndarray:
+        self._check(mttf_hours)
+        return rng.exponential(mttf_hours, size=size)
 
 
 class WeibullLifetime(LifetimeDistribution):
@@ -80,9 +80,9 @@ class WeibullLifetime(LifetimeDistribution):
         self.shape = shape
         self.name = f"weibull(beta={shape:g})"
 
-    def sample(self, rng: np.random.Generator, mttf: float, size: int) -> np.ndarray:
-        self._check(mttf)
-        scale = mttf / math.gamma(1.0 + 1.0 / self.shape)
+    def sample(self, rng: np.random.Generator, mttf_hours: float, size: int) -> np.ndarray:
+        self._check(mttf_hours)
+        scale = mttf_hours / math.gamma(1.0 + 1.0 / self.shape)
         return scale * rng.weibull(self.shape, size=size)
 
 
@@ -100,9 +100,9 @@ class LognormalLifetime(LifetimeDistribution):
         self.sigma = sigma
         self.name = f"lognormal(sigma={sigma:g})"
 
-    def sample(self, rng: np.random.Generator, mttf: float, size: int) -> np.ndarray:
-        self._check(mttf)
-        mu = math.log(mttf) - 0.5 * self.sigma * self.sigma
+    def sample(self, rng: np.random.Generator, mttf_hours: float, size: int) -> np.ndarray:
+        self._check(mttf_hours)
+        mu = math.log(mttf_hours) - 0.5 * self.sigma * self.sigma
         return rng.lognormal(mu, self.sigma, size=size)
 
 
@@ -177,8 +177,8 @@ def series_system_mttf(
     sofr = sofr_series_mttf(mttfs)
     rng = np.random.default_rng(seed)
     system = np.full(n_samples, np.inf)
-    for mttf in mttfs:
-        np.minimum(system, distribution.sample(rng, mttf, n_samples), out=system)
+    for mttf_hours in mttfs:
+        np.minimum(system, distribution.sample(rng, mttf_hours, n_samples), out=system)
     mean = float(system.mean())
     std_error = float(system.std(ddof=1) / math.sqrt(n_samples))
     return SeriesSystemResult(

@@ -17,6 +17,7 @@ the cost axis (Figure 2).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.config.technology import STRUCTURES, TechnologyParameters, DEFAULT_TECHNOLOGY
@@ -60,7 +61,7 @@ class QualificationPoint:
             voltage_v=self.voltage_v,
             frequency_hz=self.frequency_hz,
             activity=self.activity[structure],
-            v_nominal=technology.vdd_nominal,
+            v_nominal=technology.vdd_nominal_v,
             f_nominal=technology.frequency_nominal_hz,
         )
 
@@ -138,12 +139,12 @@ def calibrate(
             budget = mech_budget * spec.area_mm2 / total_area
             key = (mech.name, spec.name)
             budgets[key] = budget
-            if budget == 0.0:
+            if budget <= 0.0:
                 constants[key] = float("inf")
                 continue
             conditions = point.conditions_for(spec.name, technology)
             rel = mech.relative_mttf(conditions)
-            if rel == float("inf"):
+            if math.isinf(rel):
                 raise QualificationError(
                     f"{mech.name} cannot act on {spec.name!r} at the "
                     "qualification point; choose a stressier point"

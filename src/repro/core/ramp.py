@@ -19,6 +19,7 @@ voltage.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.constants import FIT_DEVICE_HOURS
@@ -96,7 +97,7 @@ class RampModel:
         powered_fraction: float,
     ) -> float:
         constant = self.qualified.constant(mech.name, structure)
-        if constant == float("inf"):
+        if math.isinf(constant):
             return 0.0
         rel_fit = mech.relative_fit(conditions)
         fit = FIT_DEVICE_HOURS * rel_fit / constant
@@ -119,7 +120,7 @@ class RampModel:
                     voltage_v=interval.op.voltage_v,
                     frequency_hz=interval.op.frequency_hz,
                     activity=interval.activity[structure],
-                    v_nominal=tech.vdd_nominal,
+                    v_nominal=tech.vdd_nominal_v,
                     f_nominal=tech.frequency_nominal_hz,
                 )
                 entries[(mech.name, structure)] = self._structure_fit(
@@ -149,7 +150,7 @@ class RampModel:
                     voltage_v=some_interval.op.voltage_v,
                     frequency_hz=some_interval.op.frequency_hz,
                     activity=some_interval.activity[structure],
-                    v_nominal=tech.vdd_nominal,
+                    v_nominal=tech.vdd_nominal_v,
                     f_nominal=tech.frequency_nominal_hz,
                 )
                 entries[(mech.name, structure)] = self._structure_fit(

@@ -110,7 +110,7 @@ class ScalingStudy:
         tech = self.base_platform.technology
         return OperatingPoint(
             frequency_hz=tech.frequency_nominal_hz * scenario.frequency_scale,
-            voltage_v=tech.vdd_nominal * scenario.vdd_scale,
+            voltage_v=tech.vdd_nominal_v * scenario.vdd_scale,
         )
 
     def evaluate(self, run: WorkloadRun, scenario: ScalingScenario) -> ScalingResult:

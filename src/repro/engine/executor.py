@@ -31,7 +31,12 @@ from concurrent.futures.process import BrokenProcessPool
 
 from repro.engine.events import EventLog
 from repro.engine.jobs import Job, JobContext
-from repro.engine.store import ResultStore, decode_result, encode_result
+from repro.engine.store import (
+    DECODE_ERRORS,
+    ResultStore,
+    decode_result,
+    encode_result,
+)
 
 
 def _worker_run(job: Job, store_dir: str | None):
@@ -111,7 +116,7 @@ class JobExecutor:
             if payload is not None:
                 try:
                     result = decode_result(job.kind, payload)
-                except Exception as exc:
+                except DECODE_ERRORS as exc:
                     # Valid JSON but an undecodable payload: quarantine
                     # it and recompute, exactly like on-disk corruption.
                     self.store.invalidate(key)
@@ -191,14 +196,14 @@ class JobExecutor:
         if self.config.backoff_s > 0.0:
             time.sleep(self.config.backoff_s * (2 ** (attempt - 1)))
 
-    def _finish(self, job: Job, result, attempts: int, duration: float) -> JobOutcome:
+    def _finish(self, job: Job, result, attempts: int, duration_s: float) -> JobOutcome:
         self._persist(job, result)
         self.events.emit(
             "run_finished",
             job_key=job.cache_key,
             stage=job.stage,
             detail=job.describe(),
-            duration_s=duration,
+            duration_s=duration_s,
             attempts=attempts,
         )
         return JobOutcome(
@@ -206,7 +211,7 @@ class JobExecutor:
             status="run",
             result=result,
             attempts=attempts,
-            duration_s=duration,
+            duration_s=duration_s,
         )
 
     def _fail(self, job: Job, error: str, attempts: int) -> JobOutcome:
@@ -237,6 +242,9 @@ class JobExecutor:
                 start = time.monotonic()
                 try:
                     result = job.run(ctx)
+                # repro: ignore[RPR006] crash isolation: jobs run arbitrary
+                # model code, and any raise must become a JobOutcome, not a
+                # crash of the whole wave.
                 except Exception as exc:
                     error = repr(exc)
                     if attempt < max_attempts:
@@ -317,8 +325,10 @@ class JobExecutor:
                         pool_broken = True
                         attempts[key] -= 1
                         queue.append(job)
+                    # repro: ignore[RPR006] crash isolation: the job
+                    # itself raised (the pool is fine), and any raise
+                    # must become a retry/JobOutcome, not kill the wave.
                     except Exception as exc:
-                        # The job itself raised; the pool is fine.
                         error = repr(exc)
                         if attempts[key] < max_attempts:
                             self._note_retry(job, attempts[key], error)
@@ -376,6 +386,8 @@ class JobExecutor:
                     error = f"timed out after {self._timeout_for(job):.1f}s"
                 except BrokenProcessPool as exc:
                     error = f"worker died: {exc!r}"
+                # repro: ignore[RPR006] crash isolation: arbitrary job
+                # errors must be attributed to this job and retried.
                 except Exception as exc:
                     error = repr(exc)
                 else:

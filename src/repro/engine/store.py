@@ -230,6 +230,20 @@ def encode_workload_run(run) -> dict:
     }
 
 
+#: Exceptions a malformed-but-valid-JSON payload can raise while being
+#: decoded back into result objects: missing keys, wrong shapes, wrong
+#: scalar types, out-of-range enum values.  Quarantine layers catch
+#: exactly these — anything else is a bug that should surface.
+DECODE_ERRORS = (
+    KeyError,
+    IndexError,
+    TypeError,
+    ValueError,
+    AttributeError,
+    OverflowError,
+)
+
+
 def decode_workload_run(payload: dict, profile=None, config=None):
     """Rebuild a ``WorkloadRun``; raises on malformed payloads.
 

@@ -35,6 +35,7 @@ from repro.cpu.simulator import (
 )
 from repro.engine.jobs import simulate_cache_key
 from repro.engine.store import (
+    DECODE_ERRORS,
     ResultStore,
     decode_workload_run,
     encode_workload_run,
@@ -90,7 +91,7 @@ class SimulationCache:
             if payload is not None:
                 try:
                     run = decode_workload_run(payload, profile, config)
-                except Exception:
+                except DECODE_ERRORS:
                     self.store.invalidate(key)
                 else:
                     self._memory[key] = run

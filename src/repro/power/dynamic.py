@@ -68,7 +68,7 @@ class DynamicPowerModel:
             ConfigurationError: if an activity factor is missing or out of
                 range.
         """
-        v_ratio = op.voltage_v / self.technology.vdd_nominal
+        v_ratio = op.voltage_v / self.technology.vdd_nominal_v
         f_ratio = op.frequency_hz / self.technology.frequency_nominal_hz
         scale = v_ratio * v_ratio * f_ratio
         powers = {}

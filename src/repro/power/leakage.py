@@ -39,7 +39,7 @@ class LeakagePowerModel:
         import math
 
         return tech.leakage_density_w_per_mm2 * math.exp(
-            tech.leakage_temp_coefficient
+            tech.leakage_temp_coefficient_per_k
             * (temperature_k - tech.leakage_reference_temp_k)
         )
 
@@ -56,7 +56,7 @@ class LeakagePowerModel:
             config: microarchitecture (powered-down slices do not leak).
             op: operating point (leakage scales ~linearly with V).
         """
-        v_ratio = op.voltage_v / self.technology.vdd_nominal
+        v_ratio = op.voltage_v / self.technology.vdd_nominal_v
         powers = {}
         for spec in STRUCTURES:
             t = temperatures[spec.name]

@@ -136,19 +136,19 @@ class ThermalRCNetwork:
         self.capacitance[self.spreader_index] = params.c_spreader_j_per_k
         self.capacitance[self.sink_index] = params.c_sink_j_per_k
 
-    def power_vector(self, power_by_block: dict[str, float]) -> np.ndarray:
+    def power_vector(self, power_w_by_block: dict[str, float]) -> np.ndarray:
         """Assemble the nodal power-injection vector.
 
         Raises:
             ThermalError: if a power entry names an unknown block or a
                 block's power is missing/negative.
         """
-        unknown = set(power_by_block) - set(self.block_names)
+        unknown = set(power_w_by_block) - set(self.block_names)
         if unknown:
             raise ThermalError(f"power given for unknown blocks: {sorted(unknown)}")
         p = np.zeros(self.n_blocks + 2)
         for i, name in enumerate(self.block_names):
-            value = power_by_block.get(name, 0.0)
+            value = power_w_by_block.get(name, 0.0)
             if value < 0.0:
                 raise ThermalError(f"negative power for block {name!r}")
             p[i] = value

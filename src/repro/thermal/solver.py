@@ -27,21 +27,21 @@ class SteadyStateSolver:
         y = np.linalg.solve(self._factor, rhs)
         return np.linalg.solve(self._factor.T, y)
 
-    def solve(self, power_by_block: dict[str, float]) -> dict[str, float]:
+    def solve(self, power_w_by_block: dict[str, float]) -> dict[str, float]:
         """Equilibrium block temperatures for a power assignment.
 
         Returns per-structure temperatures; the spreader and sink nodes
         are available through :meth:`solve_full`.
         """
-        return self.network.temperatures_dict(self.solve_full(power_by_block))
+        return self.network.temperatures_dict(self.solve_full(power_w_by_block))
 
-    def solve_full(self, power_by_block: dict[str, float]) -> np.ndarray:
+    def solve_full(self, power_w_by_block: dict[str, float]) -> np.ndarray:
         """Equilibrium temperatures of every node (blocks, spreader, sink)."""
-        p = self.network.power_vector(power_by_block)
+        p = self.network.power_vector(power_w_by_block)
         return self._solve(p + self.network.ambient_injection)
 
     def solve_with_fixed_sink(
-        self, power_by_block: dict[str, float], sink_temp_k: float
+        self, power_w_by_block: dict[str, float], sink_temp_k: float
     ) -> dict[str, float]:
         """Equilibrium with the heat-sink node pinned at ``sink_temp_k``.
 
@@ -52,7 +52,7 @@ class SteadyStateSolver:
         """
         net = self.network
         k = net.sink_index
-        p = net.power_vector(power_by_block) + net.ambient_injection
+        p = net.power_vector(power_w_by_block) + net.ambient_injection
         g = net.conductance
         # Eliminate the pinned node: move its column to the RHS.
         keep = [i for i in range(g.shape[0]) if i != k]
@@ -77,7 +77,7 @@ class TransientSolver:
         self.network = network
 
     def step(
-        self, temps: np.ndarray, power_by_block: dict[str, float], dt_s: float
+        self, temps: np.ndarray, power_w_by_block: dict[str, float], dt_s: float
     ) -> np.ndarray:
         """Advance the temperature state by ``dt_s`` seconds.
 
@@ -87,7 +87,7 @@ class TransientSolver:
         if dt_s <= 0.0:
             raise ThermalError("time step must be positive")
         net = self.network
-        p = net.power_vector(power_by_block) + net.ambient_injection
+        p = net.power_vector(power_w_by_block) + net.ambient_injection
         c_over_dt = np.diag(net.capacitance / dt_s)
         lhs = c_over_dt + net.conductance
         rhs = p + (net.capacitance / dt_s) * temps
@@ -95,7 +95,7 @@ class TransientSolver:
 
     def run(
         self,
-        power_by_block: dict[str, float],
+        power_w_by_block: dict[str, float],
         duration_s: float,
         dt_s: float,
         initial: np.ndarray | None = None,
@@ -113,5 +113,5 @@ class TransientSolver:
         )
         steps = max(1, int(round(duration_s / dt_s)))
         for _ in range(steps):
-            temps = self.step(temps, power_by_block, dt_s)
+            temps = self.step(temps, power_w_by_block, dt_s)
         return temps

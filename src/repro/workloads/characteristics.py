@@ -44,6 +44,8 @@ class BranchBehavior:
     """
 
     n_static: int = 64
+    # repro: ignore[RPR005] branch-predictor bias probability; the
+    # collision with Ea = 0.9 eV is numerical coincidence.
     bias: float = 0.9
     taken_fraction: float = 0.55
 
@@ -74,6 +76,8 @@ class MemoryBehavior:
             sequentially (streaming media style) instead of uniformly.
     """
 
+    # repro: ignore[RPR005] hot-set residency probability; the
+    # collision with Ea = 0.9 eV is numerical coincidence.
     p_hot: float = 0.90
     p_warm: float = 0.08
     hot_blocks: int = 512

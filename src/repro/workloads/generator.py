@@ -20,6 +20,7 @@ Table 2 IPC/power spectrum when run through :mod:`repro.cpu`.
 
 from __future__ import annotations
 
+import math
 import zlib
 from dataclasses import replace
 
@@ -194,7 +195,7 @@ def _apply_fp_scale(
     mass).  Memory and branch ops are never touched, so the data and
     control streams are unaffected.
     """
-    if fp_scale == 1.0:
+    if math.isclose(fp_scale, 1.0):
         return ops
     is_fp = np.isin(ops, _FP_INTS)
     n_fp = int(is_fp.sum())
@@ -217,7 +218,7 @@ def _apply_fp_scale(
 def _phase_memory(profile: WorkloadProfile, phase: Phase) -> MemoryBehavior:
     """Scale the cold-access probability by the phase's miss_scale."""
     mem = profile.memory
-    if phase.miss_scale == 1.0:
+    if math.isclose(phase.miss_scale, 1.0):
         return mem
     p_cold = min(1.0, mem.p_cold * phase.miss_scale)
     locality = mem.p_hot + mem.p_warm

@@ -172,7 +172,7 @@ WORKLOAD_SUITE: tuple[WorkloadProfile, ...] = (
                               warm_blocks=13000, stride_fraction=0.4),
         code_blocks=260,
         phases=_SPECFP_PHASES,
-        table2_ipc=1.1,
+        table2_ipc=1.1,  # repro: ignore[RPR005] paper Table 2 IPC datum
         table2_power_w=19.7,
     ),
 )

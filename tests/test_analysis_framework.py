@@ -1,0 +1,174 @@
+"""Framework tests: suppressions, fingerprints, baseline ratchet, emitters."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    AnalysisError,
+    AnalysisResult,
+    Baseline,
+    Finding,
+    Severity,
+    all_rules,
+    parse_suppressions,
+    to_json,
+    to_sarif,
+    to_text,
+)
+
+
+def finding(rule="RPR004", path="src/mod.py", line=3, snippet="x == 1.5"):
+    return Finding(
+        rule=rule,
+        path=path,
+        line=line,
+        col=1,
+        message="raw float comparison",
+        severity=Severity.ERROR,
+        snippet=snippet,
+    )
+
+
+class TestSuppressions:
+    def test_same_line_suppression_covers_its_line(self):
+        index = parse_suppressions(
+            ["x = 1", "y == 0.0  # repro: ignore[RPR004] exact sentinel"]
+        )
+        assert index.covers(finding(line=2))
+        assert not index.covers(finding(line=1))
+
+    def test_wrong_rule_id_does_not_cover(self):
+        index = parse_suppressions(["y == 0.0  # repro: ignore[RPR001]"])
+        assert not index.covers(finding(rule="RPR004", line=1))
+
+    def test_comment_block_covers_first_code_line_after_it(self):
+        index = parse_suppressions([
+            "# repro: ignore[RPR003] registered at import time and",
+            "# picklable by name in the worker process.",
+            "pool.submit(worker, job)",
+            "pool.submit(other, job)",
+        ])
+        assert index.covers(finding(rule="RPR003", line=3))
+        assert not index.covers(finding(rule="RPR003", line=4))
+
+    def test_multiple_rules_in_one_comment(self):
+        index = parse_suppressions(["x  # repro: ignore[RPR001, RPR004]"])
+        assert index.covers(finding(rule="RPR001", line=1))
+        assert index.covers(finding(rule="RPR004", line=1))
+
+    def test_blanket_ignore_without_rule_list_is_not_parsed(self):
+        index = parse_suppressions(["y == 0.0  # repro: ignore"])
+        assert index.suppressions == []
+        assert not index.covers(finding(line=1))
+
+
+class TestFingerprints:
+    def test_stable_under_line_moves_and_whitespace(self):
+        a = finding(line=3, snippet="x  ==  1.5")
+        b = finding(line=90, snippet="x == 1.5")
+        assert a.fingerprint == b.fingerprint
+
+    def test_distinguishes_rule_path_and_snippet(self):
+        base = finding()
+        assert finding(rule="RPR001").fingerprint != base.fingerprint
+        assert finding(path="src/other.py").fingerprint != base.fingerprint
+        assert finding(snippet="y == 2.5").fingerprint != base.fingerprint
+
+
+class TestBaselineRatchet:
+    def test_known_findings_are_absorbed(self):
+        f = finding()
+        baseline = Baseline.from_findings([f])
+        result = AnalysisResult(findings=[finding(line=40)])  # moved line
+        baseline.partition(result)
+        assert result.findings == []
+        assert len(result.baselined) == 1
+        assert result.stale_baseline == []
+        assert result.clean
+
+    def test_new_finding_fails_the_run(self):
+        baseline = Baseline.from_findings([finding()])
+        result = AnalysisResult(findings=[finding(), finding(snippet="y == 2.5")])
+        baseline.partition(result)
+        assert len(result.findings) == 1
+        assert not result.clean
+
+    def test_count_bounds_duplicate_absorption(self):
+        # Two identical offending lines baselined; a third is new debt.
+        baseline = Baseline.from_findings([finding(), finding(line=9)])
+        result = AnalysisResult(
+            findings=[finding(), finding(line=9), finding(line=70)]
+        )
+        baseline.partition(result)
+        assert len(result.baselined) == 2
+        assert len(result.findings) == 1
+
+    def test_fixed_finding_leaves_stale_entry_that_fails(self):
+        baseline = Baseline.from_findings([finding()])
+        result = AnalysisResult(findings=[])
+        baseline.partition(result)
+        assert result.stale_baseline == [finding().fingerprint]
+        assert not result.clean
+        described = baseline.describe_stale(result.stale_baseline)
+        assert "RPR004" in described[0]
+
+    def test_write_load_roundtrip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings([finding()]).write(path)
+        loaded = Baseline.load(path)
+        assert loaded.entries.keys() == {finding().fingerprint}
+        assert loaded.entries[finding().fingerprint]["count"] == 1
+
+    def test_load_rejects_missing_and_malformed_files(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            Baseline.load(tmp_path / "nope.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("[]", encoding="utf-8")
+        with pytest.raises(AnalysisError):
+            Baseline.load(bad)
+        wrong_version = tmp_path / "v99.json"
+        wrong_version.write_text(
+            json.dumps({"version": 99, "findings": {}}), encoding="utf-8"
+        )
+        with pytest.raises(AnalysisError):
+            Baseline.load(wrong_version)
+
+
+class TestEmitters:
+    def result(self):
+        return AnalysisResult(findings=[finding()], files_scanned=1)
+
+    def test_json_report_shape(self):
+        report = to_json(self.result())
+        assert report["summary"]["findings"] == 1
+        assert report["summary"]["by_rule"] == {"RPR004": 1}
+        assert report["summary"]["clean"] is False
+        entry = report["findings"][0]
+        assert entry["rule"] == "RPR004"
+        assert entry["path"] == "src/mod.py"
+        assert entry["fingerprint"] == finding().fingerprint
+        json.dumps(report)  # must be serialisable as-is
+
+    def test_sarif_report_shape(self):
+        sarif = to_sarif(self.result(), all_rules())
+        assert sarif["version"] == "2.1.0"
+        run = sarif["runs"][0]
+        driver = run["tool"]["driver"]
+        rule_ids = {r["id"] for r in driver["rules"]}
+        assert {"RPR001", "RPR002", "RPR003", "RPR004", "RPR005"} <= rule_ids
+        sarif_result = run["results"][0]
+        assert sarif_result["ruleId"] == "RPR004"
+        assert sarif_result["level"] == "error"
+        location = sarif_result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/mod.py"
+        assert location["region"]["startLine"] == 3
+        assert sarif_result["partialFingerprints"]["reproAnalyze/v1"] == (
+            finding().fingerprint
+        )
+        json.dumps(sarif)
+
+    def test_text_report_mentions_finding_and_summary(self):
+        report = to_text(self.result(), verbose=False)
+        assert "src/mod.py:3:1 RPR004" in report
+        assert "1 finding(s)" in report

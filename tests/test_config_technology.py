@@ -17,7 +17,7 @@ class TestTechnologyParameters:
     def test_table1_defaults(self):
         tech = DEFAULT_TECHNOLOGY
         assert tech.process_nm == 65.0
-        assert tech.vdd_nominal == 1.0
+        assert tech.vdd_nominal_v == 1.0
         assert tech.frequency_nominal_hz == 4.0e9
         assert tech.core_area_mm2 == pytest.approx(20.2)
 
@@ -27,7 +27,7 @@ class TestTechnologyParameters:
     def test_leakage_reference_matches_paper(self):
         assert DEFAULT_TECHNOLOGY.leakage_density_w_per_mm2 == 0.5
         assert DEFAULT_TECHNOLOGY.leakage_reference_temp_k == 383.0
-        assert DEFAULT_TECHNOLOGY.leakage_temp_coefficient == 0.017
+        assert DEFAULT_TECHNOLOGY.leakage_temp_coefficient_per_k == 0.017
 
     def test_structure_areas_sum_to_core_area(self):
         assert DEFAULT_TECHNOLOGY.structure_area_total_mm2() == pytest.approx(20.2, abs=1e-9)
@@ -35,8 +35,8 @@ class TestTechnologyParameters:
     @pytest.mark.parametrize(
         "kwargs",
         [
-            {"vdd_nominal": 0.0},
-            {"vdd_nominal": -1.0},
+            {"vdd_nominal_v": 0.0},
+            {"vdd_nominal_v": -1.0},
             {"frequency_nominal_hz": 0.0},
             {"core_area_mm2": -5.0},
             {"leakage_density_w_per_mm2": -0.1},

@@ -24,7 +24,7 @@ class TestDistributions:
          LognormalLifetime(0.5), LognormalLifetime(1.0)],
     )
     def test_mean_matches_requested_mttf(self, dist):
-        samples = dist.sample(np.random.default_rng(0), mttf=1000.0, size=200_000)
+        samples = dist.sample(np.random.default_rng(0), mttf_hours=1000.0, size=200_000)
         assert samples.mean() == pytest.approx(1000.0, rel=0.02)
 
     @pytest.mark.parametrize(
@@ -32,7 +32,7 @@ class TestDistributions:
         [ExponentialLifetime(), WeibullLifetime(3.0), LognormalLifetime(0.7)],
     )
     def test_samples_positive(self, dist):
-        samples = dist.sample(np.random.default_rng(0), mttf=10.0, size=1000)
+        samples = dist.sample(np.random.default_rng(0), mttf_hours=10.0, size=1000)
         assert (samples > 0).all()
 
     def test_weibull_shape_one_is_exponential(self):

@@ -1,5 +1,7 @@
 """Graph construction: dedupe, wave ordering, cycle detection."""
 
+from dataclasses import dataclass
+
 import pytest
 
 from repro.engine.events import EventLog
@@ -8,15 +10,15 @@ from repro.engine.scheduler import JobGraph
 from repro.workloads.suite import SUITE_NAMES
 
 
+@dataclass(frozen=True)
 class _Named(Job):
     """Minimal in-test job with hand-wired dependencies."""
 
+    name: str
+    deps: tuple = ()
+
     kind = "fake"
     stage = "simulate"
-
-    def __init__(self, name, deps=()):
-        self.name = name
-        self._deps = tuple(deps)
 
     def payload(self):
         return {"name": self.name}
@@ -25,7 +27,7 @@ class _Named(Job):
         return self.name
 
     def dependencies(self):
-        return self._deps
+        return tuple(self.deps)
 
 
 class TestDedupe:
@@ -94,7 +96,9 @@ class TestWaves:
     def test_cycle_raises_engine_error(self):
         a = _Named("a")
         b = _Named("b", [a])
-        a._deps = (b,)  # close the loop after construction
+        # Close the loop after construction; bypasses the frozen
+        # dataclass on purpose to build an impossible-by-API graph.
+        object.__setattr__(a, "deps", (b,))
         graph = JobGraph()
         graph.add(a)
         with pytest.raises(EngineError, match="cycle"):
