@@ -16,12 +16,14 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
 from repro.analysis.baseline import DEFAULT_BASELINE, Baseline
 from repro.analysis.emitters import to_json, to_sarif, to_text
 from repro.analysis.engine import Analyzer
-from repro.analysis.registry import AnalysisError, all_rules
+from repro.analysis.incremental import DEFAULT_CACHE_DIR
+from repro.analysis.registry import AnalysisError, all_rules, get_rule
 
 _DEFAULT_PATHS = ["src", "tests"]
 
@@ -75,8 +77,23 @@ def add_analyze_parser(sub: argparse._SubParsersAction) -> None:
                    help="comma-separated rule ids to skip")
     p.add_argument("--list-rules", action="store_true",
                    help="print the registered rules and exit")
+    p.add_argument("--explain", default=None, metavar="RULE",
+                   help="print one rule's rationale, example, and "
+                        "suppression syntax, then exit")
     p.add_argument("--verbose", action="store_true",
                    help="also show baselined (accepted) findings")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="worker processes for cold analysis (default: all "
+                        "cores; 1 = serial)")
+    p.add_argument("--cache-dir", default=None,
+                   help="incremental result-cache directory (default "
+                        f"{DEFAULT_CACHE_DIR}, or [tool.repro.analysis]"
+                        ".cache_dir)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the incremental cache and analyze "
+                        "everything in-process")
+    p.add_argument("--stats", action="store_true",
+                   help="print cache and timing statistics to stderr")
     p.set_defaults(func=run_analyze)
 
 
@@ -93,6 +110,14 @@ def run_analyze(args: argparse.Namespace) -> int:
             print(f"{rule.id}  {rule.name:16s} [{rule.severity.value}] "
                   f"{rule.description}")
         return 0
+    if args.explain:
+        try:
+            rule = get_rule(args.explain.strip())
+        except AnalysisError as exc:
+            print(f"analyze: {exc}", file=sys.stderr)
+            return 2
+        print(rule.explain())
+        return 0
 
     root = Path.cwd()
     config = load_config(root)
@@ -104,16 +129,26 @@ def run_analyze(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
 
+    cache_dir: Path | None = None
+    if not args.no_cache:
+        cache_dir = root / (
+            args.cache_dir or config.get("cache_dir") or DEFAULT_CACHE_DIR
+        )
+
+    started = time.monotonic()
     try:
         analyzer = Analyzer(
             root=root,
             select=_split_ids(args.select),
             ignore=_split_ids(args.ignore),
+            cache_dir=cache_dir,
+            workers=args.jobs,
         )
         result = analyzer.analyze_paths(paths)
     except AnalysisError as exc:
         print(f"analyze: {exc}", file=sys.stderr)
         return 2
+    duration_s = time.monotonic() - started
 
     baseline_path = Path(
         args.baseline or config.get("baseline") or DEFAULT_BASELINE
@@ -152,5 +187,21 @@ def run_analyze(args: argparse.Namespace) -> int:
         print(f"report written to {args.output}", file=sys.stderr)
     else:
         print(report)
+
+    if args.stats:
+        stats = dict(result.stats)
+        line = (
+            f"analyze: {stats.get('driver', '?')} driver, "
+            f"{stats.get('files', result.files_scanned)} file(s), "
+            f"{stats.get('analyzed', '?')} analyzed, "
+            f"{stats.get('cached', 0)} cached, "
+            f"{duration_s:.2f}s"
+        )
+        if "harvest_hits" in stats:
+            line += (
+                f" (harvest: {stats['harvest_hits']} hit(s), "
+                f"{stats['harvest_misses']} miss(es))"
+            )
+        print(line, file=sys.stderr)
 
     return 0 if result.clean else 1

@@ -23,6 +23,11 @@ from repro.analysis.imports import (
 )
 from repro.analysis.registry import Rule, select_rules
 from repro.analysis.suppressions import SuppressionIndex, parse_suppressions
+from repro.analysis.unitsig import (
+    EMPTY_TABLE,
+    SignatureTable,
+    harvest_signatures,
+)
 
 #: Modules whose import closure the determinism rule polices: everything
 #: that can influence a job spec's content hash or its worker-side
@@ -43,6 +48,8 @@ class ProjectContext:
     #: files; reachability is then unknowable and reachability-scoped
     #: rules fall back to checking everything (fixture/sandbox mode).
     determinism_scope_is_global: bool = False
+    #: Cross-module unit signatures for the dataflow rules (RPR101-103).
+    unit_signatures: SignatureTable = field(default=EMPTY_TABLE)
 
 
 @dataclass
@@ -82,6 +89,22 @@ class FileContext:
         if 1 <= line <= len(self.lines):
             return self.lines[line - 1]
         return ""
+
+    def unit_diagnostics(self):
+        """Unit-dataflow diagnostics for this file, computed once.
+
+        All three flow rules (RPR101-103) consume the same pass; the
+        first caller pays for the interpretation, the rest filter.
+        """
+        if self._unit_diags is None:
+            from repro.analysis.dataflow import analyze_units
+
+            self._unit_diags = analyze_units(
+                self.tree, self.project.unit_signatures, self.module
+            )
+        return self._unit_diags
+
+    _unit_diags: list | None = field(default=None, repr=False)
 
 
 class PathPartsCache:
@@ -128,17 +151,39 @@ class Analyzer:
         select: list[str] | None = None,
         ignore: list[str] | None = None,
         rules: tuple[Rule, ...] | None = None,
+        cache_dir: Path | str | None = None,
+        workers: int | None = None,
     ) -> None:
         self.root = Path(root)
+        self._custom_rules = rules is not None
         self.rules = rules if rules is not None else select_rules(select, ignore)
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.workers = workers
 
     def analyze_paths(self, paths: list[Path | str]) -> AnalysisResult:
         """Analyze files and directories; returns all raw findings.
+
+        With ``cache_dir`` set (and rules taken from the registry), the
+        run goes through the incremental driver: per-file results are
+        cached by content in the engine's result store and cold work is
+        fanned out over a process pool.  Explicit ``rules=`` instances
+        force the in-process path — workers rebuild rules from the
+        registry by id, which ad-hoc instances may not be in.
 
         Files that fail to parse produce an ``RPR000`` syntax-error
         finding rather than aborting the run.
         """
         files = collect_files([Path(p) for p in paths])
+        if self.cache_dir is not None and not self._custom_rules:
+            from repro.analysis.incremental import IncrementalDriver
+
+            driver = IncrementalDriver(
+                root=self.root,
+                rules=self.rules,
+                cache_dir=self.cache_dir,
+                workers=self.workers,
+            )
+            return driver.analyze_files(files)
         result = AnalysisResult(files_scanned=len(files))
 
         parsed: dict[str, tuple[Path, str, ast.Module]] = {}
@@ -167,11 +212,16 @@ class Analyzer:
 
         graph = build_import_graph(trees_by_rel)
         scope = graph.reachable_from(DETERMINISM_ROOTS)
+        harvests = [
+            harvest_signatures(tree, module_name_for(rel))
+            for rel, (_, _, tree) in parsed.items()
+        ]
         project = ProjectContext(
             root=self.root,
             import_graph=graph,
             determinism_scope=scope,
             determinism_scope_is_global=not scope,
+            unit_signatures=SignatureTable.merge(harvests),
         )
 
         for rel, (path, source, tree) in parsed.items():
@@ -184,7 +234,7 @@ class Analyzer:
                 tree=tree,
                 module=module_name_for(rel),
                 project=project,
-                suppressions=parse_suppressions(lines),
+                suppressions=parse_suppressions(lines, tree),
             )
             for rule in self.rules:
                 if not rule.applies_to(ctx):
@@ -197,4 +247,10 @@ class Analyzer:
 
         result.findings.sort(key=Finding.sort_key)
         result.suppressed.sort(key=Finding.sort_key)
+        result.stats = {
+            "driver": "in-process",
+            "files": len(files),
+            "analyzed": len(parsed),
+            "cached": 0,
+        }
         return result

@@ -79,6 +79,8 @@ class AnalysisResult:
             debt that should be ratcheted out of the baseline file).
         files_scanned: number of files analyzed.
         parse_errors: files that could not be parsed (also findings).
+        stats: driver statistics (cache hits, worker count, ...); shape
+            depends on which driver produced the result.
     """
 
     findings: list[Finding] = field(default_factory=list)
@@ -87,6 +89,7 @@ class AnalysisResult:
     stale_baseline: list[str] = field(default_factory=list)
     files_scanned: int = 0
     parse_errors: int = 0
+    stats: dict = field(default_factory=dict)
 
     @property
     def clean(self) -> bool:

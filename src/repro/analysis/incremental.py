@@ -1,0 +1,351 @@
+"""Incremental, parallel analysis driver.
+
+The in-process driver in :mod:`repro.analysis.engine` re-parses and
+re-checks every file on every run.  This driver makes ``repro analyze``
+scale with the *change*, not the tree, by splitting a run into cached
+units stored in the engine's content-addressed result store:
+
+1. **Harvest** (per file, keyed by content hash): the file's module
+   name, its import edges, and its unit signatures.  A warm run
+   rebuilds the project-wide import graph and signature table without
+   re-parsing a single unchanged file.
+2. **Rule results** (per file, keyed by content hash + rule set +
+   rule-set version + determinism-scope flags + signature-table
+   digest): the findings and suppressions of one file, produced by an
+   :class:`~repro.engine.analysis_jobs.AnalyzeFileJob` fanned out over
+   the engine's process-pool executor.  Cold runs use all cores; warm
+   runs hit the store and touch only changed files.
+
+Because the signature-table digest is part of every rule-result key, an
+edit that changes a function's *signature* re-analyzes the whole tree
+(cross-module rules may change anywhere), while a body-only edit
+re-analyzes exactly one file.  That is the correct invalidation, not an
+approximation.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from pathlib import Path
+
+from repro.analysis.engine import (
+    DETERMINISM_ROOTS,
+    FileContext,
+    ProjectContext,
+)
+from repro.analysis.findings import AnalysisResult, Finding, Severity
+from repro.analysis.imports import (
+    ImportGraph,
+    imported_modules,
+    module_name_for,
+    rel_posix,
+)
+from repro.analysis.registry import Rule, get_rule
+from repro.analysis.suppressions import parse_suppressions
+from repro.analysis.unitsig import SignatureTable, harvest_signatures
+
+#: Bump when the harvest payload shape or semantics change.
+HARVEST_VERSION = 1
+
+#: Bump whenever any rule's logic changes in a way that can alter its
+#: findings; cached per-file verdicts from older rule code then read as
+#: misses.  (Adding/removing rules needs no bump — the active rule ids
+#: are part of every cache key.)
+RULESET_VERSION = 1
+
+#: Default cache location, relative to the analysis root.
+DEFAULT_CACHE_DIR = ".repro-cache/analysis"
+
+
+def _finding_payload(finding: Finding) -> dict:
+    return {
+        "rule": finding.rule,
+        "line": finding.line,
+        "col": finding.col,
+        "message": finding.message,
+        "severity": finding.severity.value,
+        "snippet": finding.snippet,
+    }
+
+
+def _finding_from_payload(rel_path: str, payload: dict) -> Finding:
+    return Finding(
+        rule=payload["rule"],
+        path=rel_path,
+        line=payload["line"],
+        col=payload["col"],
+        message=payload["message"],
+        severity=Severity(payload["severity"]),
+        snippet=payload.get("snippet", ""),
+    )
+
+
+def run_rules_on_source(
+    rel_path: str,
+    source: str,
+    module: str | None,
+    rule_ids: tuple[str, ...],
+    in_scope: bool,
+    scope_global: bool,
+    sig_payload: dict,
+) -> dict:
+    """Run rules over one file's source; the worker-side entry point.
+
+    Pure function of its arguments: it rebuilds a minimal
+    :class:`FileContext` (the cross-module facts arrive predigested as
+    ``in_scope``/``scope_global``/``sig_payload``) and returns plain
+    JSON finding records, which is what lets the result be cached by
+    content.
+    """
+    tree = ast.parse(source, filename=rel_path)
+    lines = source.splitlines()
+    scope = {module} if (in_scope and module and not scope_global) else set()
+    project = ProjectContext(
+        root=Path("."),
+        import_graph=ImportGraph(),
+        determinism_scope=scope,
+        determinism_scope_is_global=scope_global,
+        unit_signatures=SignatureTable.from_payload(sig_payload),
+    )
+    ctx = FileContext(
+        path=Path(rel_path),
+        rel_path=rel_path,
+        source=source,
+        lines=lines,
+        tree=tree,
+        module=module,
+        project=project,
+        suppressions=parse_suppressions(lines, tree),
+    )
+    findings: list[Finding] = []
+    suppressed: list[Finding] = []
+    for rule_id in rule_ids:
+        rule = get_rule(rule_id)
+        if not rule.applies_to(ctx):
+            continue
+        for finding in rule.check(ctx):
+            if ctx.suppressions.covers(finding):
+                suppressed.append(finding)
+            else:
+                findings.append(finding)
+    return {
+        "findings": [_finding_payload(f) for f in findings],
+        "suppressed": [_finding_payload(f) for f in suppressed],
+    }
+
+
+class IncrementalDriver:
+    """Cache-backed, process-parallel analysis of a file list.
+
+    Args:
+        root: directory findings are reported relative to.
+        rules: registry rule instances to run (must be registered —
+            workers rebuild them by id).
+        cache_dir: result-store directory (created on demand).
+        workers: process count for the executor; ``None`` = all cores,
+            ``1`` = in-process serial (still cached).
+    """
+
+    def __init__(
+        self,
+        root: Path,
+        rules: tuple[Rule, ...],
+        cache_dir: Path,
+        workers: int | None = None,
+    ) -> None:
+        from repro.engine.store import ResultStore
+
+        self.root = root
+        self.rules = rules
+        self.workers = workers
+        self.store = ResultStore(cache_dir)
+
+    # ---- harvest layer -------------------------------------------------
+
+    def _harvest_key(self, rel: str, digest: str) -> str:
+        from repro.engine.jobs import content_hash
+
+        return content_hash(
+            {
+                "kind": "analysis_harvest",
+                "v": HARVEST_VERSION,
+                "path": rel,
+                "content": digest,
+            }
+        )
+
+    def _harvest_file(
+        self, path: Path, rel: str
+    ) -> tuple[str, str | None, dict, int]:
+        """(digest, source, harvest payload, store hits) for one file.
+
+        The source text is decoded from the same bytes the digest was
+        computed over, so a concurrent edit can never pair one
+        revision's hash with another's content.
+        """
+        raw = path.read_bytes()
+        digest = hashlib.sha256(raw).hexdigest()
+        try:
+            source = raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            source = None
+            decode_error: Exception | None = exc
+        else:
+            decode_error = None
+        key = self._harvest_key(rel, digest)
+        cached = self.store.get(key)
+        if cached is not None:
+            return digest, source, cached, 1
+        module = module_name_for(rel)
+        if source is None:
+            payload = {"ok": False, "error": str(decode_error), "line": 1}
+        else:
+            try:
+                tree = ast.parse(source, filename=str(path))
+            except (SyntaxError, ValueError) as exc:
+                payload = {
+                    "ok": False,
+                    "error": str(exc),
+                    "line": getattr(exc, "lineno", None) or 1,
+                }
+            else:
+                payload = {
+                    "ok": True,
+                    "module": module,
+                    "imports": sorted(imported_modules(tree, module))
+                    if module
+                    else [],
+                    "signatures": harvest_signatures(tree, module),
+                }
+        self.store.put(key, "analysis_harvest", payload)
+        return digest, source, payload, 0
+
+    # ---- driver --------------------------------------------------------
+
+    def analyze_files(self, files: list[Path]) -> AnalysisResult:
+        from repro.engine.analysis_jobs import AnalyzeFileJob
+        from repro.engine.executor import ExecutorConfig, JobExecutor
+        from repro.engine.jobs import canonical_json, content_hash
+
+        result = AnalysisResult(files_scanned=len(files))
+        harvest_hits = 0
+        digests: dict[str, str] = {}
+        harvests: dict[str, dict] = {}
+        sources: dict[str, str] = {}
+        for path in files:
+            rel = rel_posix(path, self.root)
+            try:
+                digest, source, payload, hit = self._harvest_file(path, rel)
+            except OSError as exc:
+                result.parse_errors += 1
+                result.findings.append(
+                    Finding(
+                        rule="RPR000",
+                        path=rel,
+                        line=1,
+                        col=1,
+                        message=f"file could not be read: {exc}",
+                        severity=Severity.ERROR,
+                    )
+                )
+                continue
+            harvest_hits += hit
+            digests[rel] = digest
+            harvests[rel] = payload
+            if source is not None:
+                sources[rel] = source
+
+        graph = ImportGraph()
+        for rel, payload in harvests.items():
+            if payload.get("ok") and payload.get("module"):
+                graph.edges[payload["module"]] = set(payload["imports"])
+        scope = graph.reachable_from(DETERMINISM_ROOTS)
+        scope_global = not scope
+
+        table = SignatureTable.merge(
+            [p["signatures"] for p in harvests.values() if p.get("ok")]
+        )
+        sig_json = canonical_json(table.as_payload())
+        sig_hash = hashlib.sha256(sig_json.encode()).hexdigest()
+
+        rule_ids = tuple(rule.id for rule in self.rules)
+        jobs: list[AnalyzeFileJob] = []
+        for rel, payload in harvests.items():
+            if not payload.get("ok"):
+                result.parse_errors += 1
+                result.findings.append(
+                    Finding(
+                        rule="RPR000",
+                        path=rel,
+                        line=payload.get("line") or 1,
+                        col=1,
+                        message=f"file could not be parsed: {payload['error']}",
+                        severity=Severity.ERROR,
+                    )
+                )
+                continue
+            module = payload.get("module")
+            jobs.append(
+                AnalyzeFileJob(
+                    rel_path=rel,
+                    content_hash=digests[rel],
+                    module=module,
+                    rule_ids=rule_ids,
+                    ruleset_version=RULESET_VERSION,
+                    in_scope=bool(module and module in scope),
+                    scope_global=scope_global,
+                    sig_hash=sig_hash,
+                    source=sources[rel],
+                    sig_json=sig_json,
+                )
+            )
+
+        executor = JobExecutor(
+            config=ExecutorConfig(max_workers=self.workers),
+            store=self.store,
+        )
+        outcomes = executor.execute(list(jobs))
+
+        analyzed = cached = failed = 0
+        for job in jobs:
+            outcome = outcomes[job.cache_key]
+            if outcome.status == "failed":
+                failed += 1
+                result.findings.append(
+                    Finding(
+                        rule="RPR000",
+                        path=job.rel_path,
+                        line=1,
+                        col=1,
+                        message=f"analysis job failed: {outcome.error}",
+                        severity=Severity.ERROR,
+                    )
+                )
+                continue
+            if outcome.status == "cached":
+                cached += 1
+            else:
+                analyzed += 1
+            for entry in outcome.result["findings"]:
+                result.findings.append(_finding_from_payload(job.rel_path, entry))
+            for entry in outcome.result["suppressed"]:
+                result.suppressed.append(
+                    _finding_from_payload(job.rel_path, entry)
+                )
+
+        result.findings.sort(key=Finding.sort_key)
+        result.suppressed.sort(key=Finding.sort_key)
+        result.stats = {
+            "driver": "incremental",
+            "files": len(files),
+            "analyzed": analyzed,
+            "cached": cached,
+            "failed": failed,
+            "harvest_hits": harvest_hits,
+            "harvest_misses": len(harvests) - harvest_hits,
+            "workers": self.workers,
+            "store": self.store.stats.as_dict(),
+        }
+        return result

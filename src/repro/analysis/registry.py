@@ -36,12 +36,18 @@ class Rule(abc.ABC):
         severity: default severity for this rule's findings.
         description: one-line rationale shown in ``--list-rules`` and
             emitted as SARIF rule metadata.
+        rationale: longer prose shown by ``--explain``: why the rule
+            exists and what bug class it prevents.
+        example: a short violating snippet (with a comment pointing at
+            the problem) shown by ``--explain``.
     """
 
     id: str = ""
     name: str = ""
     severity: Severity = Severity.ERROR
     description: str = ""
+    rationale: str = ""
+    example: str = ""
 
     @abc.abstractmethod
     def check(self, ctx: "FileContext") -> Iterator[Finding]:
@@ -69,6 +75,28 @@ class Rule(abc.ABC):
             severity=severity or self.severity,
             snippet=ctx.line_text(line).strip(),
         )
+
+    def explain(self) -> str:
+        """Human-readable rule documentation for ``--explain``."""
+        parts = [f"{self.id} ({self.name}) [{self.severity.value}]"]
+        parts.append(f"  {self.description}")
+        if self.rationale:
+            parts.append("")
+            for line in self.rationale.strip().splitlines():
+                parts.append(f"  {line}".rstrip())
+        if self.example:
+            parts.append("")
+            parts.append("  example:")
+            for line in self.example.strip("\n").splitlines():
+                parts.append(f"    {line}".rstrip())
+        parts.append("")
+        parts.append(
+            f"  suppress with: # repro: ignore[{self.id}] <justification>"
+        )
+        parts.append(
+            "  (on the offending line, or on its own line directly above)"
+        )
+        return "\n".join(parts)
 
 
 _REGISTRY: dict[str, Rule] = {}

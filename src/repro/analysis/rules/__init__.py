@@ -4,7 +4,10 @@ from repro.analysis.rules import (  # noqa: F401
     broad_except,
     constants_audit,
     determinism,
+    dimension_args,
+    fit_mttf,
     float_eq,
     pool_safety,
+    unit_flow,
     units,
 )

@@ -1,0 +1,45 @@
+"""RPR102 — wrong-dimension argument at a unit-annotated call site.
+
+Backed by the same dataflow pass as RPR101: when a call target's
+parameter units are known (from the cross-module signature harvest, or
+from the keyword name at the call site), an argument whose inferred
+unit has a different dimension is reported.  The failure models are the
+high-value targets — Black's equation wants kelvin and eV, Coffin-
+Manson wants a temperature *delta*, SOFR wants FIT — and a voltage or
+frequency slipped into a temperature slot corrupts every MTTF
+downstream without raising.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import Severity
+from repro.analysis.registry import register
+from repro.analysis.rules.unit_flow import UnitFlowRuleBase
+
+
+@register
+class DimensionArgRule(UnitFlowRuleBase):
+    id = "RPR102"
+    name = "wrong-dimension-arg"
+    severity = Severity.ERROR
+    kind = "call"
+    description = (
+        "a call site passes a value whose inferred unit disagrees with "
+        "the parameter's unit (wrong dimension or wrong scale)"
+    )
+    rationale = (
+        "Every failure-model entry point (core/failure/*, ramp.py,\n"
+        "lifetime.py, qualification.py) declares its units through RPR001\n"
+        "parameter suffixes; the analyzer harvests those signatures\n"
+        "across the import graph and checks what each call site actually\n"
+        "passes.  Passing frequency_ghz where temperature_k is expected,\n"
+        "or a raw Celsius reading into a kelvin slot, parameterises the\n"
+        "Arrhenius exponentials with garbage while staying perfectly\n"
+        "runnable."
+    )
+    example = (
+        "def black_mttf(temperature_k: float) -> float: ...\n"
+        "\n"
+        "vdd_v = 1.2\n"
+        "black_mttf(temperature_k=vdd_v)  # volts into a kelvin slot\n"
+    )

@@ -1,0 +1,43 @@
+"""RPR103 — FIT rates and MTTF times used interchangeably.
+
+FIT (failures per 10^9 device-hours) and MTTF (hours) are reciprocal
+under the SOFR constant-rate assumption, and both are plain floats, so
+handing one to a consumer of the other runs fine and is wrong by many
+orders of magnitude.  The dataflow pass tags any time/rate collision —
+in arithmetic, comparisons, or at call sites — with its own diagnostic
+kind so the fix (insert ``mttf_hours_to_fit()`` / ``fit_to_mttf_hours()``)
+is named explicitly.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import Severity
+from repro.analysis.registry import register
+from repro.analysis.rules.unit_flow import UnitFlowRuleBase
+
+
+@register
+class FitMttfRule(UnitFlowRuleBase):
+    id = "RPR103"
+    name = "fit-mttf-confusion"
+    severity = Severity.ERROR
+    kind = "fit_mttf"
+    description = (
+        "an hours-valued (MTTF) expression flows where a FIT rate is "
+        "consumed, or vice versa"
+    )
+    rationale = (
+        "FIT = 1e9 / MTTF_hours under SOFR, so the two are easy to mix\n"
+        "up and catastrophic when mixed: a 30-year MTTF is ~262800 hours\n"
+        "but ~3805 FIT, and both are unremarkable floats.  Budget\n"
+        "comparisons (total_fit < qualified MTTF) and call sites\n"
+        "(mttf_hours= given a FIT sum) are the observed failure shapes.\n"
+        "Convert explicitly at the boundary with mttf_hours_to_fit() or\n"
+        "fit_to_mttf_hours() from repro.constants."
+    )
+    example = (
+        "budget_fit = TARGET_FIT / n_mechanisms\n"
+        "mttf_hours = black_mttf_hours(temperature_k=360.0)\n"
+        "if mttf_hours < budget_fit:  # hours compared against FIT\n"
+        "    derate()\n"
+    )

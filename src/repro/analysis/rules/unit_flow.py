@@ -1,0 +1,62 @@
+"""RPR101 — unit mismatch in additive arithmetic and comparisons.
+
+The dataflow pass (:mod:`repro.analysis.dataflow`) tracks the physical
+unit of every local through assignments and arithmetic.  This rule
+reports the ``mismatch`` diagnostics it produces: adding, subtracting,
+or comparing two values whose inferred units disagree — most notably
+mixing kelvin with Celsius, where the arithmetic is silently wrong by
+273.15 everywhere.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, register
+
+
+class UnitFlowRuleBase(Rule):
+    """Shared plumbing for the three dataflow-backed rules.
+
+    Subclasses set :attr:`kind` to the diagnostic kind they report; the
+    interpretation itself runs once per file and is shared via
+    ``ctx.unit_diagnostics()``.
+    """
+
+    kind: str = ""
+
+    def applies_to(self, ctx) -> bool:
+        return not ctx.is_test
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for diag in ctx.unit_diagnostics():
+            if diag.kind == self.kind:
+                yield self.finding(ctx, diag.line, diag.col, diag.message)
+
+
+@register
+class UnitMismatchRule(UnitFlowRuleBase):
+    id = "RPR101"
+    name = "unit-flow-mismatch"
+    severity = Severity.ERROR
+    kind = "mismatch"
+    description = (
+        "values of different physical units flow into the same +, -, or "
+        "comparison (including kelvin mixed with Celsius)"
+    )
+    rationale = (
+        "RPR001 checks that names carry unit suffixes; this rule checks\n"
+        "what actually flows through the arithmetic.  Units are inferred\n"
+        "from parameter names, constants.py's CONSTANT_UNITS table, and\n"
+        "call signatures harvested across the import graph, then\n"
+        "propagated through assignments.  Adding or comparing a kelvin\n"
+        "value against a Celsius one is off by 273.15 everywhere and\n"
+        "raises no exception; mixing watts with volts or GHz with Hz is\n"
+        "the same silent-corruption class."
+    )
+    example = (
+        "ambient_c = 45.0\n"
+        "peak_temperature_k = 380.0\n"
+        "headroom = peak_temperature_k - ambient_c  # K minus degC\n"
+    )

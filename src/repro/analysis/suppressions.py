@@ -10,13 +10,26 @@ its comment block, so a justification can run to several lines:
     # name, so the pool can resolve it in the worker process.
     pool.submit(worker, job)
 
-``# repro: ignore` without a rule list is deliberately NOT supported:
+When the file's AST is available, a suppression attaches to the *whole
+statement* whose line span contains it, so it also works on decorator
+lines and anywhere inside a multi-line call expression:
+
+    @dataclass(frozen=True)  # repro: ignore[RPR003] registered dynamically
+    class OddJob(Job): ...
+
+    total = combine(
+        fit_budget,
+        mttf_hours,  # repro: ignore[RPR103] unit mix is the point here
+    )
+
+``# repro: ignore`` without a rule list is deliberately NOT supported:
 blanket suppressions hide new rules' findings, which defeats the
 ratchet.
 """
 
 from __future__ import annotations
 
+import ast
 import re
 from dataclasses import dataclass, field
 
@@ -59,15 +72,69 @@ class SuppressionIndex:
         return {ln for ln, rules in self._by_line.items() if rule_id in rules}
 
 
-def parse_suppressions(source_lines: list[str]) -> SuppressionIndex:
+def _statement_spans(tree: ast.Module) -> list[tuple[int, int]]:
+    """(start, end) line span of every statement, 1-based inclusive.
+
+    For a compound statement the span is the *header only* — decorators
+    through the line before the first body statement — so a suppression
+    on a decorator or inside a multi-line ``def`` signature covers the
+    whole header without swallowing the entire body.  Simple statements
+    span all their physical lines (multi-line calls included).
+    """
+    spans: list[tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        start = node.lineno
+        decorators = getattr(node, "decorator_list", None)
+        if decorators:
+            start = min(start, *(d.lineno for d in decorators))
+        body = getattr(node, "body", None)
+        if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+            end = max(start, body[0].lineno - 1)
+        else:
+            end = node.end_lineno or node.lineno
+        spans.append((start, end))
+    return spans
+
+
+def _smallest_span(
+    spans: list[tuple[int, int]], line: int
+) -> tuple[int, int] | None:
+    best: tuple[int, int] | None = None
+    for start, end in spans:
+        if start <= line <= end:
+            if best is None or end - start < best[1] - best[0]:
+                best = (start, end)
+    return best
+
+
+def parse_suppressions(
+    source_lines: list[str], tree: ast.Module | None = None
+) -> SuppressionIndex:
     """Scan physical source lines for suppression comments.
 
     This is a line-level scan, not a tokenizer: a ``# repro: ignore``
     inside a string literal would count.  That false positive is
-    harmless (it can only ever silence, and only on its own line) and
-    keeps parsing robust on files the AST cannot digest.
+    harmless (it can only ever silence, and only within its own
+    statement) and keeps parsing robust on files the AST cannot digest.
+
+    Args:
+        source_lines: the file's physical lines.
+        tree: optional parsed module; when given, each suppression
+            covers the full line span of the smallest statement it sits
+            in (decorator lines, multi-line calls), not just its own
+            physical line.
     """
     index = SuppressionIndex()
+    spans = _statement_spans(tree) if tree is not None else []
+
+    def cover(anchor: int, rules: frozenset[str]) -> None:
+        span = _smallest_span(spans, anchor)
+        first, last = span if span is not None else (anchor, anchor)
+        for line in range(first, last + 1):
+            index._by_line.setdefault(line, set()).update(rules)
+
     for i, text in enumerate(source_lines, start=1):
         match = _SUPPRESSION.search(text)
         if match is None:
@@ -81,7 +148,7 @@ def parse_suppressions(source_lines: list[str]) -> SuppressionIndex:
         index.suppressions.append(
             Suppression(line=i, rules=rules, covers_next=covers_next)
         )
-        index._by_line.setdefault(i, set()).update(rules)
+        cover(i, rules)
         if covers_next:
             # Skip the rest of the comment block: the suppression
             # attaches to the code line it is documenting.
@@ -90,5 +157,5 @@ def parse_suppressions(source_lines: list[str]) -> SuppressionIndex:
                 source_lines[target - 1]
             ):
                 target += 1
-            index._by_line.setdefault(target, set()).update(rules)
+            cover(target, rules)
     return index

@@ -70,6 +70,30 @@ TC_COFFIN_MANSON_EXPONENT = 2.35
 #: is split evenly across them during qualification.
 N_FAILURE_MECHANISMS = 4
 
+#: Explicit physical units for the constants above, keyed by constant
+#: name.  Values are unit names from the static analyzer's lattice
+#: (``repro.analysis.unitsig``): "K", "V", "Hz", "W", "eV", "FIT",
+#: "hours", "1" (dimensionless), plus compound spellings like "eV/K"
+#: that the dataflow pass treats as opaque.  The analyzer reads this
+#: table from the AST, so a constant's declared unit and its name
+#: convention can be cross-checked without importing this module.
+CONSTANT_UNITS: dict[str, str] = {
+    "BOLTZMANN_EV_PER_K": "eV/K",
+    "HOURS_PER_YEAR": "hours/year",
+    "FIT_DEVICE_HOURS": "device_hours",
+    "MIN_TEMPERATURE_K": "K",
+    "MAX_TEMPERATURE_K": "K",
+    "AMBIENT_TEMPERATURE_K": "K",
+    "CYCLE_COLD_TEMPERATURE_K": "K",
+    "TARGET_FIT": "FIT",
+    "EM_CURRENT_DENSITY_EXPONENT": "1",
+    "EM_ACTIVATION_ENERGY_EV": "eV",
+    "SM_STRESS_EXPONENT": "1",
+    "SM_ACTIVATION_ENERGY_EV": "eV",
+    "TC_COFFIN_MANSON_EXPONENT": "1",
+    "N_FAILURE_MECHANISMS": "1",
+}
+
 
 def mttf_hours_to_fit(mttf_hours: float) -> float:
     """Convert a mean-time-to-failure in hours to a FIT value.

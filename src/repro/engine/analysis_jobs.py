@@ -1,0 +1,88 @@
+"""Static-analysis jobs for the engine's executor and result store.
+
+One :class:`AnalyzeFileJob` runs the whole rule set over one source
+file.  The spec carries the file's *content* (so a worker never races a
+concurrent edit by re-reading the path), but the cache key hashes only
+the content's digest plus everything else that can change the outcome:
+the rule ids, the rule-set version, the file's determinism-scope flags,
+and the digest of the cross-module unit-signature table.  A warm
+``repro analyze`` therefore re-runs exactly the files whose content —
+or whose cross-module inputs — changed.
+
+The result is a plain JSON dict (finding/suppressed records), persisted
+via the store's identity codec, which is what makes the cache durable
+across processes and CI runs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.engine.jobs import Job, JobContext
+
+
+@dataclass(frozen=True)
+class AnalyzeFileJob(Job):
+    """Run the registered rules over one file's source text.
+
+    Attributes:
+        rel_path: repo-relative POSIX path (findings are reported
+            against it).
+        content_hash: SHA-256 of the source bytes; stands in for
+            ``source`` in the cache key.
+        module: dotted module name, or None for non-importable paths.
+        rule_ids: registry ids of the rules to run (workers rebuild the
+            instances from the registry).
+        ruleset_version: bumped when any rule's logic changes, so stale
+            cached verdicts die with the code that produced them.
+        in_scope: whether the file is inside the determinism-rule
+            import scope.
+        scope_global: whether the scope fell back to "everything"
+            (fixture/sandbox mode, see the analysis engine).
+        sig_hash: digest of the signature-table payload; a cross-module
+            signature change re-analyzes every file, by design.
+        source / sig_json: the actual inputs, excluded from the payload
+            because their digests above already pin them.
+    """
+
+    rel_path: str
+    content_hash: str
+    module: str | None
+    rule_ids: tuple[str, ...]
+    ruleset_version: int
+    in_scope: bool
+    scope_global: bool
+    sig_hash: str
+    source: str = field(repr=False, default="")
+    sig_json: str = field(repr=False, default="{}")
+
+    kind = "analyze_file"
+    stage = "analyze"
+
+    def payload(self) -> dict:
+        return {
+            "path": self.rel_path,
+            "content": self.content_hash,
+            "rules": list(self.rule_ids),
+            "ruleset": self.ruleset_version,
+            "in_scope": self.in_scope,
+            "scope_global": self.scope_global,
+            "signatures": self.sig_hash,
+        }
+
+    def run(self, ctx: JobContext) -> dict:
+        from repro.analysis.incremental import run_rules_on_source
+
+        return run_rules_on_source(
+            rel_path=self.rel_path,
+            source=self.source,
+            module=self.module,
+            rule_ids=self.rule_ids,
+            in_scope=self.in_scope,
+            scope_global=self.scope_global,
+            sig_payload=json.loads(self.sig_json),
+        )
+
+    def describe(self) -> str:
+        return f"analyze:{self.rel_path}"

@@ -357,6 +357,7 @@ CODECS = {
     "drm": (encode_drm_decision, decode_drm_decision),
     "dtm": (encode_dtm_decision, decode_dtm_decision),
     "qualification": (_identity_encode, _identity_decode),
+    "analyze_file": (_identity_encode, _identity_decode),
 }
 
 

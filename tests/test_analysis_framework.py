@@ -63,6 +63,74 @@ class TestSuppressions:
         assert not index.covers(finding(line=1))
 
 
+class TestStatementSpans:
+    """With the AST, a suppression covers its whole statement's span."""
+
+    @staticmethod
+    def parse(source):
+        import ast
+        import textwrap
+
+        text = textwrap.dedent(source).strip("\n")
+        return parse_suppressions(text.splitlines(), ast.parse(text))
+
+    def test_decorator_line_covers_the_def_header(self):
+        index = self.parse("""
+            @dataclass(frozen=True)  # repro: ignore[RPR003] dynamic job
+            class OddJob:
+                field: int = 1
+        """)
+        assert index.covers(finding(rule="RPR003", line=1))
+        assert index.covers(finding(rule="RPR003", line=2))
+        # Header only: the class body is not swallowed.
+        assert not index.covers(finding(rule="RPR003", line=3))
+
+    def test_multiline_call_covers_every_physical_line(self):
+        index = self.parse("""
+            total = combine(
+                fit_budget,
+                mttf_hours,  # repro: ignore[RPR103] unit mix is the point
+            )
+            after = 1
+        """)
+        for line in (1, 2, 3, 4):
+            assert index.covers(finding(rule="RPR103", line=line))
+        assert not index.covers(finding(rule="RPR103", line=5))
+
+    def test_smallest_enclosing_statement_wins(self):
+        # Inside a function body, a suppression attaches to its own
+        # statement, not the whole enclosing def.
+        index = self.parse("""
+            def f():
+                a == 0.0  # repro: ignore[RPR004] sentinel
+                b == 1.0
+        """)
+        assert index.covers(finding(line=2))
+        assert not index.covers(finding(line=3))
+
+    def test_comment_block_above_decorator_covers_the_header(self):
+        index = self.parse("""
+            # repro: ignore[RPR003] constructed dynamically on purpose
+            @dataclass(frozen=True)
+            class OddJob:
+                field: int = 1
+        """)
+        assert index.covers(finding(rule="RPR003", line=2))
+        assert index.covers(finding(rule="RPR003", line=3))
+        assert not index.covers(finding(rule="RPR003", line=4))
+
+    def test_without_a_tree_only_the_comment_line_is_covered(self):
+        lines = [
+            "total = combine(",
+            "    fit_budget,",
+            "    mttf_hours,  # repro: ignore[RPR103] unit mix",
+            ")",
+        ]
+        index = parse_suppressions(lines)
+        assert index.covers(finding(rule="RPR103", line=3))
+        assert not index.covers(finding(rule="RPR103", line=1))
+
+
 class TestFingerprints:
     def test_stable_under_line_moves_and_whitespace(self):
         a = finding(line=3, snippet="x  ==  1.5")

@@ -1,0 +1,183 @@
+"""Incremental analysis driver: cache hits, invalidation, parallelism.
+
+Every test runs the real :class:`Analyzer` with a ``cache_dir`` so the
+run goes through :class:`repro.analysis.incremental.IncrementalDriver`
+and the engine's content-addressed result store.  ``workers=1`` keeps
+execution in-process (serial) — caching behaves identically to the
+pooled path, which one smoke test exercises.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import Analyzer
+from repro.analysis.incremental import RULESET_VERSION
+from repro.engine.analysis_jobs import AnalyzeFileJob
+
+CLEAN = """
+    def total(core_power_w: float, cache_power_w: float) -> float:
+        return core_power_w + cache_power_w
+"""
+
+DIRTY = """
+    def headroom(peak_temperature_k: float, ambient_c: float) -> float:
+        return peak_temperature_k - ambient_c
+"""
+
+CLEAN_WITH_NEW_SIGNATURE = """
+    def total(core_power_w: float, cache_power_w: float) -> float:
+        return core_power_w + cache_power_w
+
+    def derate(mttf_hours: float) -> float:
+        return mttf_hours
+"""
+
+
+def write_tree(root, files):
+    for rel, text in files.items():
+        target = root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(text), encoding="utf-8")
+
+
+def analyze(root, workers=1, select=None):
+    analyzer = Analyzer(
+        root=root,
+        select=select,
+        cache_dir=root / ".cache",
+        workers=workers,
+    )
+    return analyzer.analyze_paths([root / "src"])
+
+
+@pytest.fixture
+def tree(tmp_path):
+    write_tree(tmp_path, {
+        "src/alpha.py": CLEAN,
+        "src/beta.py": DIRTY,
+        "src/gamma.py": """
+            TARGET_FIT = 4000.0
+
+            def budget() -> float:
+                return TARGET_FIT
+        """,
+    })
+    return tmp_path
+
+
+class TestWarmRuns:
+    def test_cold_run_analyzes_everything(self, tree):
+        result = analyze(tree)
+        assert result.stats["driver"] == "incremental"
+        assert result.stats["files"] == 3
+        assert result.stats["analyzed"] == 3
+        assert result.stats["cached"] == 0
+        assert result.stats["harvest_hits"] == 0
+
+    def test_warm_run_is_fully_cached(self, tree):
+        cold = analyze(tree)
+        warm = analyze(tree)
+        assert warm.stats["cached"] == 3
+        assert warm.stats["analyzed"] == 0
+        assert warm.stats["harvest_hits"] == 3
+        assert [f.fingerprint for f in warm.findings] == [
+            f.fingerprint for f in cold.findings
+        ]
+
+    def test_findings_survive_the_cache(self, tree):
+        cold = analyze(tree, select=["RPR101"])
+        warm = analyze(tree, select=["RPR101"])
+        assert [f.rule for f in cold.findings] == ["RPR101"]
+        assert [(f.rule, f.path, f.line, f.message) for f in warm.findings] == [
+            (f.rule, f.path, f.line, f.message) for f in cold.findings
+        ]
+
+    def test_parallel_cold_run_matches_serial(self, tree):
+        pooled = analyze(tree, workers=2)
+        assert pooled.stats["analyzed"] == 3
+        serial = analyze(tree)  # warm: reads what the pool wrote
+        assert serial.stats["cached"] == 3
+        assert [f.fingerprint for f in pooled.findings] == [
+            f.fingerprint for f in serial.findings
+        ]
+
+
+class TestInvalidation:
+    def test_body_edit_reanalyzes_exactly_one_file(self, tree):
+        analyze(tree)
+        # Same signatures (names, params, constants), different body.
+        write_tree(tree, {
+            "src/alpha.py": """
+                def total(core_power_w: float, cache_power_w: float) -> float:
+                    combined_w = core_power_w + cache_power_w
+                    return combined_w
+            """,
+        })
+        result = analyze(tree)
+        assert result.stats["analyzed"] == 1
+        assert result.stats["cached"] == 2
+        assert result.stats["harvest_hits"] == 2
+
+    def test_signature_edit_reanalyzes_the_tree(self, tree):
+        analyze(tree)
+        # A new function changes the project-wide signature table, so
+        # every file's rule-result key changes (cross-module rules may
+        # fire anywhere).
+        write_tree(tree, {"src/alpha.py": CLEAN_WITH_NEW_SIGNATURE})
+        result = analyze(tree)
+        assert result.stats["analyzed"] == 3
+        assert result.stats["cached"] == 0
+        assert result.stats["harvest_hits"] == 2
+
+    def test_rule_selection_is_part_of_the_key(self, tree):
+        analyze(tree, select=["RPR101"])
+        other = analyze(tree, select=["RPR102"])
+        assert other.stats["analyzed"] == 3
+        again = analyze(tree, select=["RPR101"])
+        assert again.stats["cached"] == 3
+
+    def test_parse_error_is_reported_cold_and_warm(self, tree):
+        write_tree(tree, {"src/broken.py": "def oops(:\n"})
+        for _ in range(2):
+            result = analyze(tree)
+            broken = [f for f in result.findings if f.path == "src/broken.py"]
+            assert [f.rule for f in broken] == ["RPR000"]
+        # The second run served the (failed) harvest from the store.
+        assert result.stats["harvest_hits"] == 4
+
+
+class TestJobKeys:
+    def kwargs(self, **overrides):
+        base = dict(
+            rel_path="src/mod.py",
+            content_hash="abc123",
+            module="mod",
+            rule_ids=("RPR101", "RPR102"),
+            ruleset_version=RULESET_VERSION,
+            in_scope=False,
+            scope_global=False,
+            sig_hash="sig456",
+        )
+        base.update(overrides)
+        return base
+
+    def test_source_is_pinned_by_digests_not_keyed(self):
+        # The payload carries hashes; the bulky source/sig_json ride
+        # along for the worker but must not perturb the key.
+        a = AnalyzeFileJob(**self.kwargs(), source="x = 1\n", sig_json="{}")
+        b = AnalyzeFileJob(**self.kwargs(), source="x = 2\n", sig_json="{}")
+        assert a.cache_key == b.cache_key
+
+    def test_every_declared_input_perturbs_the_key(self):
+        base = AnalyzeFileJob(**self.kwargs())
+        variants = [
+            AnalyzeFileJob(**self.kwargs(content_hash="def789")),
+            AnalyzeFileJob(**self.kwargs(rule_ids=("RPR101",))),
+            AnalyzeFileJob(**self.kwargs(ruleset_version=RULESET_VERSION + 1)),
+            AnalyzeFileJob(**self.kwargs(in_scope=True)),
+            AnalyzeFileJob(**self.kwargs(scope_global=True)),
+            AnalyzeFileJob(**self.kwargs(sig_hash="sig999")),
+        ]
+        keys = {base.cache_key} | {v.cache_key for v in variants}
+        assert len(keys) == len(variants) + 1

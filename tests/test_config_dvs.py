@@ -19,12 +19,12 @@ class TestOperatingPoint:
 class TestVoltageFrequencyCurve:
     def test_nominal_point(self):
         nominal = DEFAULT_VF_CURVE.nominal
-        assert nominal.frequency_hz == 4.0e9
-        assert nominal.voltage_v == 1.0
+        assert nominal.frequency_hz == pytest.approx(4.0e9)
+        assert nominal.voltage_v == pytest.approx(1.0)
 
     def test_paper_frequency_range(self):
-        assert DEFAULT_VF_CURVE.f_min_hz == 2.5e9
-        assert DEFAULT_VF_CURVE.f_max_hz == 5.0e9
+        assert DEFAULT_VF_CURVE.f_min_hz == pytest.approx(2.5e9)
+        assert DEFAULT_VF_CURVE.f_max_hz == pytest.approx(5.0e9)
 
     def test_voltage_increases_with_frequency(self):
         curve = DEFAULT_VF_CURVE

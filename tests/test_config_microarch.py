@@ -39,7 +39,7 @@ class TestBaseConfig:
 class TestPoweredFraction:
     def test_base_config_fully_powered(self):
         for s in ("window", "ialu", "fpu", "l1d", "bpred"):
-            assert BASE_MICROARCH.powered_fraction(s) == 1.0
+            assert BASE_MICROARCH.powered_fraction(s) == pytest.approx(1.0)
 
     def test_window_fraction(self):
         assert MicroarchConfig(window_size=32).powered_fraction("window") == pytest.approx(0.25)
@@ -53,7 +53,7 @@ class TestPoweredFraction:
     def test_non_adaptive_structures_unaffected(self):
         shrunk = MicroarchConfig(window_size=16, n_ialu=2, n_fpu=1)
         for s in ("l1d", "l1i", "intreg", "fpreg", "lsq", "bpred", "agen", "other"):
-            assert shrunk.powered_fraction(s) == 1.0
+            assert shrunk.powered_fraction(s) == pytest.approx(1.0)
 
 
 class TestValidation:

@@ -16,18 +16,18 @@ from repro.errors import ConfigurationError
 class TestTechnologyParameters:
     def test_table1_defaults(self):
         tech = DEFAULT_TECHNOLOGY
-        assert tech.process_nm == 65.0
-        assert tech.vdd_nominal_v == 1.0
-        assert tech.frequency_nominal_hz == 4.0e9
+        assert tech.process_nm == pytest.approx(65.0)
+        assert tech.vdd_nominal_v == pytest.approx(1.0)
+        assert tech.frequency_nominal_hz == pytest.approx(4.0e9)
         assert tech.core_area_mm2 == pytest.approx(20.2)
 
     def test_die_edge_is_4_5_mm(self):
         assert DEFAULT_TECHNOLOGY.die_edge_mm == pytest.approx(4.5, abs=0.01)
 
     def test_leakage_reference_matches_paper(self):
-        assert DEFAULT_TECHNOLOGY.leakage_density_w_per_mm2 == 0.5
-        assert DEFAULT_TECHNOLOGY.leakage_reference_temp_k == 383.0
-        assert DEFAULT_TECHNOLOGY.leakage_temp_coefficient_per_k == 0.017
+        assert DEFAULT_TECHNOLOGY.leakage_density_w_per_mm2 == pytest.approx(0.5)
+        assert DEFAULT_TECHNOLOGY.leakage_reference_temp_k == pytest.approx(383.0)
+        assert DEFAULT_TECHNOLOGY.leakage_temp_coefficient_per_k == pytest.approx(0.017)
 
     def test_structure_areas_sum_to_core_area(self):
         assert DEFAULT_TECHNOLOGY.structure_area_total_mm2() == pytest.approx(20.2, abs=1e-9)

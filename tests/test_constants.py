@@ -47,7 +47,7 @@ class TestTemperatureHelpers:
         assert constants.CYCLE_COLD_TEMPERATURE_K < constants.AMBIENT_TEMPERATURE_K
 
     def test_validate_temperature_passes_through(self):
-        assert constants.validate_temperature(350.0) == 350.0
+        assert constants.validate_temperature(350.0) == pytest.approx(350.0)
 
     @pytest.mark.parametrize("bad", [100.0, 600.0, 0.0])
     def test_validate_temperature_rejects_extremes(self, bad):
@@ -64,7 +64,7 @@ class TestPhysicalConstants:
         assert constants.BOLTZMANN_EV_PER_K == pytest.approx(8.617e-5, rel=1e-3)
 
     def test_hours_per_year(self):
-        assert constants.HOURS_PER_YEAR == 8760.0
+        assert constants.HOURS_PER_YEAR == pytest.approx(8760.0)
 
     def test_kT_at_operating_temperature_is_about_30_mev(self):
         kt = constants.BOLTZMANN_EV_PER_K * 350.0

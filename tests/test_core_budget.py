@@ -10,8 +10,8 @@ class TestLedger:
     def test_fresh_budget_is_on_track(self):
         b = ReliabilityBudget(fit_target=4000.0)
         assert b.on_track
-        assert b.average_fit == 0.0
-        assert b.banked == 0.0
+        assert b.average_fit == pytest.approx(0.0)
+        assert b.banked == pytest.approx(0.0)
 
     def test_running_at_target_is_neutral(self):
         b = ReliabilityBudget(fit_target=4000.0)
@@ -75,7 +75,7 @@ class TestSustainableRate:
     def test_sustainable_rate_never_negative(self):
         b = ReliabilityBudget(fit_target=4000.0, horizon_hours=1000.0)
         b.record(100_000.0, 500.0)  # catastrophic overdraft
-        assert b.sustainable_fit() == 0.0
+        assert b.sustainable_fit() == pytest.approx(0.0)
 
     def test_exhausted_horizon_raises(self):
         b = ReliabilityBudget(fit_target=4000.0, horizon_hours=10.0)

@@ -120,7 +120,7 @@ class TestOracleDecisions:
     def test_decision_record_fields(self, oracle):
         d = oracle.best(TWOLF, 370.0, AdaptationMode.DVS)
         assert d.profile_name == "twolf"
-        assert d.t_qual_k == 370.0
+        assert d.t_qual_k == pytest.approx(370.0)
         assert d.mode is AdaptationMode.DVS
 
 

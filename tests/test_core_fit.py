@@ -20,7 +20,7 @@ class TestSofr:
         assert account().total == pytest.approx(100 + 50 + 50 + 25)
 
     def test_sofr_total_fit_helper(self):
-        assert sofr_total_fit([1.0, 2.0, 3.0]) == 6.0
+        assert sofr_total_fit([1.0, 2.0, 3.0]) == pytest.approx(6.0)
 
     def test_sofr_rejects_negative(self):
         with pytest.raises(ReliabilityError):

@@ -26,8 +26,8 @@ class TestQualificationPoint:
         point = qual_point()
         c = point.conditions_for("fpu", DEFAULT_TECHNOLOGY)
         assert isinstance(c, StressConditions)
-        assert c.temperature_k == 400.0
-        assert c.activity == 0.8
+        assert c.temperature_k == pytest.approx(400.0)
+        assert c.activity == pytest.approx(0.8)
 
     def test_missing_structure_activity_rejected(self):
         with pytest.raises(QualificationError, match="missing"):

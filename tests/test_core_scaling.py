@@ -18,7 +18,7 @@ def study(oracle, platform):
 class TestScenario:
     def test_defaults_neutral(self):
         s = ScalingScenario("x", power_density_scale=1.0)
-        assert s.vdd_scale == 1.0 and s.frequency_scale == 1.0
+        assert s.vdd_scale == pytest.approx(1.0) and s.frequency_scale == pytest.approx(1.0)
 
     @pytest.mark.parametrize(
         "kwargs",
@@ -38,9 +38,9 @@ class TestScenario:
 
     def test_default_trajectory_contains_calibrated_node(self):
         node = next(s for s in DEFAULT_TRAJECTORY if s.label == "65nm")
-        assert node.power_density_scale == 1.0
-        assert node.vdd_scale == 1.0
-        assert node.frequency_scale == 1.0
+        assert node.power_density_scale == pytest.approx(1.0)
+        assert node.vdd_scale == pytest.approx(1.0)
+        assert node.frequency_scale == pytest.approx(1.0)
 
 
 class TestStudy:

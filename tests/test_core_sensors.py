@@ -9,7 +9,7 @@ from repro.errors import ReliabilityError
 class TestSensorSpec:
     def test_defaults(self):
         spec = SensorSpec()
-        assert spec.temperature_resolution_k == 1.0
+        assert spec.temperature_resolution_k == pytest.approx(1.0)
         assert spec.counter_max == (1 << 22) - 1
 
     @pytest.mark.parametrize(

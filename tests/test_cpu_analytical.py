@@ -21,7 +21,7 @@ class TestAlgebra:
 
     def test_core_component_constant_in_cycles(self):
         m = model(cpi_mem=0.0)
-        assert m.cpi_at(2.5e9) == m.cpi_at(5.0e9) == 0.5
+        assert m.cpi_at(2.5e9) == m.cpi_at(5.0e9) == pytest.approx(0.5)
 
     def test_ips_monotone_in_frequency(self):
         m = model()

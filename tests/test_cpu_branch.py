@@ -69,7 +69,7 @@ class TestBimodalAgreePredictor:
         assert p.lookups == 1
 
     def test_rate_zero_before_any_lookup(self):
-        assert BimodalAgreePredictor().misprediction_rate == 0.0
+        assert BimodalAgreePredictor().misprediction_rate == pytest.approx(0.0)
 
     def test_update_returns_mispredict_flag(self):
         p = BimodalAgreePredictor()

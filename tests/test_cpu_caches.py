@@ -81,7 +81,7 @@ class TestCacheBehaviour:
         assert c.miss_rate == pytest.approx(0.5)
 
     def test_miss_rate_zero_without_accesses(self):
-        assert Cache("c", 4096, 2).miss_rate == 0.0
+        assert Cache("c", 4096, 2).miss_rate == pytest.approx(0.0)
 
     def test_sets_isolate_addresses(self):
         c = Cache("c", 4 * 64, 2)  # 2 sets

@@ -144,7 +144,7 @@ class TestStatsIntegrity:
     def test_busy_alus_show_high_activity(self):
         stats = simulate_trace(uniform_trace(2000))
         assert stats.activity["ialu"] > 0.5
-        assert stats.activity["fpu"] == 0.0
+        assert stats.activity["fpu"] == pytest.approx(0.0)
 
     def test_fp_trace_heats_fpu_not_alu(self):
         stats = simulate_trace(uniform_trace(1000, op=OpClass.FADD))

@@ -79,7 +79,7 @@ class TestFloorplan:
     def test_disjoint_blocks_share_nothing(self):
         a = Block("a", 0, 0, 1, 1)
         b = Block("b", 5, 5, 1, 1)
-        assert a.shared_edge_with(b) == 0.0
+        assert a.shared_edge_with(b) == pytest.approx(0.0)
 
     def test_lookup(self, floorplan):
         assert floorplan.block("fpu").name == "fpu"

@@ -55,7 +55,7 @@ class TestDependencyAnalysis:
 
     def test_mean_zero_without_dependences(self):
         instrs = [Instruction(op=OpClass.IALU, pc=0) for _ in range(5)]
-        assert mean_dependency_distance(Trace.from_instructions(instrs)) == 0.0
+        assert mean_dependency_distance(Trace.from_instructions(instrs)) == pytest.approx(0.0)
 
 
 class TestStackDistance:

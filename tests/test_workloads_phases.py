@@ -9,9 +9,9 @@ from repro.workloads.phases import Phase, STEADY, expand_phases
 class TestPhase:
     def test_defaults_are_neutral(self):
         p = Phase("x", weight=1.0)
-        assert p.ilp_scale == 1.0
-        assert p.miss_scale == 1.0
-        assert p.fp_scale == 1.0
+        assert p.ilp_scale == pytest.approx(1.0)
+        assert p.miss_scale == pytest.approx(1.0)
+        assert p.fp_scale == pytest.approx(1.0)
 
     @pytest.mark.parametrize("w", [0.0, -0.5, 1.5])
     def test_bad_weight_rejected(self, w):
@@ -28,7 +28,7 @@ class TestPhase:
 
     def test_steady_is_single_full_weight_phase(self):
         assert len(STEADY) == 1
-        assert STEADY[0].weight == 1.0
+        assert STEADY[0].weight == pytest.approx(1.0)
 
 
 class TestExpandPhases:

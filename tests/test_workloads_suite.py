@@ -60,7 +60,7 @@ class TestTable2Targets:
     def test_integer_apps_have_no_fp_mix(self):
         for p in WORKLOAD_SUITE:
             if p.category == "specint":
-                assert p.fp_fraction() == 0.0
+                assert p.fp_fraction() == pytest.approx(0.0)
 
     def test_fp_apps_have_fp_mix(self):
         for p in WORKLOAD_SUITE:

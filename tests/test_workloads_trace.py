@@ -51,7 +51,7 @@ class TestTrace:
 
     def test_mix_of_uniform_trace(self):
         t = make_trace(10, OpClass.LOAD)
-        assert t.mix()[OpClass.LOAD] == 1.0
+        assert t.mix()[OpClass.LOAD] == pytest.approx(1.0)
 
     def test_empty_trace_rejected(self):
         with pytest.raises(WorkloadError):
