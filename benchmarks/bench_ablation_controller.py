@@ -27,7 +27,7 @@ def reproduce(drm_oracle):
     for name in APPS:
         profile = workload_by_name(name)
         run = drm_oracle.cache.run(profile)
-        oracle_decision = drm_oracle.best(profile, T_QUAL, AdaptationMode.DVS)
+        oracle_decision = drm_oracle.best(profile, t_qual_k=T_QUAL, mode=AdaptationMode.DVS)
         controller = FeedbackDVSController(drm_oracle.platform, ramp)
         trace = controller.run(run, n_epochs=EPOCHS, start_frequency_hz=3.0e9)
         steady = trace.epochs[EPOCHS // 2 :]

@@ -36,8 +36,8 @@ def reproduce(drm_oracle):
             )
             if fit <= drm_oracle.fit_target + 1e-9:
                 uniform_perf = max(uniform_perf, perf)
-        exact = intra.best_exhaustive(profile, T_QUAL)
-        greedy = intra.best_greedy(profile, T_QUAL)
+        exact = intra.best_exhaustive(profile, t_qual_k=T_QUAL)
+        greedy = intra.best_greedy(profile, t_qual_k=T_QUAL)
         rows.append(
             {
                 "app": profile.name,

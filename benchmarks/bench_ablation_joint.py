@@ -31,9 +31,9 @@ def reproduce(drm_oracle, dtm_oracle):
     rows = []
     for profile in WORKLOAD_SUITE:
         run = drm_oracle.cache.run(profile, BASE_MICROARCH)
-        drm = drm_oracle.best(profile, TEMP, AdaptationMode.DVS)
-        dtm = dtm_oracle.best(profile, TEMP)
-        j = joint.best(profile, TEMP, TEMP)
+        drm = drm_oracle.best(profile, t_qual_k=TEMP, mode=AdaptationMode.DVS)
+        dtm = dtm_oracle.best(profile, t_limit_k=TEMP)
+        j = joint.best(profile, t_qual_k=TEMP, t_limit_k=TEMP)
         drm_peak = drm_oracle.platform.evaluate(run, drm.op).peak_temperature_k
         dtm_fit = ramp.application_reliability(
             drm_oracle.platform.evaluate(run, dtm.op)

@@ -23,7 +23,7 @@ def reproduce(drm_oracle):
     rows = []
     for profile in WORKLOAD_SUITE:
         # Oracle choice under the paper's (time-averaged) accounting.
-        avg_decision = drm_oracle.best(profile, T_QUAL, AdaptationMode.DVS)
+        avg_decision = drm_oracle.best(profile, t_qual_k=T_QUAL, mode=AdaptationMode.DVS)
         # Oracle choice if the *worst instant* had to stay within target.
         best_worst = None
         for config, op in drm_oracle.candidates(AdaptationMode.DVS):

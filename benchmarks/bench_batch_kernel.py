@@ -1,0 +1,128 @@
+"""The batched-kernel speedup benchmark: scalar loop vs evaluate_batch.
+
+Times the full ArchDVS candidate grid (18 microarchitectures x the DVS
+grid) two ways for each application:
+
+- **scalar** — the retained reference path: one
+  ``Platform._evaluate_mixed_reference`` fixed point plus one scalar RAMP
+  accounting pass per candidate, exactly what the oracles did before the
+  kernel existed;
+- **batched** — one ``Platform.evaluate_batch`` call per
+  microarchitecture (DVS points share a simulation) plus one
+  ``RampModel.application_fit_batch`` pass.
+
+Results land in ``BENCH_batch_kernel.json`` at the repository root
+(candidates/sec for both paths and the speedup), seeding the perf
+trajectory.  Set ``REPRO_BENCH_SMOKE=1`` to run a reduced grid (CI's
+bench-smoke job); the speedup floor is only asserted on the full grid.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import time
+
+from repro.config.microarch import arch_adaptation_space
+from repro.workloads.suite import WORKLOAD_SUITE
+
+from _bench_utils import prewarm_simulations, run_once
+from conftest import BENCH_DIR, BENCH_DVS_STEPS
+
+RESULT_PATH = BENCH_DIR.parent / "BENCH_batch_kernel.json"
+
+#: The acceptance floor for the full ArchDVS grid.
+MIN_SPEEDUP = 5.0
+
+T_QUAL_K = 370.0
+
+
+def _smoke() -> bool:
+    return bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+
+def _grid_spec(drm_oracle):
+    """(profiles, configs, operating points) — reduced under smoke."""
+    configs = arch_adaptation_space()
+    ops = drm_oracle.vf_curve.grid(BENCH_DVS_STEPS)
+    profiles = WORKLOAD_SUITE
+    if _smoke():
+        return profiles[:2], configs[:3], ops[::2]
+    return profiles, configs, ops
+
+
+def measure_batch_kernel(drm_oracle):
+    profiles, configs, ops = _grid_spec(drm_oracle)
+    prewarm_simulations(drm_oracle.cache, profiles=profiles, configs=configs)
+    platform = drm_oracle.platform
+    ramp = drm_oracle.ramp_for(T_QUAL_K)
+    candidates = [(c, op) for c in configs for op in ops]
+
+    scalar_s = 0.0
+    batched_s = 0.0
+    scalar_fits = []
+    batched_fits = []
+    for profile in profiles:
+        runs = {c: drm_oracle.cache.run(profile, c) for c in configs}
+
+        start = time.perf_counter()
+        for config, op in candidates:
+            evaluation = platform._evaluate_mixed_reference(
+                runs[config], [op] * len(runs[config].phases)
+            )
+            scalar_fits.append(
+                ramp.application_reliability(evaluation).total_fit
+            )
+        scalar_s += time.perf_counter() - start
+
+        start = time.perf_counter()
+        for config, group in itertools.groupby(
+            candidates, key=lambda ca: ca[0]
+        ):
+            batch = platform.evaluate_batch(
+                runs[config], [op for _, op in group]
+            )
+            batched_fits.extend(
+                float(f) for f in ramp.application_fit_batch(batch)
+            )
+        batched_s += time.perf_counter() - start
+
+    # The two paths must agree before their timing comparison means
+    # anything (documented equivalence tolerance).
+    for fit_s, fit_b in zip(scalar_fits, batched_fits):
+        assert abs(fit_b - fit_s) <= 1e-9 * abs(fit_s)
+
+    evaluations = len(candidates) * len(profiles)
+    return {
+        "benchmark": "batch_kernel",
+        "mode": "smoke" if _smoke() else "full",
+        "t_qual_k": T_QUAL_K,
+        "n_profiles": len(profiles),
+        "n_configs": len(configs),
+        "n_dvs_points": len(ops),
+        "n_candidates_per_profile": len(candidates),
+        "n_evaluations": evaluations,
+        "scalar_s": scalar_s,
+        "batched_s": batched_s,
+        "scalar_candidates_per_s": evaluations / scalar_s,
+        "batched_candidates_per_s": evaluations / batched_s,
+        "speedup": scalar_s / batched_s,
+    }
+
+
+def test_batch_kernel_speedup(benchmark, emit, drm_oracle):
+    result = run_once(benchmark, lambda: measure_batch_kernel(drm_oracle))
+    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    emit(
+        "batch_kernel",
+        "Batched kernel vs scalar loop ({mode}): "
+        "{n_evaluations} evaluations, scalar {scalar_s:.2f} s "
+        "({scalar_candidates_per_s:.0f}/s), batched {batched_s:.2f} s "
+        "({batched_candidates_per_s:.0f}/s), speedup {speedup:.1f}x".format(
+            **result
+        ),
+    )
+    assert result["batched_s"] < result["scalar_s"]
+    if not _smoke():
+        assert result["speedup"] >= MIN_SPEEDUP

@@ -25,7 +25,7 @@ def reproduce_fig1(drm_oracle):
         for name in (APP_A, APP_B):
             profile = workload_by_name(name)
             rel = ramp.application_reliability(drm_oracle.base_evaluation(profile))
-            drm = drm_oracle.best(profile, t_qual, AdaptationMode.DVS)
+            drm = drm_oracle.best(profile, t_qual_k=t_qual, mode=AdaptationMode.DVS)
             rows.append(
                 {
                     "processor": f"P{i} (Tqual={t_qual:.0f}K)",

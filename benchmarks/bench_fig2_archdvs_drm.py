@@ -29,7 +29,7 @@ def reproduce_fig2(drm_oracle):
     series = {}
     for profile in WORKLOAD_SUITE:
         series[profile.name] = [
-            drm_oracle.best(profile, t_qual, AdaptationMode.ARCHDVS).performance
+            drm_oracle.best(profile, t_qual_k=t_qual, mode=AdaptationMode.ARCHDVS).performance
             for t_qual in T_QUALS
         ]
     return series

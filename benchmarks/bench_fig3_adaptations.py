@@ -27,7 +27,7 @@ def reproduce_fig3(drm_oracle):
     profile = workload_by_name(APP)
     series = {}
     for mode in (AdaptationMode.ARCH, AdaptationMode.DVS, AdaptationMode.ARCHDVS):
-        decisions = [drm_oracle.best(profile, t, mode) for t in T_QUALS]
+        decisions = [drm_oracle.best(profile, t_qual_k=t, mode=mode) for t in T_QUALS]
         series[mode.value] = [d.performance for d in decisions]
         series[f"{mode.value}_feasible"] = [1.0 if d.meets_target else 0.0 for d in decisions]
     return series

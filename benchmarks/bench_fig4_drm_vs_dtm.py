@@ -28,11 +28,11 @@ def reproduce_fig4(drm_oracle, dtm_oracle):
     curves = {}
     for profile in WORKLOAD_SUITE:
         curves[f"{profile.name}:DVS-Rel"] = [
-            drm_oracle.best(profile, t, AdaptationMode.DVS).op.frequency_ghz
+            drm_oracle.best(profile, t_qual_k=t, mode=AdaptationMode.DVS).op.frequency_ghz
             for t in TEMPS
         ]
         curves[f"{profile.name}:DVS-Temp"] = [
-            dtm_oracle.best(profile, t).op.frequency_ghz for t in TEMPS
+            dtm_oracle.best(profile, t_limit_k=t).op.frequency_ghz for t in TEMPS
         ]
     return curves
 
@@ -94,13 +94,13 @@ def test_fig4_cross_policy_violations(benchmark, emit, drm_oracle, dtm_oracle):
         app = workload_by_name("bzip2")
         run = drm_oracle.cache.run(app, BASE_MICROARCH)
         # Hot side: DTM at T=400 vs the 400 K-qualified FIT target.
-        dtm_choice = dtm_oracle.best(app, 400.0)
+        dtm_choice = dtm_oracle.best(app, t_limit_k=400.0)
         ramp = drm_oracle.ramp_for(400.0)
         fit_of_dtm = ramp.application_reliability(
             drm_oracle.platform.evaluate(run, dtm_choice.op)
         ).total_fit
         # Cool side: DRM at T_qual=345 vs the 345 K thermal limit.
-        drm_choice = drm_oracle.best(app, 345.0, AdaptationMode.DVS)
+        drm_choice = drm_oracle.best(app, t_qual_k=345.0, mode=AdaptationMode.DVS)
         peak_of_drm = drm_oracle.platform.evaluate(run, drm_choice.op).peak_temperature_k
         return fit_of_dtm, peak_of_drm
 

@@ -16,6 +16,9 @@ Public API tour:
 - :mod:`repro.engine` — the parallel, fault-tolerant job engine that
   fans sweeps out across worker processes over a content-addressed
   result store.
+- :mod:`repro.kernels` — the batched candidate-grid evaluation kernel
+  behind :meth:`Platform.evaluate_batch`, which every oracle routes
+  through.
 
 Quickstart::
 
@@ -23,7 +26,7 @@ Quickstart::
 
     oracle = DRMOracle()
     decision = oracle.best(
-        workload_by_name("bzip2"), 370.0, AdaptationMode.ARCHDVS
+        workload_by_name("bzip2"), t_qual_k=370.0, mode=AdaptationMode.ARCHDVS
     )
     print(decision.performance, decision.fit)
 """
@@ -43,6 +46,7 @@ from repro.core import (
     ALL_MECHANISMS,
     AdaptationMode,
     AppReliability,
+    Decision,
     DRMDecision,
     DRMOracle,
     DTMDecision,
@@ -52,6 +56,7 @@ from repro.core import (
     RampModel,
     calibrate,
 )
+from repro.kernels import BatchEvaluation, BatchKernel
 from repro.cpu import CycleSimulator, SimulationStats
 from repro.engine import Engine
 from repro.harness import Platform, SimulationCache
@@ -74,6 +79,9 @@ __all__ = [
     "ALL_MECHANISMS",
     "AdaptationMode",
     "AppReliability",
+    "BatchEvaluation",
+    "BatchKernel",
+    "Decision",
     "DRMDecision",
     "DRMOracle",
     "DTMDecision",

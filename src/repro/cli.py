@@ -107,7 +107,7 @@ def _cmd_drm(args: argparse.Namespace) -> int:
     oracle = _oracle(args)
     profile = workload_by_name(args.app)
     mode = AdaptationMode(args.mode)
-    decision = oracle.best(profile, args.tqual, mode)
+    decision = oracle.best(profile, t_qual_k=args.tqual, mode=mode)
     print(f"DRM decision for {profile.name} at T_qual={args.tqual:.0f} K ({mode.value}):")
     print(f"  config      : {decision.config.describe()}")
     print(f"  frequency   : {decision.op.frequency_ghz:.2f} GHz")
@@ -123,7 +123,7 @@ def _cmd_dtm(args: argparse.Namespace) -> int:
         platform=oracle.platform, cache=oracle.cache, dvs_steps=args.dvs_steps
     )
     profile = workload_by_name(args.app)
-    decision = dtm.best(profile, args.tlimit)
+    decision = dtm.best(profile, t_limit_k=args.tlimit)
     print(f"DTM decision for {profile.name} at T_limit={args.tlimit:.0f} K:")
     print(f"  frequency   : {decision.op.frequency_ghz:.2f} GHz")
     print(f"  performance : {decision.performance:.3f}x vs base")
@@ -139,7 +139,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     mode = AdaptationMode(args.mode)
     perfs, freqs, fits = [], [], []
     for t in tquals:
-        d = oracle.best(profile, t, mode)
+        d = oracle.best(profile, t_qual_k=t, mode=mode)
         perfs.append(d.performance)
         freqs.append(d.op.frequency_ghz)
         fits.append(d.fit)

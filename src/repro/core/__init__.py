@@ -33,7 +33,8 @@ from repro.core.failure import (
     ThermalCycling,
     TimeDependentDielectricBreakdown,
 )
-from repro.core.fit import FitAccount, sofr_total_fit
+from repro.core.decision import Decision
+from repro.core.fit import FitAccount, sofr_total_fit, time_averaged_fit
 from repro.core.qualification import QualificationPoint, QualifiedReliabilityModel, calibrate
 from repro.core.ramp import AppReliability, RampModel
 from repro.core.drm import AdaptationMode, DRMDecision, DRMOracle
@@ -47,8 +48,10 @@ __all__ = [
     "StressMigration",
     "ThermalCycling",
     "TimeDependentDielectricBreakdown",
+    "Decision",
     "FitAccount",
     "sofr_total_fit",
+    "time_averaged_fit",
     "QualificationPoint",
     "QualifiedReliabilityModel",
     "calibrate",

@@ -17,9 +17,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.config.dvs import OperatingPoint, VoltageFrequencyCurve, DEFAULT_VF_CURVE
 from repro.config.microarch import BASE_MICROARCH
 from repro.constants import TARGET_FIT, validate_temperature
+from repro.core.decision import (
+    Decision,
+    require_keyword,
+    resolve_deprecated_positional,
+)
 from repro.core.ramp import RampModel
 from repro.errors import AdaptationError
 from repro.harness.platform import Platform, PlatformEvaluation
@@ -27,36 +34,35 @@ from repro.harness.sweep import SimulationCache
 from repro.workloads.characteristics import WorkloadProfile
 
 
-@dataclass(frozen=True)
-class JointDecision:
+@dataclass(frozen=True, kw_only=True)
+class JointDecision(Decision):
     """The joint policy's choice for one (application, T_qual, T_limit).
 
+    Extends the shared :class:`~repro.core.decision.Decision` record;
+    ``meets_target`` is the conjunction of the two per-constraint
+    verdicts below.
+
     Attributes:
-        profile_name: the application.
         t_qual_k: reliability qualification temperature.
         t_limit_k: thermal design point.
         op: chosen operating point.
-        performance: speedup vs the base processor at nominal V/f.
-        fit: application FIT at the choice.
         peak_temperature_k: hottest structure temperature at the choice.
         meets_fit / meets_thermal: per-constraint verdicts (both True
             unless no candidate satisfies the pair, in which case the
             least-violating candidate is returned).
     """
 
-    profile_name: str
     t_qual_k: float
     t_limit_k: float
     op: OperatingPoint
-    performance: float
-    fit: float
     peak_temperature_k: float
     meets_fit: bool
     meets_thermal: bool
 
     @property
     def feasible(self) -> bool:
-        return self.meets_fit and self.meets_thermal
+        """Legacy alias of :attr:`meets_target`."""
+        return self.meets_target
 
 
 class JointOracle:
@@ -97,48 +103,69 @@ class JointOracle:
     def best(
         self,
         profile: WorkloadProfile,
-        t_qual_k: float,
-        t_limit_k: float,
+        *args,
+        t_qual_k: float | None = None,
+        t_limit_k: float | None = None,
     ) -> JointDecision:
         """Best DVS point within both constraints.
+
+        Keyword-only: ``best(profile, t_qual_k=370.0, t_limit_k=355.0)``
+        (the legacy positional form still works but warns).  The whole
+        DVS grid goes through one
+        :meth:`~repro.harness.platform.Platform.evaluate_batch` call plus
+        one batched RAMP pass.
 
         When the intersection is empty, returns the candidate minimising
         the larger of its two normalised violations.
         """
+        keyword: dict = {}
+        if t_qual_k is not None:
+            keyword["t_qual_k"] = t_qual_k
+        if t_limit_k is not None:
+            keyword["t_limit_k"] = t_limit_k
+        merged = resolve_deprecated_positional(
+            "JointOracle.best", args, ("t_qual_k", "t_limit_k"), keyword
+        )
+        t_qual_k, t_limit_k = require_keyword(
+            "JointOracle.best",
+            t_qual_k=merged.get("t_qual_k"),
+            t_limit_k=merged.get("t_limit_k"),
+        )
         validate_temperature(t_limit_k, what="T_limit")
         ramp: RampModel = self.ramp_factory(t_qual_k)
+        grid = self.vf_curve.grid(self.dvs_steps)
+        if not grid:
+            raise AdaptationError("DVS grid is empty")
         run = self.cache.run(profile, BASE_MICROARCH)
         base = self._base_evaluation(profile)
-        best_ok: JointDecision | None = None
-        least_bad: tuple[float, JointDecision] | None = None
-        for op in self.vf_curve.grid(self.dvs_steps):
-            evaluation = self.platform.evaluate(run, op)
-            fit = ramp.application_reliability(evaluation).total_fit
-            peak = evaluation.peak_temperature_k
-            decision = JointDecision(
-                profile_name=profile.name,
-                t_qual_k=t_qual_k,
-                t_limit_k=t_limit_k,
-                op=op,
-                performance=evaluation.ips / base.ips,
-                fit=fit,
-                peak_temperature_k=peak,
-                meets_fit=fit <= self.fit_target + 1e-9,
-                meets_thermal=peak <= t_limit_k + 1e-9,
-            )
-            if decision.feasible and (
-                best_ok is None or decision.performance > best_ok.performance
-            ):
-                best_ok = decision
-            violation = max(
-                fit / self.fit_target - 1.0,
-                (peak - t_limit_k) / max(t_limit_k, 1.0),
+        batch = self.platform.evaluate_batch(run, grid)
+        perf = batch.ips / base.ips
+        fit = ramp.application_fit_batch(batch)
+        peak = batch.peak_temperature_k
+        meets_fit = fit <= self.fit_target + 1e-9
+        meets_thermal = peak <= t_limit_k + 1e-9
+        feasible = meets_fit & meets_thermal
+        if np.any(feasible):
+            chosen = np.flatnonzero(feasible)
+            pick = int(chosen[np.argmax(perf[chosen])])
+        else:
+            violation = np.maximum(
+                np.maximum(
+                    fit / self.fit_target - 1.0,
+                    (peak - t_limit_k) / max(t_limit_k, 1.0),
+                ),
                 0.0,
             )
-            if least_bad is None or violation < least_bad[0]:
-                least_bad = (violation, decision)
-        if best_ok is not None:
-            return best_ok
-        if least_bad is None:
-            raise AdaptationError("DVS grid is empty")
-        return least_bad[1]
+            pick = int(np.argmin(violation))
+        return JointDecision(
+            profile_name=profile.name,
+            t_qual_k=t_qual_k,
+            t_limit_k=t_limit_k,
+            op=grid[pick],
+            performance=float(perf[pick]),
+            fit=float(fit[pick]),
+            peak_temperature_k=float(peak[pick]),
+            meets_fit=bool(meets_fit[pick]),
+            meets_thermal=bool(meets_thermal[pick]),
+            meets_target=bool(feasible[pick]),
+        )

@@ -1,0 +1,110 @@
+"""The unified management-decision API shared by every oracle.
+
+All of the repo's management policies (DRM, DTM, intra-application DRM,
+the joint reliability+thermal oracle) answer the same question — "which
+candidate should this application run at, and did it satisfy the policy's
+constraint?" — so they share one frozen, keyword-only base record:
+
+- ``profile_name`` — the application the decision is for;
+- ``performance`` — speedup vs the base non-adaptive processor;
+- ``fit`` — the application FIT at the choice (``nan`` for policies that
+  do not track wear-out, e.g. DTM);
+- ``meets_target`` — whether the policy's constraint was satisfiable.
+
+Subclasses add the policy-specific fields (chosen operating point,
+qualification temperature, adaptation mode, ...).  Every oracle's
+``best`` entry point is keyword-only with consistent parameter names
+(``t_qual_k``, ``t_limit_k``, ``mode``); the old positional call forms
+still work through :func:`resolve_deprecated_positional`, which emits a
+:class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, kw_only=True)
+class Decision:
+    """What an oracle chose for one application, policy-agnostically.
+
+    Attributes:
+        profile_name: the application the decision applies to.
+        performance: speedup vs the base non-adaptive processor at
+            nominal V/f (1.0 = parity).
+        fit: the application FIT at the choice; ``nan`` when the policy
+            does not evaluate wear-out (DTM).
+        meets_target: whether the policy's constraint is satisfied
+            (False only when even the most conservative candidate
+            violates it and the oracle fell back).
+    """
+
+    profile_name: str
+    performance: float
+    fit: float = math.nan
+    meets_target: bool
+
+
+def resolve_deprecated_positional(
+    owner: str,
+    positional: tuple,
+    names: tuple[str, ...],
+    keyword: dict,
+) -> dict:
+    """Fold legacy positional arguments into the keyword-only API.
+
+    The oracles' ``best`` methods used to take their knobs positionally
+    (``best(profile, 370.0, mode)``); the unified API is keyword-only.
+    This shim maps any positional leftovers onto ``names`` in order,
+    warns once per call site, and rejects ambiguous mixes.
+
+    Args:
+        owner: dotted method name for messages (``"DRMOracle.best"``).
+        positional: the ``*args`` the caller supplied.
+        names: the keyword parameters the positionals map to, in the
+            legacy order.
+        keyword: explicitly passed keyword values (omissions absent,
+            not ``None``).
+
+    Returns:
+        The merged keyword mapping.
+
+    Raises:
+        TypeError: on too many positional arguments or a parameter
+            given both ways.
+    """
+    merged = dict(keyword)
+    if not positional:
+        return merged
+    if len(positional) > len(names):
+        raise TypeError(
+            f"{owner}() takes at most {len(names)} arguments after the "
+            f"profile, got {len(positional)}"
+        )
+    shown = ", ".join(names[: len(positional)])
+    warnings.warn(
+        f"passing {shown} to {owner}() positionally is deprecated; "
+        "use keyword arguments",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    for name, value in zip(names, positional):
+        if name in merged:
+            raise TypeError(f"{owner}() got multiple values for {name!r}")
+        merged[name] = value
+    return merged
+
+
+def require_keyword(owner: str, **values):
+    """Unpack required keyword parameters, raising ``TypeError`` on
+    omissions (mirroring Python's own missing-argument errors)."""
+    missing = [name for name, value in values.items() if value is None]
+    if missing:
+        shown = ", ".join(repr(m) for m in missing)
+        raise TypeError(
+            f"{owner}() missing required keyword argument(s): {shown}"
+        )
+    out = tuple(values.values())
+    return out[0] if len(out) == 1 else out

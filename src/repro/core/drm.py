@@ -21,12 +21,20 @@ then run through the power/thermal fixed point and RAMP.
 from __future__ import annotations
 
 import enum
+import itertools
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.config.dvs import OperatingPoint, VoltageFrequencyCurve, DEFAULT_VF_CURVE
 from repro.config.microarch import BASE_MICROARCH, MicroarchConfig, arch_adaptation_space
 from repro.config.technology import STRUCTURE_NAMES
 from repro.constants import TARGET_FIT
+from repro.core.decision import (
+    Decision,
+    require_keyword,
+    resolve_deprecated_positional,
+)
 from repro.core.qualification import QualificationPoint, calibrate
 from repro.core.ramp import AppReliability, RampModel
 from repro.errors import AdaptationError
@@ -44,31 +52,25 @@ class AdaptationMode(enum.Enum):
     ARCHDVS = "archdvs"
 
 
-@dataclass(frozen=True)
-class DRMDecision:
+@dataclass(frozen=True, kw_only=True)
+class DRMDecision(Decision):
     """The oracle's choice for one (application, T_qual, mode).
 
+    Extends the shared :class:`~repro.core.decision.Decision` record
+    (profile_name / performance / fit / meets_target) with the DRM
+    specifics:
+
     Attributes:
-        profile_name: the application.
         t_qual_k: the qualification temperature (cost proxy).
         mode: the adaptation space searched.
         config: chosen microarchitecture.
         op: chosen operating point.
-        performance: speedup vs the base non-adaptive processor at 4 GHz
-            (1.0 = parity; >1 exploits over-design headroom).
-        fit: the application FIT at the chosen configuration.
-        meets_target: whether the FIT target is satisfied (False only if
-            even the most conservative candidate violates it).
     """
 
-    profile_name: str
     t_qual_k: float
     mode: AdaptationMode
     config: MicroarchConfig
     op: OperatingPoint
-    performance: float
-    fit: float
-    meets_target: bool
 
 
 class DRMOracle:
@@ -190,37 +192,73 @@ class DRMOracle:
     def best(
         self,
         profile: WorkloadProfile,
-        t_qual_k: float,
-        mode: AdaptationMode = AdaptationMode.ARCHDVS,
+        *args,
+        t_qual_k: float | None = None,
+        mode: AdaptationMode | None = None,
     ) -> DRMDecision:
         """Best-performing candidate within the FIT target.
+
+        Keyword-only: ``best(profile, t_qual_k=370.0, mode=...)``.
+        ``mode`` defaults to the full ArchDVS space.  The legacy
+        positional form still works but warns.
+
+        The whole adaptation space is evaluated through
+        :meth:`~repro.harness.platform.Platform.evaluate_batch` — one
+        batched grid per microarchitecture (DVS points share a
+        simulation) — and the winner is selected with first-occurrence
+        argmax semantics, matching the original per-candidate loop.
 
         If no candidate meets the target (a drastically under-designed
         processor), the oracle throttles as far as the adaptation space
         allows: it returns the best-performing candidate at the minimum
         achievable FIT, flagged ``meets_target=False``.
         """
+        keyword: dict = {}
+        if t_qual_k is not None:
+            keyword["t_qual_k"] = t_qual_k
+        if mode is not None:
+            keyword["mode"] = mode
+        merged = resolve_deprecated_positional(
+            "DRMOracle.best", args, ("t_qual_k", "mode"), keyword
+        )
+        t_qual_k = require_keyword(
+            "DRMOracle.best", t_qual_k=merged.get("t_qual_k")
+        )
+        mode = merged.get("mode", AdaptationMode.ARCHDVS)
+
         ramp = self.ramp_for(t_qual_k)
-        evaluated: list[DRMDecision] = []
-        for config, op in self.candidates(mode):
-            perf, reliability, _ = self.evaluate_candidate(profile, config, op, ramp)
-            evaluated.append(
-                DRMDecision(
-                    profile_name=profile.name,
-                    t_qual_k=t_qual_k,
-                    mode=mode,
-                    config=config,
-                    op=op,
-                    performance=perf,
-                    fit=reliability.total_fit,
-                    meets_target=reliability.meets_target,
-                )
-            )
-        if not evaluated:
+        cands = self.candidates(mode)
+        if not cands:
             raise AdaptationError("adaptation space is empty")
-        feasible = [d for d in evaluated if d.meets_target]
-        if feasible:
-            return max(feasible, key=lambda d: d.performance)
-        floor = min(d.fit for d in evaluated) * (1.0 + 1e-9)
-        at_floor = [d for d in evaluated if d.fit <= floor]
-        return max(at_floor, key=lambda d: d.performance)
+        base_ips = self.base_evaluation(profile).ips
+        perf_parts = []
+        fit_parts = []
+        # The candidate list is config-major, so each groupby run is one
+        # microarchitecture's full DVS sub-grid: one simulation, one
+        # batched evaluation.
+        for config, group in itertools.groupby(cands, key=lambda ca: ca[0]):
+            ops = [op for _, op in group]
+            run = self.cache.run(profile, config)
+            batch = self.platform.evaluate_batch(run, ops)
+            perf_parts.append(batch.ips / base_ips)
+            fit_parts.append(ramp.application_fit_batch(batch))
+        perf = np.concatenate(perf_parts)
+        fit = np.concatenate(fit_parts)
+        meets = fit <= self.fit_target + 1e-9
+        if np.any(meets):
+            chosen = np.flatnonzero(meets)
+        else:
+            floor = float(fit.min()) * (1.0 + 1e-9)
+            chosen = np.flatnonzero(fit <= floor)
+        pick = int(chosen[np.argmax(perf[chosen])])
+        config, op = cands[pick]
+        return DRMDecision(
+            profile_name=profile.name,
+            t_qual_k=t_qual_k,
+            mode=mode,
+            config=config,
+            op=op,
+            performance=float(perf[pick]),
+            fit=float(fit[pick]),
+            meets_target=bool(meets[pick]),
+        )

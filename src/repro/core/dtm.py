@@ -17,34 +17,45 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.config.dvs import OperatingPoint, VoltageFrequencyCurve, DEFAULT_VF_CURVE
 from repro.config.microarch import BASE_MICROARCH
 from repro.constants import validate_temperature
+from repro.core.decision import (
+    Decision,
+    require_keyword,
+    resolve_deprecated_positional,
+)
 from repro.errors import AdaptationError
 from repro.harness.platform import Platform, PlatformEvaluation
 from repro.harness.sweep import SimulationCache
 from repro.workloads.characteristics import WorkloadProfile
 
 
-@dataclass(frozen=True)
-class DTMDecision:
+@dataclass(frozen=True, kw_only=True)
+class DTMDecision(Decision):
     """DTM's choice for one (application, T_limit).
 
+    Extends the shared :class:`~repro.core.decision.Decision` record;
+    ``meets_target`` is the thermal verdict (False only when even the
+    slowest DVS point overheats) and ``fit`` stays ``nan`` — DTM is
+    deliberately blind to wear-out.
+
     Attributes:
-        profile_name: the application.
         t_limit_k: the thermal design point.
         op: the chosen operating point.
-        performance: speedup vs the base processor at nominal V/f.
         peak_temperature_k: hottest structure temperature at the choice.
-        meets_limit: False only when even the slowest DVS point overheats.
     """
 
-    profile_name: str
     t_limit_k: float
     op: OperatingPoint
-    performance: float
     peak_temperature_k: float
-    meets_limit: bool
+
+    @property
+    def meets_limit(self) -> bool:
+        """Legacy alias of :attr:`meets_target`."""
+        return self.meets_target
 
 
 class DTMOracle:
@@ -77,35 +88,48 @@ class DTMOracle:
             self._base_evals[profile.name] = cached
         return cached
 
-    def best(self, profile: WorkloadProfile, t_limit_k: float) -> DTMDecision:
+    def best(
+        self, profile: WorkloadProfile, *args, t_limit_k: float | None = None
+    ) -> DTMDecision:
         """Highest-performance DVS point with peak temperature ≤ T_limit.
 
-        Falls back to the coolest candidate (``meets_limit=False``) when
+        Keyword-only: ``best(profile, t_limit_k=355.0)`` (the legacy
+        positional form still works but warns).  The whole DVS grid is
+        evaluated in one
+        :meth:`~repro.harness.platform.Platform.evaluate_batch` call.
+
+        Falls back to the coolest candidate (``meets_target=False``) when
         the limit is unattainable even at the DVS floor.
         """
+        keyword: dict = {}
+        if t_limit_k is not None:
+            keyword["t_limit_k"] = t_limit_k
+        merged = resolve_deprecated_positional(
+            "DTMOracle.best", args, ("t_limit_k",), keyword
+        )
+        t_limit_k = require_keyword(
+            "DTMOracle.best", t_limit_k=merged.get("t_limit_k")
+        )
         validate_temperature(t_limit_k, what="T_limit")
+        grid = self.vf_curve.grid(self.dvs_steps)
+        if not grid:
+            raise AdaptationError("DVS grid is empty")
         run = self.cache.run(profile, BASE_MICROARCH)
         base = self._base_evaluation(profile)
-        best_ok: DTMDecision | None = None
-        coolest: DTMDecision | None = None
-        for op in self.vf_curve.grid(self.dvs_steps):
-            evaluation = self.platform.evaluate(run, op)
-            decision = DTMDecision(
-                profile_name=profile.name,
-                t_limit_k=t_limit_k,
-                op=op,
-                performance=evaluation.ips / base.ips,
-                peak_temperature_k=evaluation.peak_temperature_k,
-                meets_limit=evaluation.peak_temperature_k <= t_limit_k + 1e-9,
-            )
-            if decision.meets_limit and (
-                best_ok is None or decision.performance > best_ok.performance
-            ):
-                best_ok = decision
-            if coolest is None or decision.peak_temperature_k < coolest.peak_temperature_k:
-                coolest = decision
-        if best_ok is not None:
-            return best_ok
-        if coolest is None:
-            raise AdaptationError("DVS grid is empty")
-        return coolest
+        batch = self.platform.evaluate_batch(run, grid)
+        perf = batch.ips / base.ips
+        peak = batch.peak_temperature_k
+        meets = peak <= t_limit_k + 1e-9
+        if np.any(meets):
+            chosen = np.flatnonzero(meets)
+            pick = int(chosen[np.argmax(perf[chosen])])
+        else:
+            pick = int(np.argmin(peak))
+        return DTMDecision(
+            profile_name=profile.name,
+            t_limit_k=t_limit_k,
+            op=grid[pick],
+            performance=float(perf[pick]),
+            peak_temperature_k=float(peak[pick]),
+            meets_target=bool(meets[pick]),
+        )

@@ -14,6 +14,8 @@ import abc
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.constants import validate_temperature
 from repro.errors import ReliabilityError
 
@@ -91,6 +93,46 @@ class FailureMechanism(abc.ABC):
         if math.isinf(mttf):
             return 0.0
         return 1.0 / mttf
+
+    def relative_fit_batch(
+        self,
+        temperature_k: np.ndarray,
+        voltage_v: np.ndarray,
+        frequency_hz: np.ndarray,
+        activity: np.ndarray,
+        v_nominal: float,
+        f_nominal: float,
+    ) -> np.ndarray:
+        """Vectorized :meth:`relative_fit` over broadcastable arrays.
+
+        Inputs must already satisfy the :class:`StressConditions`
+        invariants elementwise (temperature range, activity in [0, 1],
+        positive voltage/frequency) — the batch kernel validates them
+        once per grid instead of once per element.
+
+        The four built-in mechanisms override this with closed-form
+        array expressions; this fallback evaluates the scalar model per
+        element so custom mechanisms stay correct without extra work.
+        """
+        t, v, f, a = np.broadcast_arrays(
+            temperature_k, voltage_v, frequency_hz, activity
+        )
+        out = np.empty(t.shape, dtype=float)
+        flat = out.reshape(-1)
+        for i, (ti, vi, fi, ai) in enumerate(
+            zip(t.reshape(-1), v.reshape(-1), f.reshape(-1), a.reshape(-1))
+        ):
+            flat[i] = self.relative_fit(
+                StressConditions(
+                    temperature_k=float(ti),
+                    voltage_v=float(vi),
+                    frequency_hz=float(fi),
+                    activity=float(ai),
+                    v_nominal=v_nominal,
+                    f_nominal=f_nominal,
+                )
+            )
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name}>"

@@ -25,6 +25,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.constants import (
     BOLTZMANN_EV_PER_K,
     EM_ACTIVATION_ENERGY_EV,
@@ -61,3 +63,24 @@ class Electromigration(FailureMechanism):
             self.ea_ev / (BOLTZMANN_EV_PER_K * conditions.temperature_k)
         )
         return j_rel ** (-self.n) * arrhenius
+
+    def relative_fit_batch(
+        self,
+        temperature_k: np.ndarray,
+        voltage_v: np.ndarray,
+        frequency_hz: np.ndarray,
+        activity: np.ndarray,
+        v_nominal: float,
+        f_nominal: float,
+    ) -> np.ndarray:
+        """Array form of :meth:`relative_mttf` reciprocal.
+
+        Mirrors the scalar operation order so results differ only by
+        libm rounding (np.exp vs math.exp, at most a few ULPs).
+        """
+        j_rel = (voltage_v / v_nominal) * (frequency_hz / f_nominal) * activity
+        arrhenius = np.exp(self.ea_ev / (BOLTZMANN_EV_PER_K * temperature_k))
+        with np.errstate(divide="ignore"):
+            mttf = j_rel ** (-self.n) * arrhenius
+            fit = np.where(j_rel > 0.0, 1.0 / mttf, 0.0)
+        return fit

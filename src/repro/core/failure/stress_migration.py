@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.constants import (
     BOLTZMANN_EV_PER_K,
     SM_ACTIVATION_ENERGY_EV,
@@ -60,3 +62,21 @@ class StressMigration(FailureMechanism):
             self.ea_ev / (BOLTZMANN_EV_PER_K * conditions.temperature_k)
         )
         return stress ** (-self.m) * arrhenius
+
+    def relative_fit_batch(
+        self,
+        temperature_k: np.ndarray,
+        voltage_v: np.ndarray,
+        frequency_hz: np.ndarray,
+        activity: np.ndarray,
+        v_nominal: float,
+        f_nominal: float,
+    ) -> np.ndarray:
+        """Array form of :meth:`relative_mttf` reciprocal (zero FIT at
+        zero stress, i.e. exactly at the deposition temperature)."""
+        stress = np.abs(self.t_metal_k - temperature_k)
+        arrhenius = np.exp(self.ea_ev / (BOLTZMANN_EV_PER_K * temperature_k))
+        with np.errstate(divide="ignore"):
+            mttf = stress ** (-self.m) * arrhenius
+            fit = np.where(stress > 0.0, 1.0 / mttf, 0.0)
+        return fit

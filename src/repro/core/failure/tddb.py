@@ -25,6 +25,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.constants import BOLTZMANN_EV_PER_K
 from repro.core.failure.base import FailureMechanism, StressConditions
 
@@ -67,3 +69,22 @@ class TimeDependentDielectricBreakdown(FailureMechanism):
             self.x_ev + self.y_ev_k / t + self.z_ev_per_k * t
         ) / (BOLTZMANN_EV_PER_K * t)
         return (1.0 / v) ** exponent * math.exp(activation)
+
+    def relative_fit_batch(
+        self,
+        temperature_k: np.ndarray,
+        voltage_v: np.ndarray,
+        frequency_hz: np.ndarray,
+        activity: np.ndarray,
+        v_nominal: float,
+        f_nominal: float,
+    ) -> np.ndarray:
+        """Array form of :meth:`relative_mttf` reciprocal (always finite
+        for positive voltage, so no mask is needed)."""
+        t = temperature_k
+        exponent = self.a - self.b * t
+        activation = (
+            self.x_ev + self.y_ev_k / t + self.z_ev_per_k * t
+        ) / (BOLTZMANN_EV_PER_K * t)
+        mttf = (1.0 / voltage_v) ** exponent * np.exp(activation)
+        return np.broadcast_to(1.0 / mttf, np.broadcast(mttf, activity).shape)

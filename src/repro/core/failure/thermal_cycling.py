@@ -21,6 +21,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.constants import CYCLE_COLD_TEMPERATURE_K, TC_COFFIN_MANSON_EXPONENT
 from repro.core.failure.base import FailureMechanism, StressConditions
 
@@ -56,3 +58,24 @@ class ThermalCycling(FailureMechanism):
         if delta <= 0.0:
             return math.inf
         return (1.0 / delta) ** self.q
+
+    def relative_fit_batch(
+        self,
+        temperature_k: np.ndarray,
+        voltage_v: np.ndarray,
+        frequency_hz: np.ndarray,
+        activity: np.ndarray,
+        v_nominal: float,
+        f_nominal: float,
+    ) -> np.ndarray:
+        """Array form of :meth:`relative_mttf` reciprocal.
+
+        ``temperature_k`` must carry *run-average* temperatures, exactly
+        as the scalar contract requires.  Zero FIT wherever the average
+        never rises above the cycle's cold end.
+        """
+        delta = temperature_k - self.ambient_k
+        with np.errstate(divide="ignore", invalid="ignore"):
+            mttf = (1.0 / delta) ** self.q
+            fit = np.where(delta > 0.0, 1.0 / mttf, 0.0)
+        return fit

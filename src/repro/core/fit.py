@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.constants import fit_to_mttf_hours, fit_to_mttf_years
 from repro.errors import ReliabilityError
 
@@ -87,6 +89,30 @@ class FitAccount:
             for k, fit in account.entries.items():
                 merged[k] += fit * (weight / total_w)
         return FitAccount(merged)
+
+
+def time_averaged_fit(
+    fit_cps: np.ndarray, weights_cp: np.ndarray
+) -> np.ndarray:
+    """Tensor form of :meth:`FitAccount.weighted_average` for one mechanism.
+
+    Args:
+        fit_cps: instantaneous FIT, ``(candidates, phases, structures)``.
+        weights_cp: interval time weights, ``(candidates, phases)``.
+
+    Returns:
+        Time-averaged FIT per candidate and structure,
+        ``(candidates, structures)``.
+
+    Raises:
+        ReliabilityError: if any candidate's weights do not sum to a
+            positive value.
+    """
+    total_w = weights_cp.sum(axis=1)
+    if not np.all(total_w > 0.0):
+        raise ReliabilityError("weights must sum to a positive value")
+    w_norm = weights_cp / total_w[:, None]
+    return (fit_cps * w_norm[:, :, None]).sum(axis=1)
 
 
 def sofr_total_fit(fits: list[float]) -> float:

@@ -27,10 +27,18 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from repro.config.dvs import OperatingPoint, VoltageFrequencyCurve, DEFAULT_VF_CURVE
 from repro.config.microarch import BASE_MICROARCH
 from repro.constants import TARGET_FIT
+from repro.core.decision import (
+    Decision,
+    require_keyword,
+    resolve_deprecated_positional,
+)
 from repro.core.ramp import RampModel
 from repro.errors import AdaptationError
 from repro.harness.platform import Platform, PlatformEvaluation
@@ -38,26 +46,22 @@ from repro.harness.sweep import SimulationCache
 from repro.workloads.characteristics import WorkloadProfile
 
 
-@dataclass(frozen=True)
-class IntraDecision:
+@dataclass(frozen=True, kw_only=True)
+class IntraDecision(Decision):
     """A per-phase DVS schedule and its outcome.
 
+    Extends the shared :class:`~repro.core.decision.Decision` record
+    (profile_name / performance / fit / meets_target) with the schedule
+    specifics:
+
     Attributes:
-        profile_name: the application.
         t_qual_k: qualification temperature.
         schedule: one operating point per phase, in phase order.
-        performance: speedup vs the base processor at nominal V/f.
-        fit: the schedule's time-averaged application FIT.
-        meets_target: whether the FIT target is satisfied.
         strategy: "exhaustive" or "greedy".
     """
 
-    profile_name: str
     t_qual_k: float
     schedule: tuple[OperatingPoint, ...]
-    performance: float
-    fit: float
-    meets_target: bool
     strategy: str
 
     @property
@@ -106,36 +110,107 @@ class IntraAppOracle:
             self._base_evals[profile.name] = cached
         return cached
 
+    def _evaluate_schedules(
+        self,
+        profile: WorkloadProfile,
+        schedules: Sequence[tuple[OperatingPoint, ...]],
+        ramp: RampModel,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(performance, fit) arrays for a batch of per-phase schedules."""
+        run = self.cache.run(profile, BASE_MICROARCH)
+        batch = self.platform.evaluate_batch(run, schedules)
+        perf = batch.ips / self._base_evaluation(profile).ips
+        return perf, ramp.application_fit_batch(batch)
+
     def _evaluate_schedule(
         self, profile: WorkloadProfile, schedule: list[OperatingPoint], ramp: RampModel
     ) -> tuple[float, float]:
         """(performance, fit) of one per-phase schedule."""
-        run = self.cache.run(profile, BASE_MICROARCH)
-        evaluation = self.platform.evaluate_mixed(run, schedule)
-        reliability = ramp.application_reliability(evaluation)
-        perf = evaluation.ips / self._base_evaluation(profile).ips
-        return perf, reliability.total_fit
+        perf, fit = self._evaluate_schedules(profile, [tuple(schedule)], ramp)
+        return float(perf[0]), float(fit[0])
 
     # ------------------------------------------------------------------
 
-    def best_exhaustive(self, profile: WorkloadProfile, t_qual_k: float) -> IntraDecision:
+    #: Exhaustive-search batch size: the grid product is streamed through
+    #: the kernel in chunks this large to bound peak memory.
+    _CHUNK = 2048
+
+    def best(
+        self,
+        profile: WorkloadProfile,
+        *args,
+        t_qual_k: float | None = None,
+        strategy: str | None = None,
+    ) -> IntraDecision:
+        """The unified entry point: ``best(profile, t_qual_k=...,
+        strategy="greedy"|"exhaustive")``.
+
+        ``strategy`` defaults to the scalable greedy search.
+
+        Raises:
+            AdaptationError: for an unknown strategy.
+        """
+        keyword: dict = {}
+        if t_qual_k is not None:
+            keyword["t_qual_k"] = t_qual_k
+        if strategy is not None:
+            keyword["strategy"] = strategy
+        merged = resolve_deprecated_positional(
+            "IntraAppOracle.best", args, ("t_qual_k", "strategy"), keyword
+        )
+        t_qual_k = require_keyword(
+            "IntraAppOracle.best", t_qual_k=merged.get("t_qual_k")
+        )
+        strategy = merged.get("strategy", "greedy")
+        if strategy == "exhaustive":
+            return self.best_exhaustive(profile, t_qual_k=t_qual_k)
+        if strategy == "greedy":
+            return self.best_greedy(profile, t_qual_k=t_qual_k)
+        raise AdaptationError(
+            f"unknown intra-application strategy {strategy!r}"
+        )
+
+    def best_exhaustive(
+        self, profile: WorkloadProfile, *args, t_qual_k: float | None = None
+    ) -> IntraDecision:
         """Exact per-phase oracle over the grid product.
+
+        The product space is streamed through
+        :meth:`~repro.harness.platform.Platform.evaluate_batch` in
+        chunks, with running first-occurrence winners so the choice is
+        identical to the original one-schedule-at-a-time loop.
 
         Falls back to the minimum-FIT schedule (flagged infeasible) when
         nothing meets the target, mirroring the inter-application oracle.
         """
+        merged = resolve_deprecated_positional(
+            "IntraAppOracle.best_exhaustive",
+            args,
+            ("t_qual_k",),
+            {} if t_qual_k is None else {"t_qual_k": t_qual_k},
+        )
+        t_qual_k = require_keyword(
+            "IntraAppOracle.best_exhaustive", t_qual_k=merged.get("t_qual_k")
+        )
         ramp = self.ramp_factory(t_qual_k)
         run = self.cache.run(profile, BASE_MICROARCH)
         grid = self.vf_curve.grid(self.grid_steps)
         best: tuple[float, tuple[OperatingPoint, ...], float] | None = None
         fallback: tuple[float, tuple[OperatingPoint, ...], float] | None = None
-        for combo in itertools.product(grid, repeat=len(run.phases)):
-            perf, fit = self._evaluate_schedule(profile, list(combo), ramp)
-            if fit <= self.fit_target + 1e-9:
-                if best is None or perf > best[0]:
-                    best = (perf, combo, fit)
-            if fallback is None or fit < fallback[2]:
-                fallback = (perf, combo, fit)
+        combos = itertools.product(grid, repeat=len(run.phases))
+        while True:
+            chunk = list(itertools.islice(combos, self._CHUNK))
+            if not chunk:
+                break
+            perf, fit = self._evaluate_schedules(profile, chunk, ramp)
+            ok = np.flatnonzero(fit <= self.fit_target + 1e-9)
+            if ok.size:
+                j = int(ok[np.argmax(perf[ok])])
+                if best is None or perf[j] > best[0]:
+                    best = (float(perf[j]), chunk[j], float(fit[j]))
+            j = int(np.argmin(fit))
+            if fallback is None or fit[j] < fallback[2]:
+                fallback = (float(perf[j]), chunk[j], float(fit[j]))
         chosen, meets = (best, True) if best is not None else (fallback, False)
         if chosen is None:
             raise AdaptationError("empty schedule space")
@@ -149,13 +224,25 @@ class IntraAppOracle:
             strategy="exhaustive",
         )
 
-    def best_greedy(self, profile: WorkloadProfile, t_qual_k: float) -> IntraDecision:
+    def best_greedy(
+        self, profile: WorkloadProfile, *args, t_qual_k: float | None = None
+    ) -> IntraDecision:
         """Greedy marginal-upgrade search (scales to many phases).
 
         Starts all phases at the DVS floor and repeatedly applies the
         single-phase frequency upgrade with the largest performance gain
-        that keeps the schedule within the FIT target.
+        that keeps the schedule within the FIT target; each round's
+        candidate upgrades are evaluated as one batch.
         """
+        merged = resolve_deprecated_positional(
+            "IntraAppOracle.best_greedy",
+            args,
+            ("t_qual_k",),
+            {} if t_qual_k is None else {"t_qual_k": t_qual_k},
+        )
+        t_qual_k = require_keyword(
+            "IntraAppOracle.best_greedy", t_qual_k=merged.get("t_qual_k")
+        )
         ramp = self.ramp_factory(t_qual_k)
         run = self.cache.run(profile, BASE_MICROARCH)
         grid = list(self.vf_curve.grid(self.grid_steps))
@@ -169,21 +256,24 @@ class IntraAppOracle:
         improved = True
         while improved:
             improved = False
-            best_step: tuple[float, int, float] | None = None
-            for phase_idx in range(len(levels)):
-                if levels[phase_idx] + 1 >= len(grid):
-                    continue
+            upgradable = [
+                i for i in range(len(levels)) if levels[i] + 1 < len(grid)
+            ]
+            if not upgradable:
+                break
+            trials = []
+            for phase_idx in upgradable:
                 trial = list(levels)
                 trial[phase_idx] += 1
-                t_perf, t_fit = self._evaluate_schedule(
-                    profile, schedule_for(trial), ramp
-                )
-                if t_fit <= self.fit_target + 1e-9 and t_perf > perf:
-                    if best_step is None or t_perf > best_step[0]:
-                        best_step = (t_perf, phase_idx, t_fit)
-            if best_step is not None:
-                perf, fit = best_step[0], best_step[2]
-                levels[best_step[1]] += 1
+                trials.append(tuple(schedule_for(trial)))
+            t_perf, t_fit = self._evaluate_schedules(profile, trials, ramp)
+            ok = np.flatnonzero(
+                (t_fit <= self.fit_target + 1e-9) & (t_perf > perf)
+            )
+            if ok.size:
+                j = int(ok[np.argmax(t_perf[ok])])
+                perf, fit = float(t_perf[j]), float(t_fit[j])
+                levels[upgradable[j]] += 1
                 feasible = True
                 improved = True
         return IntraDecision(

@@ -21,13 +21,20 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
+import numpy as np
+
+from repro.config.technology import STRUCTURE_NAMES
 from repro.constants import FIT_DEVICE_HOURS
 from repro.core.failure import ALL_MECHANISMS, FailureMechanism, StressConditions
-from repro.core.fit import FitAccount
+from repro.core.fit import FitAccount, time_averaged_fit
 from repro.core.qualification import QualifiedReliabilityModel
 from repro.errors import ReliabilityError
 from repro.harness.platform import Interval, PlatformEvaluation
+
+if TYPE_CHECKING:  # pragma: no cover - the kernel package imports nothing here
+    from repro.kernels.batch import BatchEvaluation
 
 
 @dataclass(frozen=True)
@@ -164,6 +171,65 @@ class RampModel:
         )
 
     # ------------------------------------------------------------------
+
+    def _constants_array(self, mech: FailureMechanism) -> np.ndarray:
+        """Calibrated proportionality constants in canonical structure
+        order (``inf`` entries make the corresponding FIT vanish, exactly
+        as the scalar path's early return does)."""
+        return np.array(
+            [self.qualified.constant(mech.name, n) for n in STRUCTURE_NAMES]
+        )
+
+    def application_fit_batch(self, batch: "BatchEvaluation") -> np.ndarray:
+        """Time-averaged SOFR FIT for every candidate of a batch at once.
+
+        The tensor analogue of :meth:`application_reliability`: EM, SM and
+        TDDB are evaluated per ``(candidate, interval, structure)`` cell
+        and time-averaged per candidate; thermal cycling is evaluated from
+        each candidate's run-average structure temperatures.  Returns the
+        total per-candidate FIT, shape ``(n_candidates,)``.
+        """
+        tech = self.qualified.technology
+        v_nom = tech.vdd_nominal_v
+        f_nom = tech.frequency_nominal_hz
+        pf = np.array(
+            [batch.run.config.powered_fraction(n) for n in STRUCTURE_NAMES]
+        )
+        volt = batch.voltage_v[:, :, None]
+        freq = batch.frequency_hz[:, :, None]
+
+        total = np.zeros(batch.n_candidates)
+        for mech in self._instantaneous:
+            rel = mech.relative_fit_batch(
+                temperature_k=batch.temperatures_k,
+                voltage_v=volt,
+                frequency_hz=freq,
+                activity=batch.activity,
+                v_nominal=v_nom,
+                f_nominal=f_nom,
+            )
+            fit = FIT_DEVICE_HOURS * rel / self._constants_array(mech)
+            if mech.scales_with_powered_area:
+                fit = fit * pf
+            total += time_averaged_fit(fit, batch.weights).sum(axis=1)
+
+        # Thermal cycling from run-average temperatures, with the first
+        # interval's operating conditions (mirroring the scalar path).
+        avg_t = batch.avg_temperature_by_structure_k
+        for mech in self._cycling:
+            rel = mech.relative_fit_batch(
+                temperature_k=avg_t,
+                voltage_v=batch.voltage_v[:, :1],
+                frequency_hz=batch.frequency_hz[:, :1],
+                activity=batch.activity[:, 0, :],
+                v_nominal=v_nom,
+                f_nominal=f_nom,
+            )
+            fit = FIT_DEVICE_HOURS * rel / self._constants_array(mech)
+            if mech.scales_with_powered_area:
+                fit = fit * pf
+            total += fit.sum(axis=1)
+        return total
 
     def worst_instant_fit(self, evaluation: PlatformEvaluation) -> float:
         """The highest instantaneous (EM+SM+TDDB) FIT in any interval.

@@ -57,7 +57,7 @@ def qualification_frontier(
         perfs = []
         feasible = True
         for profile in profiles:
-            decision = oracle.best(profile, t, mode)
+            decision = oracle.best(profile, t_qual_k=t, mode=mode)
             perfs.append(decision.performance)
             feasible = feasible and decision.meets_target
         points.append(
@@ -93,7 +93,7 @@ def cheapest_qualification(
     for t in sorted(t_quals):
         ok = True
         for profile in profiles:
-            decision = oracle.best(profile, t, mode)
+            decision = oracle.best(profile, t_qual_k=t, mode=mode)
             if not decision.meets_target or decision.performance < min_performance:
                 ok = False
                 break

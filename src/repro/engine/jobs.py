@@ -399,8 +399,8 @@ class DRMSearchJob(Job):
         oracle = DRMOracle(cache=cache, dvs_steps=self.dvs_steps)
         return oracle.best(
             _resolve_profile(self.profile_name),
-            self.t_qual_k,
-            AdaptationMode(self.mode),
+            t_qual_k=self.t_qual_k,
+            mode=AdaptationMode(self.mode),
         )
 
     def describe(self) -> str:
@@ -448,7 +448,9 @@ class DTMJob(Job):
 
         cache = ctx.simulation_cache(self.instructions, self.warmup, self.seed)
         oracle = DTMOracle(cache=cache, dvs_steps=self.dvs_steps)
-        return oracle.best(_resolve_profile(self.profile_name), self.t_limit_k)
+        return oracle.best(
+            _resolve_profile(self.profile_name), t_limit_k=self.t_limit_k
+        )
 
     def describe(self) -> str:
         return f"dtm:{self.profile_name}@{self.t_limit_k:.0f}K"

@@ -334,7 +334,9 @@ def decode_dtm_decision(payload: dict):
         op=OperatingPoint(**payload["op"]),
         performance=payload["performance"],
         peak_temperature_k=payload["peak_temperature_k"],
-        meets_limit=payload["meets_limit"],
+        # The payload key predates the unified Decision API; it maps onto
+        # the shared meets_target field (no schema bump needed).
+        meets_target=payload["meets_limit"],
     )
 
 

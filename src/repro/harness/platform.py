@@ -19,6 +19,7 @@ workload executes at an arbitrary DVS operating point:
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
+from typing import Sequence
 
 from repro.config.dvs import OperatingPoint, VoltageFrequencyCurve, DEFAULT_VF_CURVE
 from repro.config.microarch import MicroarchConfig
@@ -30,6 +31,13 @@ from repro.config.technology import (
 from repro.cpu.analytical import FrequencyScalingModel
 from repro.cpu.simulator import WorkloadRun
 from repro.errors import ThermalError
+from repro.kernels.batch import (
+    BatchEvaluation,
+    BatchKernel,
+    Candidate,
+    MAX_FIXED_POINT_ITERS,
+    TEMP_TOLERANCE_K,
+)
 from repro.power.model import PowerBreakdown, PowerModel
 from repro.thermal.floorplan import build_default_floorplan
 from repro.thermal.heatsink import TwoPassThermalModel
@@ -39,9 +47,10 @@ from repro.thermal.rc_network import (
     ThermalRCNetwork,
 )
 
-#: Convergence tolerance (kelvin) for the leakage/temperature fixed point.
-_TEMP_TOLERANCE_K = 0.01
-_MAX_FIXED_POINT_ITERS = 60
+#: Convergence tolerance and iteration budget for the scalar reference
+#: path — shared with the batched kernel so the two never drift.
+_TEMP_TOLERANCE_K = TEMP_TOLERANCE_K
+_MAX_FIXED_POINT_ITERS = MAX_FIXED_POINT_ITERS
 
 
 @dataclass(frozen=True)
@@ -122,6 +131,7 @@ class Platform:
         self.floorplan = build_default_floorplan(technology)
         self.network = ThermalRCNetwork(self.floorplan, thermal_params)
         self.thermal = TwoPassThermalModel(self.network)
+        self._kernel: BatchKernel | None = None
 
     def fingerprint(self) -> dict:
         """Canonical JSON-ready description of the platform's physics.
@@ -141,12 +151,61 @@ class Platform:
 
     # ------------------------------------------------------------------
 
+    @property
+    def kernel(self) -> BatchKernel:
+        """The batched evaluation kernel bound to this platform's physics.
+
+        Built lazily and reused for every grid: the thermal topology, the
+        Cholesky factor, and the structure-to-node permutation are all
+        candidate-independent.
+        """
+        if self._kernel is None:
+            self._kernel = BatchKernel(
+                self.power_model, self.network, self.thermal.solver
+            )
+        return self._kernel
+
+    def evaluate_batch(
+        self,
+        run: WorkloadRun,
+        candidates: Sequence[Candidate],
+        *,
+        max_iters: int = MAX_FIXED_POINT_ITERS,
+    ) -> BatchEvaluation:
+        """Evaluate a whole candidate grid against one run in one call.
+
+        This is the **primary evaluation API**: every per-structure
+        quantity is computed as a ``(candidates, phases, structures)``
+        tensor and the leakage/temperature fixed point iterates over the
+        entire grid simultaneously with per-row convergence masking.  The
+        oracles (DRM, DTM, intra-application, joint) all route through
+        it; :meth:`evaluate` and :meth:`evaluate_mixed` are single-row
+        convenience wrappers.
+
+        Args:
+            run: one simulated workload (a single microarchitecture).
+            candidates: a sequence of operating points (each applied
+                uniformly to every phase) and/or per-phase schedules.
+            max_iters: fixed-point iteration budget.
+
+        Raises:
+            ValueError: for an empty grid, a run without phases, a
+                schedule of the wrong length, or non-positive durations.
+            ThermalError: if any candidate's fixed point fails to
+                converge — the message names the offending rows.
+        """
+        return self.kernel.evaluate(run, candidates, max_iters)
+
     def evaluate(self, run: WorkloadRun, op: OperatingPoint) -> PlatformEvaluation:
-        """Evaluate a simulated workload run at one operating point."""
-        return self.evaluate_mixed(run, [op] * len(run.phases))
+        """Evaluate a run at one operating point.
+
+        Convenience wrapper over :meth:`evaluate_batch` with a
+        single-candidate grid.
+        """
+        return self.evaluate_batch(run, [op]).evaluation(0)
 
     def evaluate_mixed(
-        self, run: WorkloadRun, ops: list[OperatingPoint]
+        self, run: WorkloadRun, ops: Sequence[OperatingPoint]
     ) -> PlatformEvaluation:
         """Evaluate a run with a per-phase operating point.
 
@@ -154,11 +213,34 @@ class Platform:
         run at its own DVS point; phase durations (hence RAMP interval
         weights) follow from each phase's own frequency, and the heat
         sink settles to the schedule's time-weighted average power.
+        Convenience wrapper over :meth:`evaluate_batch` with a
+        single-schedule grid.
 
         Raises:
             ThermalError: if the fixed point fails to converge.
-            ValueError: if ``ops`` does not match the phase count.
+            ValueError: if ``ops`` does not match the phase count, the
+                run has no phases, or any phase duration is non-positive.
         """
+        return self.evaluate_batch(run, [tuple(ops)]).evaluation(0)
+
+    def _evaluate_mixed_reference(
+        self, run: WorkloadRun, ops: Sequence[OperatingPoint]
+    ) -> PlatformEvaluation:
+        """The original scalar (dict-walking) evaluation path.
+
+        Kept as the ground truth the batched kernel is verified against
+        (equivalence tests) and as the baseline the kernel benchmark
+        times; production code routes through :meth:`evaluate_batch`.
+
+        Raises:
+            ThermalError: if the fixed point fails to converge.
+            ValueError: if ``ops`` does not match the phase count, the
+                run has no phases, or any phase duration is non-positive.
+        """
+        if not run.phases:
+            raise ValueError(
+                f"run of {run.profile.name!r} has no phases to evaluate"
+            )
         if len(ops) != len(run.phases):
             raise ValueError(
                 f"need one operating point per phase "
@@ -179,6 +261,10 @@ class Platform:
             phases.append((activity, time_s))
             total_time += time_s
             total_instr += pr.stats.instructions
+        if any(t <= 0.0 for _, t in phases):
+            raise ValueError("every phase must have a positive duration")
+        if total_time <= 0.0:
+            raise ValueError("total run time must be positive")
         weights = [t / total_time for _, t in phases]
 
         temps, sink, powers = self._solve_thermal_fixed_point(

@@ -27,6 +27,16 @@ class SteadyStateSolver:
         y = np.linalg.solve(self._factor, rhs)
         return np.linalg.solve(self._factor.T, y)
 
+    def solve_many(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve against a matrix right-hand side, one column per system.
+
+        Used by the batch kernel to run one grid-wide heat-sink solve
+        instead of a Python loop of vector solves.  Each column goes
+        through the same factorised substitutions as a single-vector
+        :meth:`solve_full`, so results match the scalar path exactly.
+        """
+        return self._solve(rhs)
+
     def solve(self, power_w_by_block: dict[str, float]) -> dict[str, float]:
         """Equilibrium block temperatures for a power assignment.
 

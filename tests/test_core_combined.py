@@ -31,9 +31,9 @@ class TestJointFeasibility:
     def test_joint_never_exceeds_either_single_policy(self, joint, oracle, dtm_oracle):
         """Intersection of feasible sets: joint f <= min(DRM f, DTM f)."""
         for temp in (360.0, 380.0, 400.0):
-            j = joint.best(BZIP2, temp, temp)
-            drm = oracle.best(BZIP2, temp, AdaptationMode.DVS)
-            dtm = dtm_oracle.best(BZIP2, temp)
+            j = joint.best(BZIP2, t_qual_k=temp, t_limit_k=temp)
+            drm = oracle.best(BZIP2, t_qual_k=temp, mode=AdaptationMode.DVS)
+            dtm = dtm_oracle.best(BZIP2, t_limit_k=temp)
             if j.feasible and drm.meets_target and dtm.meets_limit:
                 assert j.op.frequency_hz <= drm.op.frequency_hz + 1e3
                 assert j.op.frequency_hz <= dtm.op.frequency_hz + 1e3
@@ -41,11 +41,11 @@ class TestJointFeasibility:
     def test_binding_constraint_flips_with_regime(self, joint, oracle, dtm_oracle):
         """Below the crossover the thermal cap binds (joint == DTM);
         above it the reliability budget binds (joint == DRM)."""
-        cool = joint.best(BZIP2, 345.0, 345.0)
-        dtm_cool = dtm_oracle.best(BZIP2, 345.0)
+        cool = joint.best(BZIP2, t_qual_k=345.0, t_limit_k=345.0)
+        dtm_cool = dtm_oracle.best(BZIP2, t_limit_k=345.0)
         assert cool.op.frequency_hz == pytest.approx(dtm_cool.op.frequency_hz)
-        hot = joint.best(BZIP2, 400.0, 400.0)
-        drm_hot = oracle.best(BZIP2, 400.0, AdaptationMode.DVS)
+        hot = joint.best(BZIP2, t_qual_k=400.0, t_limit_k=400.0)
+        drm_hot = oracle.best(BZIP2, t_qual_k=400.0, mode=AdaptationMode.DVS)
         assert hot.op.frequency_hz == pytest.approx(drm_hot.op.frequency_hz)
 
     def test_asymmetric_knobs(self, joint):
@@ -62,6 +62,6 @@ class TestJointFeasibility:
         assert d.op.frequency_hz <= 3.0e9
 
     def test_performance_monotone_in_joint_relaxation(self, joint):
-        tight = joint.best(BZIP2, 350.0, 350.0)
-        loose = joint.best(BZIP2, 400.0, 400.0)
+        tight = joint.best(BZIP2, t_qual_k=350.0, t_limit_k=350.0)
+        loose = joint.best(BZIP2, t_qual_k=400.0, t_limit_k=400.0)
         assert loose.performance >= tight.performance

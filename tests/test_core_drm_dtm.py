@@ -53,36 +53,36 @@ class TestCandidateSpaces:
 
 class TestOracleDecisions:
     def test_decision_meets_target_when_feasible(self, oracle):
-        d = oracle.best(TWOLF, 400.0, AdaptationMode.DVS)
+        d = oracle.best(TWOLF, t_qual_k=400.0, mode=AdaptationMode.DVS)
         assert d.meets_target
         assert d.fit <= oracle.fit_target + 1e-6
 
     def test_overdesigned_processor_overclocks(self, oracle):
-        d = oracle.best(TWOLF, 400.0, AdaptationMode.DVS)
+        d = oracle.best(TWOLF, t_qual_k=400.0, mode=AdaptationMode.DVS)
         assert d.performance > 1.0
         assert d.op.frequency_hz > 4.0e9
 
     def test_underdesigned_processor_throttles(self, oracle):
-        d = oracle.best(MPG, 330.0, AdaptationMode.DVS)
+        d = oracle.best(MPG, t_qual_k=330.0, mode=AdaptationMode.DVS)
         assert d.op.frequency_hz < 4.0e9
         assert d.performance < 1.0
 
     def test_performance_monotone_in_tqual(self, oracle):
         perfs = [
-            oracle.best(BZIP2, tq, AdaptationMode.DVS).performance
+            oracle.best(BZIP2, t_qual_k=tq, mode=AdaptationMode.DVS).performance
             for tq in (330.0, 345.0, 370.0, 400.0)
         ]
         assert perfs == sorted(perfs)
 
     def test_arch_never_beats_base_performance(self, oracle):
         for tq in (345.0, 400.0):
-            d = oracle.best(BZIP2, tq, AdaptationMode.ARCH)
+            d = oracle.best(BZIP2, t_qual_k=tq, mode=AdaptationMode.ARCH)
             assert d.performance <= 1.0 + 1e-9
 
     def test_dvs_beats_arch_when_overdesigned(self, oracle):
         """Paper Fig. 3: Arch is capped at 1.0, DVS can overclock."""
-        dvs = oracle.best(BZIP2, 400.0, AdaptationMode.DVS)
-        arch = oracle.best(BZIP2, 400.0, AdaptationMode.ARCH)
+        dvs = oracle.best(BZIP2, t_qual_k=400.0, mode=AdaptationMode.DVS)
+        arch = oracle.best(BZIP2, t_qual_k=400.0, mode=AdaptationMode.ARCH)
         assert dvs.performance > 1.0
         assert arch.performance <= 1.0 + 1e-9
 
@@ -90,35 +90,35 @@ class TestOracleDecisions:
         """Paper Fig. 3: at low T_qual, voltage drops crush the TDDB FIT
         and temperature, so DVS reaches reliability targets (or gets far
         closer) than resource shrinking at full voltage can."""
-        dvs = oracle.best(BZIP2, 335.0, AdaptationMode.DVS)
-        arch = oracle.best(BZIP2, 335.0, AdaptationMode.ARCH)
+        dvs = oracle.best(BZIP2, t_qual_k=335.0, mode=AdaptationMode.DVS)
+        arch = oracle.best(BZIP2, t_qual_k=335.0, mode=AdaptationMode.ARCH)
         assert dvs.meets_target
         assert not arch.meets_target
 
     def test_dvs_more_reliable_than_arch_at_floor(self, oracle):
         """Even when the target is unreachable for both, DVS's floor FIT
         beats Arch's (it can drop voltage; Arch cannot)."""
-        dvs = oracle.best(BZIP2, 325.0, AdaptationMode.DVS)
-        arch = oracle.best(BZIP2, 325.0, AdaptationMode.ARCH)
+        dvs = oracle.best(BZIP2, t_qual_k=325.0, mode=AdaptationMode.DVS)
+        arch = oracle.best(BZIP2, t_qual_k=325.0, mode=AdaptationMode.ARCH)
         if not dvs.meets_target and not arch.meets_target:
             assert dvs.fit < arch.fit
 
     def test_archdvs_at_least_as_good_as_both(self, oracle):
         tq = 345.0
-        archdvs = oracle.best(BZIP2, tq, AdaptationMode.ARCHDVS)
-        dvs = oracle.best(BZIP2, tq, AdaptationMode.DVS)
-        arch = oracle.best(BZIP2, tq, AdaptationMode.ARCH)
+        archdvs = oracle.best(BZIP2, t_qual_k=tq, mode=AdaptationMode.ARCHDVS)
+        dvs = oracle.best(BZIP2, t_qual_k=tq, mode=AdaptationMode.DVS)
+        arch = oracle.best(BZIP2, t_qual_k=tq, mode=AdaptationMode.ARCH)
         assert archdvs.performance >= max(dvs.performance, arch.performance) - 1e-9
 
     def test_infeasible_case_returns_most_reliable(self, oracle):
         # Absurdly low target: nothing can meet it, so the oracle returns
         # the least-FIT candidate flagged infeasible.
-        d = oracle.best(MPG, 325.0, AdaptationMode.DVS)
+        d = oracle.best(MPG, t_qual_k=325.0, mode=AdaptationMode.DVS)
         if not d.meets_target:
             assert d.op.frequency_hz == pytest.approx(2.5e9)
 
     def test_decision_record_fields(self, oracle):
-        d = oracle.best(TWOLF, 370.0, AdaptationMode.DVS)
+        d = oracle.best(TWOLF, t_qual_k=370.0, mode=AdaptationMode.DVS)
         assert d.profile_name == "twolf"
         assert d.t_qual_k == pytest.approx(370.0)
         assert d.mode is AdaptationMode.DVS
@@ -126,27 +126,27 @@ class TestOracleDecisions:
 
 class TestDTM:
     def test_loose_limit_allows_overclock(self, dtm_oracle):
-        d = dtm_oracle.best(TWOLF, 400.0)
+        d = dtm_oracle.best(TWOLF, t_limit_k=400.0)
         assert d.meets_limit
         assert d.op.frequency_hz > 4.0e9
 
     def test_tight_limit_throttles(self, dtm_oracle):
-        d = dtm_oracle.best(MPG, 345.0)
+        d = dtm_oracle.best(MPG, t_limit_k=345.0)
         assert d.op.frequency_hz < 4.0e9
 
     def test_peak_temperature_respects_limit(self, dtm_oracle):
-        d = dtm_oracle.best(BZIP2, 370.0)
+        d = dtm_oracle.best(BZIP2, t_limit_k=370.0)
         assert d.meets_limit
         assert d.peak_temperature_k <= 370.0 + 1e-6
 
     def test_unattainable_limit_reports_coolest(self, dtm_oracle):
-        d = dtm_oracle.best(MPG, 326.0)
+        d = dtm_oracle.best(MPG, t_limit_k=326.0)
         assert not d.meets_limit
         assert d.op.frequency_hz == pytest.approx(2.5e9)
 
     def test_frequency_monotone_in_limit(self, dtm_oracle):
         freqs = [
-            dtm_oracle.best(BZIP2, t).op.frequency_hz
+            dtm_oracle.best(BZIP2, t_limit_k=t).op.frequency_hz
             for t in (345.0, 360.0, 380.0, 400.0)
         ]
         assert freqs == sorted(freqs)
@@ -154,8 +154,8 @@ class TestDTM:
     def test_hot_app_gets_lower_frequency(self, dtm_oracle):
         limit = 370.0
         assert (
-            dtm_oracle.best(MPG, limit).op.frequency_hz
-            <= dtm_oracle.best(TWOLF, limit).op.frequency_hz
+            dtm_oracle.best(MPG, t_limit_k=limit).op.frequency_hz
+            <= dtm_oracle.best(TWOLF, t_limit_k=limit).op.frequency_hz
         )
 
 
@@ -165,8 +165,8 @@ class TestDRMvsDTM:
     def test_policies_choose_different_frequencies_somewhere(self, oracle, dtm_oracle):
         diffs = 0
         for temp in (345.0, 370.0, 400.0):
-            drm = oracle.best(BZIP2, temp, AdaptationMode.DVS)
-            dtm = dtm_oracle.best(BZIP2, temp)
+            drm = oracle.best(BZIP2, t_qual_k=temp, mode=AdaptationMode.DVS)
+            dtm = dtm_oracle.best(BZIP2, t_limit_k=temp)
             if abs(drm.op.frequency_hz - dtm.op.frequency_hz) > 1e6:
                 diffs += 1
         assert diffs >= 1
@@ -176,8 +176,8 @@ class TestDRMvsDTM:
         frequency than DRM allows, and that frequency breaks the FIT
         target."""
         temp = 400.0
-        dtm = dtm_oracle.best(BZIP2, temp)
-        drm = oracle.best(BZIP2, temp, AdaptationMode.DVS)
+        dtm = dtm_oracle.best(BZIP2, t_limit_k=temp)
+        drm = oracle.best(BZIP2, t_qual_k=temp, mode=AdaptationMode.DVS)
         assert dtm.op.frequency_hz > drm.op.frequency_hz
         ramp = oracle.ramp_for(temp)
         run = oracle.cache.run(BZIP2, BASE_MICROARCH)
@@ -189,8 +189,8 @@ class TestDRMvsDTM:
         frequency than the thermal cap allows, and that frequency exceeds
         T_limit."""
         temp = 345.0
-        drm = oracle.best(BZIP2, temp, AdaptationMode.DVS)
-        dtm = dtm_oracle.best(BZIP2, temp)
+        drm = oracle.best(BZIP2, t_qual_k=temp, mode=AdaptationMode.DVS)
+        dtm = dtm_oracle.best(BZIP2, t_limit_k=temp)
         assert drm.op.frequency_hz > dtm.op.frequency_hz
         run = oracle.cache.run(BZIP2, BASE_MICROARCH)
         evaluation = oracle.platform.evaluate(run, drm.op)

@@ -28,11 +28,11 @@ class TestConstruction:
 
 class TestExhaustive:
     def test_schedule_length_matches_phases(self, intra):
-        d = intra.best_exhaustive(BZIP2, 370.0)
+        d = intra.best_exhaustive(BZIP2, t_qual_k=370.0)
         assert len(d.schedule) == len(BZIP2.phases)
 
     def test_meets_target_when_feasible(self, intra):
-        d = intra.best_exhaustive(BZIP2, 370.0)
+        d = intra.best_exhaustive(BZIP2, t_qual_k=370.0)
         assert d.meets_target
         assert d.fit <= intra.fit_target + 1e-6
 
@@ -40,7 +40,7 @@ class TestExhaustive:
         """The per-phase space contains every uniform schedule, so the
         exhaustive intra oracle can never do worse (same grid)."""
         for tq in (345.0, 400.0):
-            d_intra = intra.best_exhaustive(BZIP2, tq)
+            d_intra = intra.best_exhaustive(BZIP2, t_qual_k=tq)
             # Uniform baseline on the SAME reduced grid for fairness.
             uniform_best = None
             for op in intra.vf_curve.grid(intra.grid_steps):
@@ -57,7 +57,7 @@ class TestExhaustive:
     def test_exploits_phase_variability(self, intra):
         """With real phase heterogeneity the chosen schedule is usually
         non-uniform near the feasibility boundary."""
-        d = intra.best_exhaustive(MPG, 370.0)
+        d = intra.best_exhaustive(MPG, t_qual_k=370.0)
         assert d.meets_target
         # Not asserted to be strictly non-uniform (grid coarseness), but
         # the schedule must be a valid tuple of in-range points.
@@ -65,30 +65,30 @@ class TestExhaustive:
             assert 2.5e9 - 1 <= op.frequency_hz <= 5.0e9 + 1
 
     def test_infeasible_flagged(self, intra):
-        d = intra.best_exhaustive(MPG, 325.0)
+        d = intra.best_exhaustive(MPG, t_qual_k=325.0)
         assert not d.meets_target
 
 
 class TestGreedy:
     def test_feasible_and_within_target(self, intra):
-        d = intra.best_greedy(BZIP2, 370.0)
+        d = intra.best_greedy(BZIP2, t_qual_k=370.0)
         assert d.meets_target
         assert d.fit <= intra.fit_target + 1e-6
 
     def test_close_to_exhaustive(self, intra):
-        exact = intra.best_exhaustive(BZIP2, 370.0)
-        greedy = intra.best_greedy(BZIP2, 370.0)
+        exact = intra.best_exhaustive(BZIP2, t_qual_k=370.0)
+        greedy = intra.best_greedy(BZIP2, t_qual_k=370.0)
         assert greedy.performance >= 0.97 * exact.performance
 
     def test_greedy_monotone_upgrades(self, intra):
         """Greedy starts at the floor, so every scheduled frequency is at
         least the DVS minimum."""
-        d = intra.best_greedy(BZIP2, 400.0)
+        d = intra.best_greedy(BZIP2, t_qual_k=400.0)
         assert all(f >= 2.5 - 1e-9 for f in d.frequencies_ghz)
 
     def test_strategy_labels(self, intra):
-        assert intra.best_greedy(BZIP2, 370.0).strategy == "greedy"
-        assert intra.best_exhaustive(BZIP2, 370.0).strategy == "exhaustive"
+        assert intra.best_greedy(BZIP2, t_qual_k=370.0).strategy == "greedy"
+        assert intra.best_exhaustive(BZIP2, t_qual_k=370.0).strategy == "exhaustive"
 
 
 class TestMixedEvaluationPlumbing:

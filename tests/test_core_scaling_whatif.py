@@ -88,7 +88,7 @@ class TestDVSGridDeterminism:
         from repro.workloads.suite import workload_by_name
 
         app = workload_by_name("equake")
-        d1 = oracle.best(app, 370.0, AdaptationMode.DVS)
-        d2 = oracle.best(app, 370.0, AdaptationMode.DVS)
+        d1 = oracle.best(app, t_qual_k=370.0, mode=AdaptationMode.DVS)
+        d2 = oracle.best(app, t_qual_k=370.0, mode=AdaptationMode.DVS)
         assert d1.op == d2.op
         assert d1.performance == d2.performance

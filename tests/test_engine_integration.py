@@ -79,7 +79,7 @@ class TestDRMSweep:
         )
         for app in APPS:
             expected = oracle.best(
-                workload_by_name(app), 370.0, AdaptationMode.DVS
+                workload_by_name(app), t_qual_k=370.0, mode=AdaptationMode.DVS
             )
             assert sweep[(app, 370.0)] == expected
         assert engine.events.accounted()

@@ -150,7 +150,7 @@ class TestDecisionCodecs:
             op=DEFAULT_VF_CURVE.nominal,
             performance=0.93,
             peak_temperature_k=359.2,
-            meets_limit=True,
+            meets_target=True,
         )
         payload = json.loads(json.dumps(encode_result("dtm", decision)))
         assert decode_result("dtm", payload) == decision

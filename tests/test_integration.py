@@ -65,27 +65,27 @@ class TestFigure2Shape:
 
     def test_everyone_gains_at_worst_case_qualification(self, oracle):
         for profile in WORKLOAD_SUITE:
-            d = oracle.best(profile, 400.0, AdaptationMode.DVS)
+            d = oracle.best(profile, t_qual_k=400.0, mode=AdaptationMode.DVS)
             assert d.performance > 1.0, profile.name
 
     def test_cool_low_ipc_apps_hold_base_at_345(self, oracle):
         for name in ("twolf", "art"):
-            d = oracle.best(workload_by_name(name), 345.0, AdaptationMode.DVS)
+            d = oracle.best(workload_by_name(name), t_qual_k=345.0, mode=AdaptationMode.DVS)
             assert d.performance > 0.9
 
     def test_hot_media_apps_throttle_at_345(self, oracle):
-        d = oracle.best(workload_by_name("MPGdec"), 345.0, AdaptationMode.DVS)
+        d = oracle.best(workload_by_name("MPGdec"), t_qual_k=345.0, mode=AdaptationMode.DVS)
         assert d.performance < 0.95
 
     def test_media_loses_most_at_325(self, oracle):
-        media = oracle.best(workload_by_name("MPGdec"), 325.0, AdaptationMode.DVS)
-        cool = oracle.best(workload_by_name("art"), 325.0, AdaptationMode.DVS)
+        media = oracle.best(workload_by_name("MPGdec"), t_qual_k=325.0, mode=AdaptationMode.DVS)
+        cool = oracle.best(workload_by_name("art"), t_qual_k=325.0, mode=AdaptationMode.DVS)
         assert media.performance <= cool.performance
 
     def test_performance_monotone_in_tqual_all_apps(self, oracle):
         for profile in WORKLOAD_SUITE[::3]:
             perfs = [
-                oracle.best(profile, tq, AdaptationMode.DVS).performance
+                oracle.best(profile, t_qual_k=tq, mode=AdaptationMode.DVS).performance
                 for tq in (325.0, 345.0, 370.0, 400.0)
             ]
             assert perfs == sorted(perfs), profile.name
@@ -99,12 +99,12 @@ class TestFigure4Shape:
         app = workload_by_name("bzip2")
         t_lo, t_hi = 345.0, 400.0
         drm_span = (
-            oracle.best(app, t_hi, AdaptationMode.DVS).op.frequency_hz
-            - oracle.best(app, t_lo, AdaptationMode.DVS).op.frequency_hz
+            oracle.best(app, t_qual_k=t_hi, mode=AdaptationMode.DVS).op.frequency_hz
+            - oracle.best(app, t_qual_k=t_lo, mode=AdaptationMode.DVS).op.frequency_hz
         )
         dtm_span = (
-            dtm_oracle.best(app, t_hi).op.frequency_hz
-            - dtm_oracle.best(app, t_lo).op.frequency_hz
+            dtm_oracle.best(app, t_limit_k=t_hi).op.frequency_hz
+            - dtm_oracle.best(app, t_limit_k=t_lo).op.frequency_hz
         )
         assert dtm_span >= drm_span
 
@@ -113,12 +113,12 @@ class TestFigure4Shape:
         equal) at cool ones — the crossover of Figure 4."""
         app = workload_by_name("gzip")
         hot_gap = (
-            dtm_oracle.best(app, 400.0).op.frequency_hz
-            - oracle.best(app, 400.0, AdaptationMode.DVS).op.frequency_hz
+            dtm_oracle.best(app, t_limit_k=400.0).op.frequency_hz
+            - oracle.best(app, t_qual_k=400.0, mode=AdaptationMode.DVS).op.frequency_hz
         )
         cool_gap = (
-            dtm_oracle.best(app, 345.0).op.frequency_hz
-            - oracle.best(app, 345.0, AdaptationMode.DVS).op.frequency_hz
+            dtm_oracle.best(app, t_limit_k=345.0).op.frequency_hz
+            - oracle.best(app, t_qual_k=345.0, mode=AdaptationMode.DVS).op.frequency_hz
         )
         assert hot_gap > cool_gap
 
