@@ -8,6 +8,7 @@ from repro.analysis.rules import (  # noqa: F401
     fit_mttf,
     float_eq,
     pool_safety,
+    swallowed_interrupt,
     unit_flow,
     units,
 )

@@ -8,7 +8,12 @@ user asks of this reproduction:
 - ``drm``               the DRM oracle's decision for one (app, T_qual)
 - ``dtm``               the DTM decision for one (app, T_limit)
 - ``sweep``             DRM performance across T_qual values for one app
+                        (checkpointed when ``--cache-dir`` is given;
+                        ``--resume`` restores finished cells)
 - ``engine``            parallel DRM sweep through the job engine
+                        (``--resume`` to continue a killed sweep,
+                        ``--fault-plan`` to arm chaos injection,
+                        ``--failure-budget`` to fail poisonous jobs fast)
 - ``suite``             list the workload suite
 - ``validate``          run the stack's self-audits
 - ``map``               ASCII thermal map of an application on the die
@@ -133,16 +138,47 @@ def _cmd_dtm(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    oracle = _oracle(args)
     profile = workload_by_name(args.app)
     tquals = [float(t) for t in args.tquals.split(",")]
     mode = AdaptationMode(args.mode)
-    perfs, freqs, fits = [], [], []
-    for t in tquals:
-        d = oracle.best(profile, t_qual_k=t, mode=mode)
-        perfs.append(d.performance)
-        freqs.append(d.op.frequency_ghz)
-        fits.append(d.fit)
+    if args.cache_dir is not None:
+        # Checkpointed path: each finished cell is journalled through the
+        # engine store, so a killed sweep resumes where it left off.
+        from repro.harness.sweep import DRMSweepRunner
+
+        runner = DRMSweepRunner(
+            args.cache_dir,
+            mode=mode.value,
+            dvs_steps=args.dvs_steps,
+            instructions=args.instructions,
+            warmup=args.warmup,
+            seed=args.seed,
+        )
+        decisions = runner.run([profile.name], tquals, resume=args.resume)
+        cells = [decisions[(profile.name, t)] for t in tquals]
+        if any(d is None for d in cells):
+            print("sweep incomplete: some cells failed "
+                  "(re-run with --resume to retry only those)", file=sys.stderr)
+            return 1
+        perfs = [d.performance for d in cells]
+        freqs = [d.op.frequency_ghz for d in cells]
+        fits = [d.fit for d in cells]
+        resumed = runner.engine.events.counters["resumed"]
+        if resumed:
+            print(f"resumed: {resumed} cell(s) restored from the journal",
+                  file=sys.stderr)
+    else:
+        if args.resume:
+            print("sweep: --resume needs --cache-dir (the journal lives in "
+                  "the result store)", file=sys.stderr)
+            return 2
+        oracle = _oracle(args)
+        perfs, freqs, fits = [], [], []
+        for t in tquals:
+            d = oracle.best(profile, t_qual_k=t, mode=mode)
+            perfs.append(d.performance)
+            freqs.append(d.op.frequency_ghz)
+            fits.append(d.fit)
     print(format_series(
         "Tqual (K)", tquals,
         {"performance": perfs, "frequency GHz": freqs, "FIT": fits},
@@ -154,27 +190,64 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_engine(args: argparse.Namespace) -> int:
     from repro.engine import Engine, stderr_progress
 
+    if args.fault_plan:
+        # Arm deterministic fault injection for the whole sweep.  The
+        # environment export makes pool workers resolve the same plan
+        # (the spec is already a name or a plan-file path).
+        import os
+
+        from repro.resilience import PLAN_ENV, FaultPlan, install
+
+        install(FaultPlan.resolve(args.fault_plan))
+        os.environ[PLAN_ENV] = args.fault_plan
     if args.apps == "all":
         apps = list(SUITE_NAMES)
     else:
         apps = [workload_by_name(a.strip()).name for a in args.apps.split(",")]
     tquals = [float(t) for t in args.tquals.split(",")]
-    engine = Engine(
-        store_dir=args.cache_dir,
-        max_workers=args.workers,
-        timeout_s=args.timeout,
-        retries=args.retries,
-        progress=stderr_progress if args.progress else None,
-    )
-    decisions = engine.drm_sweep(
-        apps,
-        tquals,
-        mode=args.mode,
-        dvs_steps=args.dvs_steps,
-        instructions=args.instructions,
-        warmup=args.warmup,
-        seed=args.seed,
-    )
+    progress = stderr_progress if args.progress else None
+    if args.cache_dir is not None:
+        # Checkpointed path: the journal lives in the store, so a killed
+        # sweep resumes with --resume, recomputing only unfinished cells.
+        from repro.harness.sweep import DRMSweepRunner
+
+        runner = DRMSweepRunner(
+            args.cache_dir,
+            mode=args.mode,
+            dvs_steps=args.dvs_steps,
+            instructions=args.instructions,
+            warmup=args.warmup,
+            seed=args.seed,
+            max_workers=args.workers,
+            timeout_s=args.timeout,
+            retries=args.retries,
+            failure_budget=args.failure_budget,
+            progress=progress,
+        )
+        decisions = runner.run(apps, tquals, resume=args.resume)
+        engine = runner.engine
+    else:
+        if args.resume:
+            print("engine: --resume needs --cache-dir (the journal lives in "
+                  "the result store)", file=sys.stderr)
+            return 2
+        engine = Engine(
+            store_dir=None,
+            max_workers=args.workers,
+            timeout_s=args.timeout,
+            retries=args.retries,
+            failure_budget=args.failure_budget,
+            progress=progress,
+        )
+        decisions = engine.drm_sweep(
+            apps,
+            tquals,
+            mode=args.mode,
+            dvs_steps=args.dvs_steps,
+            instructions=args.instructions,
+            warmup=args.warmup,
+            seed=args.seed,
+        )
     if args.progress:
         print(file=sys.stderr)
     rows = []
@@ -292,6 +365,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tquals", default="325,345,370,400",
                    help="comma-separated T_qual list (K)")
     p.add_argument("--mode", choices=[m.value for m in AdaptationMode], default="dvs")
+    p.add_argument("--resume", action="store_true",
+                   help="restore finished cells from the journal in "
+                        "--cache-dir and compute only the rest")
     _add_common(p)
     p.set_defaults(func=_cmd_sweep)
 
@@ -315,6 +391,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-job wall-clock budget in seconds")
     p.add_argument("--retries", type=int, default=1,
                    help="extra attempts per failing job (default 1)")
+    p.add_argument("--failure-budget", type=int, default=None,
+                   help="fail a job fast after this many failed attempts "
+                        "across the sweep (default: unlimited)")
+    p.add_argument("--resume", action="store_true",
+                   help="restore finished cells from the journal in "
+                        "--cache-dir and compute only the rest")
+    p.add_argument("--fault-plan", default=None,
+                   help="arm a deterministic fault plan (a named plan such "
+                        "as 'ci-default', or a path to a plan JSON)")
     p.add_argument("--progress", action="store_true",
                    help="live progress line on stderr")
     p.add_argument("--events-jsonl", default=None,

@@ -8,6 +8,14 @@ then recomputes FIT from the *quantized* readings.  The sensor-error
 tests verify that realistic sensor resolution barely perturbs the FIT a
 hardware RAMP would report, which is what makes a hardware DRM loop
 viable.
+
+Fault injection: when an armed :class:`~repro.resilience.FaultPlan`
+enables the sensor sites, :meth:`SensorBank.sample` passes each exact
+temperature through the injector first — a *stuck* sensor reports one
+fixed value for the whole run, a *noisy* one adds deterministic Gaussian
+noise — before the usual clamping and quantization.  The chaos tests use
+this to measure how much sensor pathology the hardware-RAMP FIT loop
+tolerates.
 """
 
 from __future__ import annotations
@@ -89,7 +97,16 @@ class SensorBank:
         self.spec = spec or SensorSpec()
 
     def sample(self, interval: Interval) -> SensorReadings:
-        """Produce the readings hardware would report for an interval."""
+        """Produce the readings hardware would report for an interval.
+
+        With an armed fault plan, each temperature is routed through the
+        injector's sensor sites (stuck / noisy) before clamping and
+        quantization — faulty readings still land inside the sensor's
+        reportable range, exactly as broken hardware would behave.
+        """
+        from repro.resilience import active_injector
+
+        injector = active_injector()
         spec = self.spec
         lo, hi = spec.temperature_range_k
         res = spec.temperature_resolution_k
@@ -97,6 +114,8 @@ class SensorBank:
         counts = {}
         for name in STRUCTURE_NAMES:
             exact_t = interval.temperatures[name]
+            if injector is not None:
+                exact_t = injector.sensor_temperature(name, exact_t)
             clamped = min(hi, max(lo, exact_t))
             temps[name] = round(clamped / res) * res
             events = int(round(interval.activity[name] * spec.epoch_cycles))

@@ -10,10 +10,12 @@ top) into an explicit, schedulable artifact:
 - :mod:`repro.engine.scheduler` — a deduplicating DAG scheduler that
   orders stages through declared dependencies;
 - :mod:`repro.engine.executor` — process-pool execution with per-job
-  timeouts, bounded retry-with-backoff, and graceful degradation to
-  serial in-process execution;
+  timeouts, bounded retry with jittered backoff, per-job failure
+  budgets, and a graceful-degradation ladder (pool rebuild, suspect
+  isolation, serial fallback);
 - :mod:`repro.engine.store` — a content-addressed, schema-versioned
-  on-disk result store with atomic writes and corrupt-entry quarantine;
+  on-disk result store with atomic writes and two-strike corrupt-entry
+  self-healing (quarantine on the second strike);
 - :mod:`repro.engine.events` — structured event log and metrics.
 
 Quickstart::
@@ -82,6 +84,9 @@ class Engine:
             ``1`` = serial in-process).
         timeout_s: default per-job wall-clock budget.
         retries: extra attempts per failing job.
+        failure_budget: maximum concluded failed attempts per job across
+            this engine's lifetime before it is failed fast (``None``
+            disables; see :class:`ExecutorConfig`).
         events: an :class:`EventLog` to share; a fresh one otherwise.
         progress: optional progress sink (e.g. ``stderr_progress``),
             only used when ``events`` is omitted.
@@ -93,6 +98,7 @@ class Engine:
         max_workers: int | None = None,
         timeout_s: float | None = None,
         retries: int = 1,
+        failure_budget: int | None = None,
         events: EventLog | None = None,
         progress=None,
     ) -> None:
@@ -100,7 +106,10 @@ class Engine:
         self.store = ResultStore(store_dir) if store_dir is not None else None
         self.executor = JobExecutor(
             config=ExecutorConfig(
-                max_workers=max_workers, timeout_s=timeout_s, retries=retries
+                max_workers=max_workers,
+                timeout_s=timeout_s,
+                retries=retries,
+                failure_budget=failure_budget,
             ),
             store=self.store,
             events=self.events,

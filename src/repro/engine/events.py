@@ -3,7 +3,8 @@
 Every scheduling decision and execution outcome emits one :class:`Event`
 — a flat, JSON-ready record — into an :class:`EventLog`.  The log doubles
 as the engine's metrics surface: counters (submitted / deduped / run /
-cached / retried / failed / quarantined) and per-stage wall time, with a
+cached / retried / failed / healed / quarantined / resumed /
+budget_exhausted) and per-stage wall time, with a
 human-readable renderer for CLI output and a ``jsonl`` dump for tooling.
 
 The accounting invariant every run must satisfy (and the tests assert)::
@@ -29,7 +30,8 @@ class Event:
         wall_s: seconds since the log was created.
         kind: event type (``submitted``, ``deduped``, ``cache_hit``,
             ``run_started``, ``run_finished``, ``retried``, ``failed``,
-            ``quarantined``, ``degraded``, ...).
+            ``healed``, ``quarantined``, ``degraded``, ``resumed``,
+            ``budget_exhausted``, ...).
         job_key: content hash of the job involved ("" for engine-level
             events).
         stage: scheduler stage of that job ("" for engine-level events).
@@ -65,8 +67,11 @@ _COUNTED = {
     "run_finished",
     "retried",
     "failed",
+    "healed",
     "quarantined",
     "degraded",
+    "resumed",
+    "budget_exhausted",
 }
 
 _COUNTER_NAMES = {
@@ -76,8 +81,11 @@ _COUNTER_NAMES = {
     "run_finished": "run",
     "retried": "retried",
     "failed": "failed",
+    "healed": "healed",
     "quarantined": "quarantined",
     "degraded": "degraded",
+    "resumed": "resumed",
+    "budget_exhausted": "budget_exhausted",
 }
 
 
@@ -184,10 +192,19 @@ class EventLog:
             + f" | {c['run']} run | {c['cached']} cached"
             + f" | {c['failed']} failed | {c['retried']} retried"
         ]
-        if c["quarantined"]:
-            lines.append(f"store: {c['quarantined']} corrupt entries quarantined")
+        if c["healed"] or c["quarantined"]:
+            lines.append(
+                f"store: {c['healed']} corrupt entries healed, "
+                f"{c['quarantined']} quarantined"
+            )
         if c["degraded"]:
-            lines.append("executor: degraded to in-process serial execution")
+            lines.append(f"executor: {c['degraded']} degradation step(s) taken")
+        if c["budget_exhausted"]:
+            lines.append(
+                f"executor: {c['budget_exhausted']} job(s) hit the failure budget"
+            )
+        if c["resumed"]:
+            lines.append(f"sweep: {c['resumed']} cell(s) restored from checkpoint")
         for stage in sorted(set(self.stage_wall_s) | set(self.stage_jobs)):
             lines.append(
                 f"  {stage:13s} {self.stage_jobs.get(stage, 0):4d} jobs  "

@@ -114,7 +114,10 @@ class JobGraph:
                 )
                 raise EngineError(
                     f"dependency cycle among {len(remaining)} jobs "
-                    f"(involving: {cycle})"
+                    f"(involving: {cycle})",
+                    phase="schedule",
+                    jobs_remaining=len(remaining),
+                    jobs_done=len(done),
                 )
             wave = sorted((self._jobs[k] for k in ready), key=_sort_key)
             waves.append(wave)

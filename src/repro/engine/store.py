@@ -12,18 +12,29 @@ Durability rules:
 - **Atomic writes** — every entry is written to a temporary file in the
   same directory and ``os.replace``d into place, so a crash mid-write can
   never leave a half-written entry under the final name.
-- **Corrupt-entry quarantine** — an entry that fails to parse (truncated
-  JSON, wrong envelope, bad payload) is moved into ``quarantine/`` and
-  reported as a miss; the caller simply recomputes.  A damaged cache can
-  therefore never take down a sweep.
+- **Corrupt-entry self-heal** — an entry that fails to parse (truncated
+  JSON, wrong envelope, bad payload) is discarded, a *heal marker* is
+  recorded, and the read reports a miss: the caller re-derives the result
+  from the originating job spec, and the next **verified read** (one that
+  decodes all the way back into domain objects; see
+  :meth:`ResultStore.absolve`) clears the marker.  Only if the **same key
+  corrupts a second time** (marker still present) is the entry moved into
+  ``quarantine/`` for autopsy.  Either way a damaged cache degrades to
+  recomputation, never to an exception.
 - **Schema versioning** — every envelope records the code schema version
   of the payload encoding.  A version mismatch is a miss (the stale entry
   is left in place and overwritten by the next ``put``).
+
+Fault injection: when a :class:`~repro.resilience.FaultPlan` is armed,
+``put`` may deliberately write a truncated envelope (site
+``store.corrupt_payload``, at most once per key per process) so the heal
+path above is exercised end-to-end instead of staying theoretical.
 
 Layout::
 
     root/
       objects/ab/abcdef....json     one entry per content hash
+      heal/ab/abcdef...             first-strike markers for healed keys
       quarantine/                   corrupt entries, preserved for autopsy
 """
 
@@ -41,6 +52,14 @@ from pathlib import Path
 SCHEMA_VERSION = 1
 
 
+def _injector():
+    """The armed fault injector, if any (lazy import keeps this module
+    import-light; the common case is one dict lookup that returns None)."""
+    from repro.resilience import active_injector
+
+    return active_injector()
+
+
 @dataclasses.dataclass
 class StoreStats:
     """Operation counters for one :class:`ResultStore` instance."""
@@ -48,6 +67,7 @@ class StoreStats:
     hits: int = 0
     misses: int = 0
     writes: int = 0
+    healed: int = 0
     quarantined: int = 0
     schema_misses: int = 0
 
@@ -80,6 +100,9 @@ class ResultStore:
     def _object_path(self, key: str) -> Path:
         return self.root / "objects" / key[:2] / f"{key}.json"
 
+    def _heal_marker(self, key: str) -> Path:
+        return self.root / "heal" / key[:2] / key
+
     @property
     def quarantine_dir(self) -> Path:
         return self.root / "quarantine"
@@ -89,8 +112,11 @@ class ResultStore:
     def get(self, key: str) -> dict | None:
         """Return the payload stored under ``key``, or ``None`` on a miss.
 
-        Corrupt entries are quarantined; stale-schema entries are left in
-        place (a subsequent :meth:`put` overwrites them).  Both count as
+        A corrupt entry is self-healed on its first strike (discarded
+        with a heal marker; the caller recomputes, and the next verified
+        read — see :meth:`absolve` — clears the marker) and quarantined
+        on its second; stale-schema entries are left in place (a
+        subsequent :meth:`put` overwrites them).  All of these count as
         misses.
         """
         path = self._object_path(key)
@@ -115,9 +141,8 @@ class ResultStore:
                     f"entry records key {envelope['key']!r}, expected {key!r}"
                 )
         except (json.JSONDecodeError, KeyError, TypeError, ValueError):
-            self._quarantine(path)
+            self._strike(key)
             with self._lock:
-                self.stats.quarantined += 1
                 self.stats.misses += 1
             return None
         if schema != self.schema_version:
@@ -139,12 +164,18 @@ class ResultStore:
             "kind": kind,
             "payload": payload,
         }
+        text = json.dumps(envelope)
+        injector = _injector()
+        if injector is not None:
+            corrupted = injector.corrupt_payload(key, text)
+            if corrupted is not None:
+                text = corrupted
         fd, tmp_name = tempfile.mkstemp(
             prefix=f".{key[:8]}-", suffix=".tmp", dir=path.parent
         )
         try:
             with os.fdopen(fd, "w") as handle:
-                json.dump(envelope, handle)
+                handle.write(text)
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -159,19 +190,65 @@ class ResultStore:
         """Whether an entry exists on disk (without validating it)."""
         return self._object_path(key).exists()
 
-    def invalidate(self, key: str) -> None:
-        """Quarantine an entry whose payload failed to decode.
+    def absolve(self, key: str) -> None:
+        """Forgive a key's first corruption strike.
+
+        Callers invoke this after an entry has decoded all the way back
+        into domain objects — only a *verified* read proves the key is
+        healthy again.  (The envelope check in :meth:`get` is not enough:
+        a payload can parse as JSON yet still be undecodable.)
+        """
+        marker = self._heal_marker(key)
+        if marker.exists():
+            try:
+                marker.unlink()
+            except OSError:
+                pass
+
+    def invalidate(self, key: str) -> str:
+        """Record a corruption strike for an entry that failed to decode.
 
         Used when the JSON envelope was readable but the domain objects
         could not be rebuilt from it (e.g. written by incompatible code
-        under the same schema number); the entry is preserved for autopsy
-        and the caller recomputes.
+        under the same schema number).  Same two-strike policy as
+        :meth:`get`: the first strike discards the entry for re-derivation
+        (``"healed"``), the second preserves it for autopsy
+        (``"quarantined"``); returns what happened (``"missing"`` when
+        there was no entry).
+        """
+        if not self._object_path(key).exists():
+            return "missing"
+        return self._strike(key)
+
+    def _strike(self, key: str) -> str:
+        """Apply the two-strike corruption policy to ``key``'s entry.
+
+        First strike: drop the entry, leave a heal marker, and let the
+        caller re-derive (self-heal).  Second strike (marker present):
+        quarantine the entry for autopsy and clear the marker so a
+        re-derived entry starts with a clean record.
         """
         path = self._object_path(key)
-        if path.exists():
+        marker = self._heal_marker(key)
+        if marker.exists():
             self._quarantine(path)
+            try:
+                marker.unlink()
+            except OSError:
+                pass
             with self._lock:
                 self.stats.quarantined += 1
+            return "quarantined"
+        marker.parent.mkdir(parents=True, exist_ok=True)
+        marker.touch()
+        try:
+            os.unlink(path)
+        except OSError:
+            # Someone else already removed/replaced it; a miss either way.
+            pass
+        with self._lock:
+            self.stats.healed += 1
+        return "healed"
 
     def _quarantine(self, path: Path) -> None:
         """Move a corrupt entry aside, preserving it for inspection."""

@@ -171,6 +171,7 @@ class Platform:
         candidates: Sequence[Candidate],
         *,
         max_iters: int = MAX_FIXED_POINT_ITERS,
+        salvage: bool = True,
     ) -> BatchEvaluation:
         """Evaluate a whole candidate grid against one run in one call.
 
@@ -187,14 +188,23 @@ class Platform:
             candidates: a sequence of operating points (each applied
                 uniformly to every phase) and/or per-phase schedules.
             max_iters: fixed-point iteration budget.
+            salvage: repair unconverged / non-finite candidates per row
+                (clean re-run, then extended budget, then masked with a
+                :class:`~repro.errors.DegradedResultWarning`) instead of
+                failing the whole grid; the returned evaluation's
+                ``salvage`` report records what happened.
 
         Raises:
             ValueError: for an empty grid, a run without phases, a
                 schedule of the wrong length, or non-positive durations.
-            ThermalError: if any candidate's fixed point fails to
-                converge — the message names the offending rows.
+            InputValidationError: if the run carries non-finite activity
+                factors — named by structure and phase instead of
+                propagating silently into powers and FIT sums.
+            ThermalError: with ``salvage=False``, if any candidate's
+                fixed point fails to converge — the message names the
+                offending rows.
         """
-        return self.kernel.evaluate(run, candidates, max_iters)
+        return self.kernel.evaluate(run, candidates, max_iters, salvage=salvage)
 
     def evaluate(self, run: WorkloadRun, op: OperatingPoint) -> PlatformEvaluation:
         """Evaluate a run at one operating point.

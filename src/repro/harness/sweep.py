@@ -13,17 +13,25 @@ over *all* simulation inputs (full profile, full config, budgets, seed,
 schema version), not by a ``describe()``-derived filename — so two
 configs can never collide, keys are always filesystem-safe, and editing a
 profile invalidates its cached runs.  A corrupt or truncated entry is
-quarantined and the simulation simply re-runs; a damaged cache can never
-crash a sweep.
+struck (self-healed on the first strike, quarantined on a repeat) and the
+simulation simply re-runs; a damaged cache can never crash a sweep.
 
 For parallel population of the cache (Fig-2-style 162-simulation
 sweeps), see :meth:`SimulationCache.run_many`, which routes through
 :class:`repro.engine.Engine`.
+
+For whole DRM sweeps that must survive being killed mid-run, see
+:class:`DRMSweepRunner`: every finished (application, T_qual) cell is
+journalled through the engine store, and a ``resume`` run restores the
+finished cells from the journal (emitting ``resumed`` events) and
+recomputes only the rest.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import tempfile
 from pathlib import Path
 
 from repro.config.microarch import BASE_MICROARCH, MicroarchConfig
@@ -78,9 +86,9 @@ class SimulationCache:
         """Return the (possibly cached) cycle-level run.
 
         Lookup order: in-memory memo, then the disk store, then a fresh
-        simulation.  Undecodable store entries are quarantined and the
-        simulation re-runs — corruption degrades to recomputation, never
-        to an exception.
+        simulation.  Undecodable store entries are struck (self-healed
+        first, quarantined on a repeat) and the simulation re-runs —
+        corruption degrades to recomputation, never to an exception.
         """
         key = self._key(profile, config)
         cached = self._memory.get(key)
@@ -94,6 +102,7 @@ class SimulationCache:
                 except DECODE_ERRORS:
                     self.store.invalidate(key)
                 else:
+                    self.store.absolve(key)
                     self._memory[key] = run
                     return run
         simulator = CycleSimulator(
@@ -152,3 +161,207 @@ class SimulationCache:
             for p in profiles
             for c in configs
         }
+
+
+#: Journal format version; bump when the journal shape changes.
+JOURNAL_SCHEMA = 1
+
+
+class DRMSweepRunner:
+    """Checkpointed DRM oracle sweep over (application × T_qual) cells.
+
+    Each cell runs through :class:`repro.engine.Engine` (simulations fan
+    out in parallel first), and every finished cell is recorded in a
+    journal under ``<store>/sweeps/<spec-hash>.json`` pointing at the
+    decision's content key in the store.  A ``resume=True`` run restores
+    finished cells from the journal — verifying each decision still
+    decodes; a corrupt one is struck and recomputed — and only submits
+    jobs for the rest, so killing a sweep mid-run costs only the cells
+    that had not finished.
+
+    Args:
+        store_dir: directory of the engine's result store (required —
+            the journal lives inside it).
+        mode / dvs_steps / instructions / warmup / seed: sweep
+            parameters; all part of the journal's identity hash.
+        max_workers / timeout_s / retries / failure_budget / progress:
+            forwarded to the engine.
+    """
+
+    def __init__(
+        self,
+        store_dir: str | os.PathLike,
+        *,
+        mode: str = "archdvs",
+        dvs_steps: int = 26,
+        instructions: int | None = None,
+        warmup: int | None = None,
+        seed: int = 42,
+        max_workers: int | None = None,
+        timeout_s: float | None = None,
+        retries: int = 1,
+        failure_budget: int | None = None,
+        progress=None,
+    ) -> None:
+        from repro.cpu.simulator import DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP
+        from repro.engine import Engine
+
+        if store_dir is None:
+            from repro.errors import SweepError
+
+            raise SweepError(
+                "a checkpointed sweep needs a store directory for its journal"
+            )
+        self.mode = mode
+        self.dvs_steps = dvs_steps
+        self.instructions = (
+            DEFAULT_INSTRUCTIONS if instructions is None else instructions
+        )
+        self.warmup = DEFAULT_WARMUP if warmup is None else warmup
+        self.seed = seed
+        self.engine = Engine(
+            store_dir=store_dir,
+            max_workers=max_workers,
+            timeout_s=timeout_s,
+            retries=retries,
+            failure_budget=failure_budget,
+            progress=progress,
+        )
+
+    # ---- journal -------------------------------------------------------
+
+    def _spec(self, apps, tquals) -> dict:
+        return {
+            "schema": JOURNAL_SCHEMA,
+            "apps": sorted(apps),
+            "tquals": sorted(float(t) for t in tquals),
+            "mode": self.mode,
+            "dvs_steps": self.dvs_steps,
+            "instructions": self.instructions,
+            "warmup": self.warmup,
+            "seed": self.seed,
+        }
+
+    def journal_path(self, apps, tquals) -> Path:
+        from repro.engine.jobs import content_hash
+
+        root = self.engine.store.root
+        return root / "sweeps" / f"{content_hash(self._spec(apps, tquals))}.json"
+
+    def _load_journal(self, path: Path) -> dict[str, str]:
+        """The ``{cell_id: decision_key}`` map, empty when absent/corrupt."""
+        try:
+            payload = json.loads(path.read_text())
+            done = payload["done"]
+            if not isinstance(done, dict):
+                raise ValueError("journal 'done' is not an object")
+            return {str(k): str(v) for k, v in done.items()}
+        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+            return {}
+
+    def _write_journal(self, path: Path, spec: dict, done: dict[str, str]) -> None:
+        """Atomic rewrite, same discipline as the store's entries."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=".journal-", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump({"spec": spec, "done": done}, handle, indent=1)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    @staticmethod
+    def _cell_id(app: str, t_qual: float) -> str:
+        return f"{app}@{t_qual:g}"
+
+    # ---- sweep ---------------------------------------------------------
+
+    def run(
+        self, apps, tquals, resume: bool = False
+    ) -> dict[tuple[str, float], object]:
+        """Run (or resume) the sweep; returns ``{(app, t_qual): decision}``.
+
+        With ``resume=True``, cells recorded in the journal are restored
+        straight from the store (one ``resumed`` event each) and only the
+        remaining cells are executed; without it the journal is rebuilt
+        from scratch (finished simulations still short-circuit through
+        the content-addressed store either way).
+        """
+        from repro.engine.jobs import DRMSearchJob
+        from repro.engine.store import DECODE_ERRORS, decode_result
+
+        apps = list(apps)
+        tquals = [float(t) for t in tquals]
+        spec = self._spec(apps, tquals)
+        path = self.journal_path(apps, tquals)
+        done = self._load_journal(path) if resume else {}
+
+        jobs: dict[tuple[str, float], DRMSearchJob] = {
+            (app, t_qual): DRMSearchJob(
+                profile_name=app,
+                t_qual_k=t_qual,
+                mode=self.mode,
+                dvs_steps=self.dvs_steps,
+                instructions=self.instructions,
+                warmup=self.warmup,
+                seed=self.seed,
+            )
+            for app in apps
+            for t_qual in tquals
+        }
+
+        decisions: dict[tuple[str, float], object] = {}
+        store = self.engine.store
+        for cell, job in jobs.items():
+            key = done.get(self._cell_id(*cell))
+            if key is None:
+                continue
+            payload = store.get(key)
+            if payload is None:
+                done.pop(self._cell_id(*cell), None)
+                continue
+            try:
+                decision = decode_result("drm", payload)
+            except DECODE_ERRORS as exc:
+                action = store.invalidate(key)
+                self.engine.events.emit(
+                    "quarantined" if action == "quarantined" else "healed",
+                    job_key=key,
+                    stage="drm",
+                    detail=f"journalled cell {self._cell_id(*cell)}: {exc!r}",
+                )
+                done.pop(self._cell_id(*cell), None)
+                continue
+            store.absolve(key)
+            decisions[cell] = decision
+            self.engine.events.emit(
+                "resumed",
+                job_key=key,
+                stage="drm",
+                detail=f"cell {self._cell_id(*cell)} restored from journal",
+            )
+
+        pending = [cell for cell in jobs if cell not in decisions]
+        if pending:
+            # Fan the expensive cycle-level simulations out across every
+            # pending cell first; the per-cell runs below then hit a warm
+            # store and the journal advances cheaply cell by cell.
+            prefetch: dict[str, object] = {}
+            for cell in pending:
+                for dep in jobs[cell].dependencies():
+                    prefetch[dep.cache_key] = dep
+            self.engine.run(list(prefetch.values()))
+        for cell in pending:
+            job = jobs[cell]
+            decision = self.engine.run([job])[job]
+            decisions[cell] = decision
+            if decision is not None:
+                done[self._cell_id(*cell)] = job.cache_key
+                self._write_journal(path, spec, done)
+        return decisions

@@ -12,9 +12,25 @@ iterates over the whole candidate grid simultaneously.
 Convergence is tracked **per row** (per candidate): a candidate whose
 largest temperature update falls below the scalar path's 0.01 K tolerance
 is frozen — its temperatures, powers, and sink value stop changing — while
-the remaining rows keep iterating.  Rows that fail to converge within the
-iteration budget raise :class:`~repro.errors.ThermalError` naming the
-offending candidate indices.
+the remaining rows keep iterating.
+
+**Graceful degradation** (``salvage=True``, the default): rows that fail
+to converge, or whose tensors turn non-finite (e.g. an injected NaN
+poison), are *salvaged* instead of failing the whole batch.  The ladder:
+
+1. re-run the row alone, clean — per-row convergence masking makes every
+   row's arithmetic independent of its neighbours, so a clean single-row
+   re-run reproduces exactly what the batch would have computed;
+2. re-run with an extended iteration budget (the scalar fixed point
+   given more rope);
+3. mask the row out — its outputs become NaN, a structured
+   :class:`~repro.errors.DegradedResultWarning` names the candidates,
+   and the :class:`SalvageReport` on the returned evaluation records
+   what happened.
+
+With ``salvage=False`` unconverged rows raise
+:class:`~repro.errors.ThermalError` naming the offending candidate
+indices (the historical behaviour; equivalence tests rely on it).
 
 The arithmetic mirrors the scalar path operation for operation, so
 results are bit-identical up to libm differences (``np.exp`` vs
@@ -24,6 +40,7 @@ equivalence tests at 1e-12 relative tolerance.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
@@ -32,7 +49,7 @@ import numpy as np
 from repro.config.dvs import OperatingPoint
 from repro.config.technology import STRUCTURE_NAMES, STRUCTURES
 from repro.constants import MAX_TEMPERATURE_K, MIN_TEMPERATURE_K
-from repro.errors import ThermalError
+from repro.errors import DegradedResultWarning, InputValidationError, ThermalError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (harness imports us)
     from repro.cpu.simulator import WorkloadRun
@@ -60,9 +77,38 @@ TEMP_TOLERANCE_K = 0.01
 #: Iteration budget for the fixed point.
 MAX_FIXED_POINT_ITERS = 60
 
+#: Extra iteration headroom the salvage ladder's second rung grants a row
+#: that failed to converge on its own.
+SALVAGE_BUDGET_FACTOR = 4
+
 #: Candidate spec: a single operating point (applied to every phase) or a
 #: per-phase schedule.
 Candidate = OperatingPoint | Sequence[OperatingPoint]
+
+
+@dataclass(frozen=True)
+class SalvageReport:
+    """What graceful degradation did to one batch evaluation.
+
+    Attributes:
+        poisoned: rows whose tensors went non-finite mid-batch (injected
+            or numerical), before any repair.
+        unconverged: rows whose fixed point missed the iteration budget.
+        salvaged: rows repaired by a clean single-row re-run (rung 1).
+        rescued: rows that needed the extended-budget re-run (rung 2).
+        masked: rows given up on — their outputs are NaN (rung 3).
+    """
+
+    poisoned: tuple[int, ...] = ()
+    unconverged: tuple[int, ...] = ()
+    salvaged: tuple[int, ...] = ()
+    rescued: tuple[int, ...] = ()
+    masked: tuple[int, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        """Whether anything at all had to be repaired or masked."""
+        return bool(self.poisoned or self.unconverged or self.masked)
 
 
 @dataclass(frozen=True, eq=False)
@@ -85,6 +131,8 @@ class BatchEvaluation:
         ips: absolute performance per candidate, ``(C,)``.
         avg_power_w: time-weighted average total power, ``(C,)``.
         iterations: fixed-point iterations each row needed, ``(C,)``.
+        salvage: what graceful degradation did, or ``None`` when the
+            batch came through untouched (or ``salvage=False``).
     """
 
     run: "WorkloadRun"
@@ -100,6 +148,7 @@ class BatchEvaluation:
     ips: np.ndarray
     avg_power_w: np.ndarray
     iterations: np.ndarray
+    salvage: SalvageReport | None = None
 
     @property
     def n_candidates(self) -> int:
@@ -237,6 +286,9 @@ class BatchKernel:
         run: "WorkloadRun",
         candidates: Sequence[Candidate],
         max_iters: int = MAX_FIXED_POINT_ITERS,
+        *,
+        salvage: bool = True,
+        _inject: bool = True,
     ) -> BatchEvaluation:
         """Evaluate every candidate of a grid in one batched solve.
 
@@ -246,13 +298,25 @@ class BatchKernel:
                 per-phase schedules.
             max_iters: fixed-point iteration budget (tests lower it to
                 exercise the per-row divergence path).
+            salvage: repair unconverged / non-finite rows per candidate
+                (see the module docstring's ladder) instead of failing
+                the whole batch.
+            _inject: internal — salvage re-runs pass ``False`` so an
+                armed fault plan cannot re-poison the repair.
 
         Raises:
             ValueError: for an empty grid, a run without phases, a
                 schedule of the wrong length, or non-positive phase
                 durations.
-            ThermalError: if any row's fixed point fails to converge —
-                the message names the candidate indices.
+            InputValidationError: if the run carries non-finite activity
+                factors — named by structure and phase, raised before
+                the NaN can propagate silently into powers and FIT sums.
+            ThermalError: with ``salvage=False``, if any row's fixed
+                point fails to converge — the message names the
+                candidate indices.
+
+        Warns:
+            DegradedResultWarning: when salvage had to mask rows out.
         """
         schedules = self._normalise(run, candidates)
         tech = self.power_model.technology
@@ -274,6 +338,17 @@ class BatchKernel:
                 for pr in run.phases
             ]
         )
+        if not np.all(np.isfinite(base_activity)):
+            bad_phase, bad_structure = np.argwhere(
+                ~np.isfinite(base_activity)
+            )[0]
+            raise InputValidationError(
+                "non-finite activity factor in simulated run",
+                profile=run.profile.name,
+                structure=STRUCTURE_NAMES[int(bad_structure)],
+                phase=run.phases[int(bad_phase)].phase.name,
+                value=float(base_activity[bad_phase, bad_structure]),
+            )
 
         # Analytical DVS rescaling (mirrors FrequencyScalingModel).
         cpi = cpi_core[None, :] + cpi_mem[None, :] * (freq_hz / f_base_hz)
@@ -306,9 +381,50 @@ class BatchKernel:
             * powered_fraction
         )
 
-        temps_k, sink_k, leakage_w, iterations = self._fixed_point(
-            dynamic_w, weights, powered_fraction, v_ratio, max_iters
+        if _inject:
+            dynamic_w = self._maybe_poison(run, dynamic_w)
+
+        temps_k, sink_k, leakage_w, iterations, unconverged = self._fixed_point(
+            dynamic_w,
+            weights,
+            powered_fraction,
+            v_ratio,
+            max_iters,
+            raise_on_divergence=not salvage,
         )
+
+        report: SalvageReport | None = None
+        if salvage:
+            # Non-finite rows "converge" trivially (NaN comparisons are
+            # false), so sweep both failure modes here.
+            finite = np.isfinite(
+                np.concatenate(
+                    [
+                        temps_k.reshape(temps_k.shape[0], -1),
+                        dynamic_w.reshape(dynamic_w.shape[0], -1),
+                        leakage_w.reshape(leakage_w.shape[0], -1),
+                        sink_k[:, None],
+                    ],
+                    axis=1,
+                )
+            ).all(axis=1)
+            poisoned = np.flatnonzero(~finite)
+            bad = sorted(set(map(int, poisoned)) | set(map(int, unconverged)))
+            if bad:
+                report = self._salvage(
+                    run,
+                    candidates,
+                    max_iters,
+                    bad,
+                    poisoned=tuple(map(int, poisoned)),
+                    unconverged=tuple(map(int, unconverged)),
+                    temps_k=temps_k,
+                    sink_k=sink_k,
+                    dynamic_w=dynamic_w,
+                    leakage_w=leakage_w,
+                    activity=activity,
+                    iterations=iterations,
+                )
 
         total_instructions = float(instructions.sum())
         ips = total_instructions / total_time_s
@@ -329,6 +445,101 @@ class BatchKernel:
             ips=ips,
             avg_power_w=avg_power_w,
             iterations=iterations,
+            salvage=report,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _maybe_poison(self, run: "WorkloadRun", dynamic_w: np.ndarray) -> np.ndarray:
+        """Apply the armed fault plan's kernel site, if any."""
+        from repro.resilience import active_injector
+
+        injector = active_injector()
+        if injector is None:
+            return dynamic_w
+        grid_key = f"{run.profile.name}:{run.config.describe()}:{dynamic_w.shape[0]}"
+        row = injector.poison_row(grid_key, dynamic_w.shape[0])
+        if row is not None:
+            dynamic_w[row] = np.nan
+        return dynamic_w
+
+    def _salvage(
+        self,
+        run: "WorkloadRun",
+        candidates: Sequence[Candidate],
+        max_iters: int,
+        bad: list[int],
+        *,
+        poisoned: tuple[int, ...],
+        unconverged: tuple[int, ...],
+        temps_k: np.ndarray,
+        sink_k: np.ndarray,
+        dynamic_w: np.ndarray,
+        leakage_w: np.ndarray,
+        activity: np.ndarray,
+        iterations: np.ndarray,
+    ) -> SalvageReport:
+        """Repair ``bad`` rows in place; the ladder per row:
+
+        clean single-row re-run (bit-identical, since per-row
+        convergence masking makes rows independent) -> extended-budget
+        re-run -> mask with NaN.  Returns the report of what happened.
+        """
+        candidates = list(candidates)
+        salvaged: list[int] = []
+        rescued: list[int] = []
+        masked: list[int] = []
+        for row in bad:
+            sub = None
+            via_extended = False
+            try:
+                sub = self.evaluate(
+                    run, [candidates[row]], max_iters,
+                    salvage=False, _inject=False,
+                )
+            except ThermalError:
+                extended = max(
+                    max_iters * SALVAGE_BUDGET_FACTOR, MAX_FIXED_POINT_ITERS
+                )
+                try:
+                    sub = self.evaluate(
+                        run, [candidates[row]], extended,
+                        salvage=False, _inject=False,
+                    )
+                    via_extended = True
+                except ThermalError:
+                    sub = None
+            if sub is not None:
+                temps_k[row] = sub.temperatures_k[0]
+                sink_k[row] = sub.sink_temperature_k[0]
+                dynamic_w[row] = sub.dynamic_w[0]
+                leakage_w[row] = sub.leakage_w[0]
+                activity[row] = sub.activity[0]
+                iterations[row] = sub.iterations[0]
+                (rescued if via_extended else salvaged).append(row)
+            else:
+                temps_k[row] = np.nan
+                sink_k[row] = np.nan
+                dynamic_w[row] = np.nan
+                leakage_w[row] = np.nan
+                masked.append(row)
+        if masked:
+            shown = ", ".join(str(i) for i in masked[:8])
+            more = "..." if len(masked) > 8 else ""
+            warnings.warn(
+                f"masked {len(masked)} unsalvageable candidate(s) "
+                f"[{shown}{more}] of {run.profile.name!r} "
+                f"({run.config.describe()}): outputs are NaN "
+                "(phase: leakage/temperature fixed point)",
+                DegradedResultWarning,
+                stacklevel=4,
+            )
+        return SalvageReport(
+            poisoned=poisoned,
+            unconverged=unconverged,
+            salvaged=tuple(salvaged),
+            rescued=tuple(rescued),
+            masked=tuple(masked),
         )
 
     # ------------------------------------------------------------------
@@ -367,7 +578,8 @@ class BatchKernel:
         powered_fraction: np.ndarray,
         v_ratio: np.ndarray,
         max_iters: int,
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        raise_on_divergence: bool = True,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Iterate leakage(T) <-> T(power) over the whole grid at once.
 
         Per-row convergence masking: once a candidate's largest update is
@@ -375,7 +587,9 @@ class BatchKernel:
         produced its final temperatures (the same powers the scalar path
         returns) while the other rows continue.
 
-        Returns ``(temperatures, sink, leakage, iterations)``.
+        Returns ``(temperatures, sink, leakage, iterations, unconverged)``
+        where ``unconverged`` holds the row indices that missed the
+        budget (always empty when ``raise_on_divergence``).
         """
         n_cand, n_phases, _ = dynamic_w.shape
         ambient_k = self.network.params.ambient_k
@@ -437,7 +651,7 @@ class BatchKernel:
             last_delta_k[active] = delta_k
             active = active[delta_k >= TEMP_TOLERANCE_K]
 
-        if active.size:
+        if active.size and raise_on_divergence:
             shown = ", ".join(str(int(i)) for i in active[:8])
             more = "..." if active.size > 8 else ""
             raise ThermalError(
@@ -445,4 +659,4 @@ class BatchKernel:
                 f"candidate(s) [{shown}{more}] "
                 f"(last delta {float(last_delta_k[active].max()):.3f} K)"
             )
-        return temps_k, sink_k, leakage_w, iterations
+        return temps_k, sink_k, leakage_w, iterations, active

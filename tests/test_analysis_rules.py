@@ -320,6 +320,63 @@ class TestBroadExcept:
         assert result.findings == []
 
 
+class TestSwallowedInterrupt:
+    def test_flags_swallowed_interrupt_handlers(self, tmp_path):
+        result = run(tmp_path, {
+            "src/mod.py": """
+                def quiet(fn):
+                    try:
+                        return fn()
+                    except KeyboardInterrupt:
+                        return None
+
+                def swallow(fn, log):
+                    try:
+                        return fn()
+                    except (ValueError, BaseException):
+                        log.flush()
+
+                def mute(fn):
+                    try:
+                        return fn()
+                    except:
+                        pass
+            """,
+        }, select=["RPR007"])
+        assert rules_hit(result) == ["RPR007", "RPR007", "RPR007"]
+
+    def test_applies_inside_test_files_too(self, tmp_path):
+        result = run(tmp_path, {
+            "tests/test_mod.py": """
+                def test_probe(fn):
+                    try:
+                        fn()
+                    except BaseException:
+                        pass
+            """,
+        }, select=["RPR007"])
+        assert rules_hit(result) == ["RPR007"]
+
+    def test_reraising_and_exception_handlers_are_clean(self, tmp_path):
+        result = run(tmp_path, {
+            "src/mod.py": """
+                def cleanup(tmp, path, log):
+                    try:
+                        return log.replace(tmp, path)
+                    except BaseException:
+                        log.unlink(tmp)
+                        raise
+
+                def load(path):
+                    try:
+                        return open(path)
+                    except Exception:
+                        return None
+            """,
+        }, select=["RPR007"])
+        assert result.findings == []
+
+
 class TestParseErrors:
     def test_unparsable_file_yields_rpr000(self, tmp_path):
         result = run(tmp_path, {

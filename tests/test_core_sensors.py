@@ -57,6 +57,39 @@ class TestSensorBank:
         assert max(readings.activity_counts.values()) <= 15
 
 
+class TestInjectedSensorFaults:
+    def test_stuck_sensor_reads_constant_within_range(self, mpgdec_eval):
+        from repro.resilience import SENSOR_STUCK, FaultPlan, armed
+
+        plan = FaultPlan(
+            name="stuck",
+            rates={SENSOR_STUCK: 1.0},
+            sensor_stuck_temp_k=250.0,  # below the sensor's floor
+        )
+        bank = SensorBank()
+        with armed(plan):
+            readings = bank.sample(mpgdec_eval.intervals[0])
+        lo = bank.spec.temperature_range_k[0]
+        # The faulty value is clamped/quantized like any hardware reading.
+        assert set(readings.temperatures.values()) == {lo}
+
+    def test_noisy_sensor_is_deterministic(self, mpgdec_eval):
+        from repro.resilience import SENSOR_NOISE, FaultPlan, armed
+
+        plan = FaultPlan(
+            name="noisy", rates={SENSOR_NOISE: 1.0}, sensor_noise_k=3.0
+        )
+        with armed(plan):
+            first = SensorBank().sample(mpgdec_eval.intervals[0])
+            second = SensorBank().sample(mpgdec_eval.intervals[0])
+        assert first.temperatures == second.temperatures
+
+    def test_unarmed_bank_reads_exact(self, mpgdec_eval):
+        clean = SensorBank().sample(mpgdec_eval.intervals[0])
+        again = SensorBank().sample(mpgdec_eval.intervals[0])
+        assert clean.temperatures == again.temperatures
+
+
 class TestHardwareFitAccuracy:
     def test_quantized_fit_close_to_exact(self, oracle, mpgdec_eval):
         """A hardware RAMP (1 K sensors, finite counters) must agree with

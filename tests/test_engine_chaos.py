@@ -1,0 +1,323 @@
+"""Chaos suite: injected faults traverse the production recovery paths.
+
+Each test arms a :class:`~repro.resilience.FaultPlan` and asserts that
+the stack *converges* — injected worker crashes, hangs, corrupt store
+payloads, and poisoned kernel rows all degrade to retries, rebuilds,
+self-heals, and salvages, and the final results are identical to a
+fault-free run.  The fake jobs live at module level so pool workers can
+unpickle them.
+"""
+
+import dataclasses
+import time
+
+import pytest
+
+from repro.engine import Engine
+from repro.engine.events import EventLog
+from repro.engine.executor import ExecutorConfig, JobExecutor
+from repro.engine.jobs import Job
+from repro.engine.store import ResultStore
+from repro.harness.sweep import DRMSweepRunner
+from repro.resilience import (
+    CI_DEFAULT,
+    STORE_CORRUPT,
+    WORKER_CRASH,
+    WORKER_HANG,
+    FaultPlan,
+    armed,
+    install,
+)
+
+APPS = ("twolf", "art")
+INSTR = 1000
+WARMUP = 200
+
+
+@pytest.fixture(autouse=True)
+def disarm():
+    """No fault plan leaks into (or out of) any test in this module."""
+    install(None)
+    yield
+    install(None)
+
+
+@dataclasses.dataclass(frozen=True)
+class EchoJob(Job):
+    """Instant success — every failure it suffers is injected."""
+
+    name: str = "echo"
+
+    kind = "fake"
+    stage = "simulate"
+
+    def payload(self):
+        return {"name": self.name}
+
+    def run(self, ctx):
+        return f"{self.name}:ok"
+
+
+@dataclasses.dataclass(frozen=True)
+class QuickJob(Job):
+    """Instant success with a tight wall-clock budget (hang bait)."""
+
+    name: str = "quick"
+
+    kind = "fake"
+    stage = "simulate"
+    timeout_s = 0.2
+
+    def payload(self):
+        return {"name": self.name, "quick": True}
+
+    def run(self, ctx):
+        return f"{self.name}:ok"
+
+
+def make_executor(events=None, **overrides) -> JobExecutor:
+    config = ExecutorConfig(**{"backoff_s": 0.0, **overrides})
+    return JobExecutor(config=config, events=events)
+
+
+class TestInjectedCrashes:
+    def test_injected_pool_crashes_recover_to_clean_results(self):
+        """Every worker dies on first attempt; the ladder still converges."""
+        plan = FaultPlan(name="crashy", seed=1, rates={WORKER_CRASH: 1.0})
+        jobs = [EchoJob(name=f"j{i}") for i in range(3)]
+        events = EventLog()
+        ex = make_executor(events, max_workers=2, retries=1)
+        with armed(plan):
+            outcomes = ex.execute(jobs)
+        assert {o.status for o in outcomes.values()} == {"run"}
+        assert {o.result for o in outcomes.values()} == {
+            "j0:ok", "j1:ok", "j2:ok"
+        }
+        assert events.counters["degraded"] >= 1
+        assert events.counters["failed"] == 0
+
+    def test_injected_crash_in_serial_mode_retries_clean(self):
+        """In-process the crash is an InjectedFault; retry runs clean."""
+        plan = FaultPlan(name="crashy", seed=1, rates={WORKER_CRASH: 1.0})
+        events = EventLog()
+        ex = make_executor(events, max_workers=1, retries=1)
+        with armed(plan):
+            (outcome,) = ex.execute([EchoJob()]).values()
+        assert outcome.status == "run"
+        assert outcome.attempts == 2
+        assert events.counters["retried"] == 1
+
+    def test_every_attempt_crasher_exhausts_retries(self):
+        plan = FaultPlan(
+            name="relentless",
+            seed=1,
+            rates={WORKER_CRASH: 1.0},
+            first_attempt_only=False,
+        )
+        ex = make_executor(max_workers=1, retries=1)
+        with armed(plan):
+            (outcome,) = ex.execute([EchoJob()]).values()
+        assert outcome.status == "failed"
+        assert "InjectedFault" in outcome.error
+        assert outcome.attempts == 2
+
+
+class TestInjectedHangs:
+    def test_injected_hang_trips_timeout_then_recovers(self):
+        plan = FaultPlan(
+            name="hangy", seed=1, rates={WORKER_HANG: 1.0}, hang_s=1.0
+        )
+        events = EventLog()
+        ex = make_executor(events, max_workers=2, retries=1)
+        start = time.monotonic()
+        with armed(plan):
+            outcomes = ex.execute([QuickJob(), EchoJob(name="bystander")])
+        elapsed = time.monotonic() - start
+        quick = next(
+            o for o in outcomes.values() if isinstance(o.job, QuickJob)
+        )
+        assert quick.status == "run"
+        assert quick.attempts == 2  # timeout charged, retry ran clean
+        assert events.counters["retried"] >= 1
+        assert elapsed < 3.0  # never waited out the full hang
+
+
+class TestFailureBudget:
+    def test_budget_fails_fast_across_executions(self):
+        plan = FaultPlan(
+            name="relentless",
+            seed=1,
+            rates={WORKER_CRASH: 1.0},
+            first_attempt_only=False,
+        )
+        events = EventLog()
+        ex = make_executor(
+            events, max_workers=1, retries=5, failure_budget=2
+        )
+        with armed(plan):
+            (first,) = ex.execute([EchoJob()]).values()
+            # Budget (2) cuts the retry ladder short of retries (5).
+            assert first.status == "failed"
+            assert first.attempts == 2
+            # A later wave refuses to re-attempt the known-bad job.
+            (second,) = ex.execute([EchoJob()]).values()
+        assert second.status == "failed"
+        assert second.attempts == 0
+        assert "failure budget exhausted" in second.error
+        assert events.counters["budget_exhausted"] == 1
+
+    def test_budget_off_by_default(self):
+        assert ExecutorConfig().failure_budget is None
+
+
+class TestBackoff:
+    def test_backoff_delays_are_deterministic_and_bounded(self):
+        ex = make_executor(max_workers=1, backoff_s=0.01, jitter=0.25)
+        start = time.monotonic()
+        ex._backoff(1, salt="k")
+        ex._backoff(2, salt="k")
+        elapsed = time.monotonic() - start
+        # 0.01 + 0.02, each stretched by at most +25% jitter.
+        assert 0.03 <= elapsed < 0.3
+
+    def test_zero_base_skips_sleeping(self):
+        ex = make_executor(max_workers=1, backoff_s=0.0)
+        start = time.monotonic()
+        ex._backoff(5, salt="k")
+        assert time.monotonic() - start < 0.05
+
+
+class TestInjectedStoreCorruption:
+    def test_corrupt_write_heals_and_converges(self, tmp_path):
+        plan = FaultPlan(name="bitrot", seed=1, rates={STORE_CORRUPT: 1.0})
+        store = ResultStore(tmp_path)
+        key = "ab" + "0" * 62
+        with armed(plan):
+            store.put(key, "fake", {"value": 42})
+            # The injected write was truncated: the read strikes it...
+            assert store.get(key) is None
+            assert store.stats.healed == 1
+            # ...and the rewrite lands clean (corruption is once-per-key).
+            store.put(key, "fake", {"value": 42})
+            got = store.get(key)
+        assert got == {"value": 42}
+        assert store.stats.quarantined == 0
+
+    def test_engine_converges_through_injected_corruption(self, tmp_path):
+        """Simulations whose store entries rot still come back identical."""
+        plan = FaultPlan(name="bitrot", seed=1, rates={STORE_CORRUPT: 1.0})
+        with armed(plan):
+            dirty = Engine(store_dir=tmp_path, max_workers=1)
+            first = dirty.simulate_many(APPS, instructions=INSTR, warmup=WARMUP)
+        # Every put was truncated once; a warm read heals and re-runs.
+        rerun = Engine(store_dir=tmp_path, max_workers=1)
+        second = rerun.simulate_many(APPS, instructions=INSTR, warmup=WARMUP)
+        assert second == first
+        assert rerun.store.stats.healed == len(APPS)
+        assert rerun.store.stats.quarantined == 0
+        assert rerun.events.counters["failed"] == 0
+        # The healing re-run wrote clean entries: third time is all cache.
+        warm = Engine(store_dir=tmp_path, max_workers=1)
+        third = warm.simulate_many(APPS, instructions=INSTR, warmup=WARMUP)
+        assert third == first
+        assert warm.events.counters["cached"] == len(APPS)
+
+
+class TestSweepBitIdentity:
+    def test_drm_sweep_under_ci_plan_matches_fault_free(self, tmp_path):
+        """The ISSUE acceptance property, at test scale: an armed sweep
+        converges to results bit-identical to the fault-free run."""
+        kwargs = dict(instructions=INSTR, warmup=WARMUP, mode="dvs")
+        clean = Engine(store_dir=tmp_path / "clean", max_workers=1).drm_sweep(
+            APPS, [370.0, 380.0], **kwargs
+        )
+        with armed(CI_DEFAULT):
+            chaotic_engine = Engine(
+                store_dir=tmp_path / "chaos", max_workers=1, retries=1
+            )
+            chaotic = chaotic_engine.drm_sweep(APPS, [370.0, 380.0], **kwargs)
+        assert chaotic == clean
+        assert chaotic_engine.events.counters["failed"] == 0
+
+    @pytest.mark.slow
+    def test_archdvs_sweep_under_ci_plan_matches_fault_free(self, tmp_path):
+        kwargs = dict(
+            instructions=INSTR, warmup=WARMUP, mode="archdvs", dvs_steps=6
+        )
+        clean = Engine(store_dir=tmp_path / "clean", max_workers=2).drm_sweep(
+            ["twolf"], [370.0], **kwargs
+        )
+        with armed(CI_DEFAULT):
+            chaotic = Engine(
+                store_dir=tmp_path / "chaos", max_workers=2, retries=1
+            ).drm_sweep(["twolf"], [370.0], **kwargs)
+        assert chaotic == clean
+
+
+class TestSweepResume:
+    def run_sweep(self, store_dir, resume=False, **kw):
+        runner = DRMSweepRunner(
+            store_dir,
+            mode="dvs",
+            instructions=INSTR,
+            warmup=WARMUP,
+            max_workers=1,
+            **kw,
+        )
+        return runner, runner.run(APPS, [370.0, 380.0], resume=resume)
+
+    def test_resume_restores_journalled_cells_only(self, tmp_path):
+        import json
+
+        runner, first = self.run_sweep(tmp_path)
+        path = runner.journal_path(APPS, [370.0, 380.0])
+        journal = json.loads(path.read_text())
+        assert len(journal["done"]) == 4
+        # Simulate a kill after two cells: drop the rest from the journal.
+        kept = dict(sorted(journal["done"].items())[:2])
+        path.write_text(json.dumps({"spec": journal["spec"], "done": kept}))
+
+        resumed_runner, second = self.run_sweep(tmp_path, resume=True)
+        assert second == first
+        events = resumed_runner.engine.events
+        # Exactly the journalled cells were restored, and only the two
+        # dropped cells went back through the engine (as store hits).
+        assert events.counters["resumed"] == 2
+        assert events.counters["run"] == 0
+        drm_submitted = sum(
+            1
+            for e in events.events
+            if e.kind == "submitted" and e.stage == "drm"
+        )
+        assert drm_submitted == 2
+
+    def test_resume_with_corrupt_journal_recomputes_everything(self, tmp_path):
+        runner, first = self.run_sweep(tmp_path)
+        path = runner.journal_path(APPS, [370.0, 380.0])
+        path.write_text("{broken")
+        resumed_runner, second = self.run_sweep(tmp_path, resume=True)
+        assert second == first
+        assert resumed_runner.engine.events.counters["resumed"] == 0
+
+    def test_resume_strikes_corrupt_journalled_decision(self, tmp_path):
+        import json
+
+        runner, first = self.run_sweep(tmp_path)
+        path = runner.journal_path(APPS, [370.0, 380.0])
+        journal = json.loads(path.read_text())
+        victim_key = sorted(journal["done"].items())[0][1]
+        entry = runner.engine.store._object_path(victim_key)
+        entry.write_text('{"schema": 1, "oops"')
+
+        resumed_runner, second = self.run_sweep(tmp_path, resume=True)
+        assert second == first
+        events = resumed_runner.engine.events
+        assert events.counters["resumed"] == 3
+        assert resumed_runner.engine.store.stats.healed == 1
+        assert resumed_runner.engine.store.stats.quarantined == 0
+
+    def test_without_resume_journal_is_rebuilt(self, tmp_path):
+        runner, first = self.run_sweep(tmp_path)
+        fresh_runner, second = self.run_sweep(tmp_path, resume=False)
+        assert second == first
+        assert fresh_runner.engine.events.counters["resumed"] == 0

@@ -43,20 +43,44 @@ class TestResultStore:
         leftovers = list((tmp_path / "objects" / "ab").glob("*.tmp"))
         assert leftovers == []
 
-    def test_truncated_entry_quarantined_and_missed(self, tmp_path):
+    def test_truncated_entry_healed_then_quarantined(self, tmp_path):
         store = ResultStore(tmp_path)
         store.put(KEY, "qualification", {"v": 1})
         path = tmp_path / "objects" / "ab" / f"{KEY}.json"
-        path.write_text(path.read_text()[:17])  # truncate mid-JSON
+        good = path.read_text()
+        path.write_text(good[:17])  # truncate mid-JSON
+        # First strike: entry discarded for re-derivation, not quarantined.
         assert store.get(KEY) is None
-        assert store.stats.quarantined == 1
+        assert store.stats.healed == 1
+        assert store.stats.quarantined == 0
         assert not path.exists()
-        assert list(store.quarantine_dir.iterdir())
+        assert not store.quarantine_dir.exists()
         # The store recovers: a fresh put works again.
         store.put(KEY, "qualification", {"v": 3})
         assert store.get(KEY) == {"v": 3}
+        # Second strike before any verified decode absolved the key:
+        # preserved for autopsy this time.
+        path.write_text(good[:17])
+        assert store.get(KEY) is None
+        assert store.stats.quarantined == 1
+        assert list(store.quarantine_dir.iterdir())
 
-    def test_wrong_envelope_key_quarantined(self, tmp_path):
+    def test_verified_read_absolves_first_strike(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY, "qualification", {"v": 1})
+        path = tmp_path / "objects" / "ab" / f"{KEY}.json"
+        good = path.read_text()
+        path.write_text(good[:17])
+        assert store.get(KEY) is None  # strike one: healed
+        store.put(KEY, "qualification", {"v": 2})
+        assert store.get(KEY) == {"v": 2}
+        store.absolve(KEY)  # caller verified the decode
+        path.write_text(good[:17])
+        assert store.get(KEY) is None  # strike record was cleared: heals again
+        assert store.stats.healed == 2
+        assert store.stats.quarantined == 0
+
+    def test_wrong_envelope_key_healed_on_first_strike(self, tmp_path):
         store = ResultStore(tmp_path)
         store.put(KEY, "qualification", {"v": 1})
         src = tmp_path / "objects" / "ab" / f"{KEY}.json"
@@ -64,7 +88,8 @@ class TestResultStore:
         dst.mkdir(parents=True)
         (dst / f"{OTHER}.json").write_text(src.read_text())
         assert store.get(OTHER) is None
-        assert store.stats.quarantined == 1
+        assert store.stats.healed == 1
+        assert store.stats.quarantined == 0
 
     def test_schema_mismatch_is_a_miss_not_a_crash(self, tmp_path):
         old = ResultStore(tmp_path, schema_version=1)
@@ -76,16 +101,24 @@ class TestResultStore:
         new.put(KEY, "qualification", {"v": 2})
         assert new.get(KEY) == {"v": 2}
 
-    def test_invalidate_moves_entry_to_quarantine(self, tmp_path):
+    def test_invalidate_follows_two_strike_policy(self, tmp_path):
         store = ResultStore(tmp_path)
+        assert store.invalidate(KEY) == "missing"
         store.put(KEY, "qualification", {"v": 1})
-        store.invalidate(KEY)
+        assert store.invalidate(KEY) == "healed"
+        assert not store.contains(KEY)
+        assert store.stats.healed == 1
+        store.put(KEY, "qualification", {"v": 2})
+        assert store.invalidate(KEY) == "quarantined"
         assert not store.contains(KEY)
         assert store.stats.quarantined == 1
 
     def test_quarantine_preserves_multiple_corpses(self, tmp_path):
         store = ResultStore(tmp_path)
         for _ in range(3):
+            # Two strikes per corpse: heal first, quarantine second.
+            store.put(KEY, "qualification", {"v": 1})
+            store.invalidate(KEY)
             store.put(KEY, "qualification", {"v": 1})
             store.invalidate(KEY)
         assert len(list(store.quarantine_dir.iterdir())) == 3

@@ -60,7 +60,8 @@ class TestSimulationCache:
         c2 = SimulationCache(instructions=1500, warmup=300, disk_dir=tmp_path)
         run2 = c2.run(TWOLF)  # must re-simulate, not crash
         assert run2 == run1
-        assert c2.store.stats.quarantined == 1
+        assert c2.store.stats.healed == 1
+        assert c2.store.stats.quarantined == 0
         # The re-simulation was persisted again, readable by a third cache.
         c3 = SimulationCache(instructions=1500, warmup=300, disk_dir=tmp_path)
         assert c3.run(TWOLF) == run1

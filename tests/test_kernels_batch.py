@@ -175,7 +175,9 @@ class TestConvergenceMasking:
     def test_nonconvergence_names_the_candidates(self, platform, mpgdec_run):
         grid = DEFAULT_VF_CURVE.grid(5)
         with pytest.raises(ThermalError, match=r"candidate\(s\) \["):
-            platform.evaluate_batch(mpgdec_run, grid, max_iters=1)
+            platform.evaluate_batch(
+                mpgdec_run, grid, max_iters=1, salvage=False
+            )
 
     def test_tolerance_matches_scalar_path(self):
         from repro.harness import platform as platform_module

@@ -1,0 +1,168 @@
+"""Graceful degradation in the batch kernel: the salvage ladder.
+
+Covers the three rungs — clean single-row re-run (bit-identical to the
+fault-free batch), extended-budget rescue, NaN masking with a
+:class:`~repro.errors.DegradedResultWarning` — plus the non-finite
+input validation that keeps injected (or upstream) NaNs from silently
+propagating into powers and FIT sums.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.config.dvs import DEFAULT_VF_CURVE
+from repro.errors import DegradedResultWarning, InputValidationError, ThermalError
+from repro.resilience import KERNEL_POISON, FaultPlan, armed, install
+
+POISON_ALL = FaultPlan(name="poison", seed=5, rates={KERNEL_POISON: 1.0})
+
+
+@pytest.fixture(autouse=True)
+def disarm():
+    """No fault plan leaks into (or out of) any test in this module."""
+    install(None)
+    yield
+    install(None)
+
+
+def assert_batches_equal(a, b, exact=True):
+    fields = (
+        "temperatures_k",
+        "sink_temperature_k",
+        "dynamic_w",
+        "leakage_w",
+        "activity",
+        "ips",
+        "avg_power_w",
+    )
+    for name in fields:
+        x, y = getattr(a, name), getattr(b, name)
+        if exact:
+            assert np.array_equal(x, y), name
+        else:
+            np.testing.assert_allclose(x, y, rtol=1e-12, err_msg=name)
+
+
+class TestPoisonSalvage:
+    def test_poisoned_row_salvaged_bit_identical(self, platform, mpgdec_run):
+        grid = DEFAULT_VF_CURVE.grid(6)
+        clean = platform.evaluate_batch(mpgdec_run, grid)
+        with armed(POISON_ALL):
+            poisoned = platform.evaluate_batch(mpgdec_run, grid)
+        report = poisoned.salvage
+        assert report is not None and report.degraded
+        assert len(report.poisoned) == 1
+        assert report.salvaged == report.poisoned
+        assert report.masked == ()
+        # The clean single-row re-run reproduces the fault-free batch
+        # exactly — per-row convergence masking makes rows independent.
+        assert_batches_equal(clean, poisoned, exact=True)
+        assert clean.salvage is None
+
+    def test_poison_decision_is_deterministic(self, platform, mpgdec_run):
+        grid = DEFAULT_VF_CURVE.grid(6)
+        rows = []
+        for _ in range(2):
+            with armed(POISON_ALL):
+                batch = platform.evaluate_batch(mpgdec_run, grid)
+            rows.append(batch.salvage.poisoned)
+        assert rows[0] == rows[1]
+
+    def test_salvage_false_skips_injection_repair(self, platform, mpgdec_run):
+        # The historical strict path: no report, by construction.
+        batch = platform.evaluate_batch(
+            mpgdec_run, DEFAULT_VF_CURVE.grid(4), salvage=False
+        )
+        assert batch.salvage is None
+
+
+class TestUnconvergedRescue:
+    def test_starved_rows_rescued_with_extended_budget(
+        self, platform, mpgdec_run
+    ):
+        grid = DEFAULT_VF_CURVE.grid(5)
+        clean = platform.evaluate_batch(mpgdec_run, grid)
+        starved = platform.evaluate_batch(mpgdec_run, grid, max_iters=1)
+        report = starved.salvage
+        assert report is not None
+        assert report.unconverged  # max_iters=1 cannot converge
+        assert set(report.rescued) | set(report.salvaged) == set(
+            report.unconverged
+        )
+        assert report.masked == ()
+        # The rescue re-runs with the full default budget, so the
+        # repaired rows match the clean batch bit-for-bit.
+        assert_batches_equal(clean, starved, exact=True)
+
+    def test_finite_outputs_after_rescue(self, platform, twolf_run):
+        batch = platform.evaluate_batch(
+            twolf_run, DEFAULT_VF_CURVE.grid(3), max_iters=1
+        )
+        assert np.isfinite(batch.temperatures_k).all()
+        assert np.isfinite(batch.avg_power_w).all()
+
+
+class TestMasking:
+    def test_unsalvageable_rows_masked_with_warning(
+        self, platform, mpgdec_run, monkeypatch
+    ):
+        kernel = platform.kernel
+        original = kernel._fixed_point.__func__
+
+        def stubborn(self, dynamic_w, weights, powered_fraction, v_ratio,
+                     max_iters, raise_on_divergence=True):
+            if raise_on_divergence:
+                raise ThermalError(
+                    "leakage/temperature fixed point did not converge for "
+                    "candidate(s) [0]"
+                )
+            temps, sink, leak, iters, _ = original(
+                self, dynamic_w, weights, powered_fraction, v_ratio,
+                max_iters, raise_on_divergence=False,
+            )
+            return temps, sink, leak, iters, np.arange(dynamic_w.shape[0])
+
+        monkeypatch.setattr(
+            type(kernel), "_fixed_point", stubborn
+        )
+        grid = DEFAULT_VF_CURVE.grid(3)
+        with pytest.warns(DegradedResultWarning, match=f"masked {len(grid)}"):
+            batch = platform.evaluate_batch(mpgdec_run, grid)
+        report = batch.salvage
+        assert report.masked == tuple(range(len(grid)))
+        assert report.salvaged == () and report.rescued == ()
+        assert np.isnan(batch.temperatures_k).all()
+        assert np.isnan(batch.sink_temperature_k).all()
+
+
+class TestInputValidation:
+    def test_nan_activity_raises_named_error(self, platform, mpgdec_run):
+        run = copy.deepcopy(mpgdec_run)
+        victim = run.phases[0]
+        victim.stats.activity["intreg"] = float("nan")
+        with pytest.raises(InputValidationError) as excinfo:
+            platform.evaluate_batch(run, [DEFAULT_VF_CURVE.nominal])
+        context = excinfo.value.context
+        assert context["structure"] == "intreg"
+        assert context["phase"] == victim.phase.name
+        assert context["profile"] == run.profile.name
+
+    def test_inf_activity_also_caught(self, platform, twolf_run):
+        run = copy.deepcopy(twolf_run)
+        run.phases[0].stats.activity["fpu"] = float("inf")
+        with pytest.raises(InputValidationError):
+            platform.evaluate_batch(run, [DEFAULT_VF_CURVE.nominal])
+
+    def test_validation_precedes_salvage(self, platform, mpgdec_run):
+        # Bad *input* is a caller bug, not a batch fault: it raises even
+        # with salvage enabled.
+        run = copy.deepcopy(mpgdec_run)
+        run.phases[0].stats.activity["intreg"] = float("nan")
+        with pytest.raises(InputValidationError):
+            platform.evaluate_batch(
+                run, [DEFAULT_VF_CURVE.nominal], salvage=True
+            )
