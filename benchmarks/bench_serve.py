@@ -1,0 +1,193 @@
+"""The decision-service benchmark: batched serving vs sequential calls.
+
+Drives the in-process :class:`repro.serve.DecisionService` with the
+seeded load generator at concurrency 64, once per traffic mix
+(static / dynamic / oscillating / bursty), recording QPS and p50/p99
+latency for each.  A second, deliberately naive service — batching off,
+decision cache off, evaluation memo off, one worker — replays a slice
+of the static trace one request at a time as the sequential baseline.
+
+The serving stack's throughput edge comes from exactly the machinery
+the ISSUE names: micro-batching amortises executor hops, batch-level
+dedupe collapses concurrent duplicates, the two-tier decision cache
+serves the hot set from memory, and the grid-evaluation memo shares
+platform sweeps between requests that differ only in their target.
+
+Results land in ``BENCH_serve.json`` at the repository root.  Set
+``REPRO_BENCH_SMOKE=1`` for the reduced CI grid; the 5x floor is only
+asserted on the full run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+
+from repro.serve import (
+    DEFAULT_PARAMETERS,
+    DecisionService,
+    LoadHarness,
+    RequestTraceGenerator,
+    ServiceConfig,
+    TrafficMix,
+)
+
+from _bench_utils import run_once
+from conftest import BENCH_DIR
+
+RESULT_PATH = BENCH_DIR.parent / "BENCH_serve.json"
+
+#: Acceptance floor: batched QPS over sequential QPS on the static mix.
+MIN_SPEEDUP = 5.0
+
+#: Reduced oracle budgets — serving latency is the measurement target,
+#: so the simulation/search cost is scaled to keep the bench in seconds.
+BENCH_INSTRUCTIONS = 4_000
+BENCH_WARMUP = 1_000
+TRACE_APPS = ("MPGdec", "gzip", "art")
+TRACE_SEED = 42
+
+
+def _smoke() -> bool:
+    return bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+
+def _scale():
+    """(requests per mix, concurrency, sequential slice) for this mode."""
+    if _smoke():
+        return 48, 16, 12
+    return 256, 64, 48
+
+
+def _service_config(**overrides) -> ServiceConfig:
+    base = dict(
+        dvs_steps=5,
+        intra_grid_steps=3,
+        instructions=BENCH_INSTRUCTIONS,
+        warmup=BENCH_WARMUP,
+        sim_seed=7,
+        qual_apps=("gzip", "art"),
+        workers=4,
+    )
+    base.update(overrides)
+    return ServiceConfig(**base)
+
+
+def _trace(mix: TrafficMix, n_requests: int):
+    parameters = dict(DEFAULT_PARAMETERS)
+    parameters["apps"] = TRACE_APPS
+    return RequestTraceGenerator(
+        mix=mix, parameters=parameters, seed=TRACE_SEED
+    ).generate(n_requests)
+
+
+async def _drive(service, harness, traces):
+    results = {}
+    for mix, trace in traces.items():
+        results[mix] = await harness.run_inprocess(
+            service, trace, mix=mix.value
+        )
+    await service.close()
+    return results
+
+
+async def _drive_sequential(service, trace):
+    harness = LoadHarness(concurrency=1)
+    start = time.perf_counter()
+    result = await harness.run_inprocess(service, trace, mix="static")
+    wall_s = time.perf_counter() - start
+    await service.close()
+    return result, wall_s
+
+
+def measure_serve():
+    n_requests, concurrency, n_sequential = _scale()
+    traces = {mix: _trace(mix, n_requests) for mix in TrafficMix}
+
+    batched = DecisionService(
+        _service_config(max_batch=concurrency, max_delay_s=0.005)
+    )
+    batched.prewarm(TRACE_APPS)
+    mix_results = asyncio.run(
+        _drive(batched, LoadHarness(concurrency=concurrency), traces)
+    )
+
+    sequential = DecisionService(
+        _service_config(
+            batching=False, cache_capacity=0, eval_memo_capacity=0, workers=1
+        )
+    )
+    sequential.prewarm(TRACE_APPS)
+    sequential_result, _ = asyncio.run(
+        _drive_sequential(
+            sequential, traces[TrafficMix.STATIC][:n_sequential]
+        )
+    )
+
+    static = mix_results[TrafficMix.STATIC]
+    for result in mix_results.values():
+        assert result.errors == 0
+    assert sequential_result.errors == 0
+
+    return {
+        "benchmark": "serve",
+        "mode": "smoke" if _smoke() else "full",
+        "concurrency": concurrency,
+        "requests_per_mix": n_requests,
+        "apps": list(TRACE_APPS),
+        "trace_seed": TRACE_SEED,
+        "mixes": {
+            mix.value: result.as_dict()
+            for mix, result in mix_results.items()
+        },
+        "sequential": {
+            "requests": sequential_result.requests,
+            "wall_s": sequential_result.wall_s,
+            "qps": sequential_result.qps,
+            "p50_ms": sequential_result.p50_ms,
+            "p99_ms": sequential_result.p99_ms,
+        },
+        "speedup_vs_sequential": static.qps / sequential_result.qps,
+        "min_speedup": MIN_SPEEDUP,
+    }
+
+
+def test_serve_throughput(benchmark, emit):
+    result = run_once(benchmark, measure_serve)
+    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    lines = [
+        "Decision service ({mode}), concurrency {concurrency}, "
+        "{requests_per_mix} requests/mix:".format(**result)
+    ]
+    for mix, summary in result["mixes"].items():
+        lines.append(
+            "  {mix:<12} {qps:7.1f} qps  p50 {p50:7.2f} ms  "
+            "p99 {p99:7.2f} ms  tiers {tiers}".format(
+                mix=mix,
+                qps=summary["qps"],
+                p50=summary["p50_ms"],
+                p99=summary["p99_ms"],
+                tiers=summary["tiers"],
+            )
+        )
+    lines.append(
+        "  sequential   {qps:7.1f} qps  p50 {p50:7.2f} ms  "
+        "(batching/cache/memo off)".format(
+            qps=result["sequential"]["qps"],
+            p50=result["sequential"]["p50_ms"],
+        )
+    )
+    lines.append(
+        "  speedup (static vs sequential): "
+        "{speedup_vs_sequential:.1f}x".format(**result)
+    )
+    emit("serve", "\n".join(lines))
+
+    for summary in result["mixes"].values():
+        assert summary["qps"] > 0.0
+        assert summary["p99_ms"] >= summary["p50_ms"]
+    assert result["speedup_vs_sequential"] > 1.0
+    if not _smoke():
+        assert result["speedup_vs_sequential"] >= MIN_SPEEDUP

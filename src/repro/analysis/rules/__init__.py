@@ -1,6 +1,7 @@
 """Bundled rules; importing this package registers them all."""
 
 from repro.analysis.rules import (  # noqa: F401
+    async_blocking,
     broad_except,
     constants_audit,
     determinism,

@@ -19,6 +19,11 @@ user asks of this reproduction:
 - ``map``               ASCII thermal map of an application on the die
 - ``analyze``           physics-aware static analysis (units, determinism,
                         pool safety, float equality, constants audit)
+- ``serve``             long-running HTTP decision service (micro-batched
+                        DRM/DTM/joint/intra answers with hot-decision
+                        caching; ``--fault-plan`` arms network chaos)
+- ``loadgen``           seeded traffic replay against a running service,
+                        reporting p50/p99 latency and sustained QPS
 
 Every command accepts ``--instructions/--warmup/--seed`` to trade speed
 for fidelity, and ``--dvs-steps`` for grid resolution.
@@ -316,6 +321,70 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import DecisionService, HttpServer, ServiceConfig
+
+    if args.fault_plan:
+        from repro.resilience import FaultPlan, install
+
+        install(FaultPlan.resolve(args.fault_plan))
+    config = ServiceConfig(
+        dvs_steps=args.dvs_steps,
+        intra_grid_steps=args.intra_grid_steps,
+        instructions=args.instructions,
+        warmup=args.warmup,
+        sim_seed=args.seed,
+        max_batch=args.max_batch,
+        max_delay_s=args.max_delay_ms / 1e3,
+        batching=not args.no_batching,
+        cache_capacity=args.cache_capacity,
+        store_dir=args.cache_dir,
+        workers=args.workers,
+    )
+    service = DecisionService(config)
+    if args.prewarm:
+        print("prewarming simulations ...", file=sys.stderr)
+        service.prewarm()
+    server = HttpServer(service, host=args.host, port=args.port)
+
+    async def _run() -> None:
+        await server.start()
+        print(f"repro serve listening on http://{args.host}:{server.port}",
+              file=sys.stderr)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    # repro: ignore[RPR007] top-level CLI loop: Ctrl-C is the documented
+    # way to stop the server; asyncio.run has already unwound and
+    # cancelled every task by the time this handler runs.
+    except KeyboardInterrupt:
+        print("\nrepro serve: shutting down", file=sys.stderr)
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.serve import LoadHarness, RequestTraceGenerator, TrafficMix
+
+    generator = RequestTraceGenerator(
+        mix=TrafficMix(args.mix),
+        parameters={"apps": tuple(a.strip() for a in args.apps.split(","))},
+        seed=args.seed,
+    )
+    trace = generator.generate(args.requests)
+    harness = LoadHarness(concurrency=args.concurrency)
+    result = asyncio.run(
+        harness.run_http(args.host, args.port, trace, mix=args.mix)
+    )
+    print(json.dumps(result.as_dict(), indent=2))
+    return 0 if result.errors == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -406,6 +475,53 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the structured event log to this file")
     _add_common(p)
     p.set_defaults(func=_cmd_engine)
+
+    p = sub.add_parser(
+        "serve",
+        help="long-running HTTP decision service (asyncio, micro-batched)",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument("--port", type=int, default=8787,
+                   help="bind port (0 = ephemeral)")
+    p.add_argument("--workers", type=int, default=4,
+                   help="oracle worker threads (default 4)")
+    p.add_argument("--max-batch", type=int, default=64,
+                   help="micro-batch size trigger (default 64)")
+    p.add_argument("--max-delay-ms", type=float, default=5.0,
+                   help="micro-batch deadline trigger in ms (default 5)")
+    p.add_argument("--no-batching", action="store_true",
+                   help="disable micro-batching (one pool crossing per "
+                        "request; the benchmark's sequential baseline)")
+    p.add_argument("--cache-capacity", type=int, default=4096,
+                   help="in-memory decision LRU size (0 disables)")
+    p.add_argument("--intra-grid-steps", type=int, default=6,
+                   help="per-phase DVS candidates for intra decisions")
+    p.add_argument("--prewarm", action="store_true",
+                   help="simulate the whole suite before accepting traffic")
+    p.add_argument("--fault-plan", default=None,
+                   help="arm a deterministic fault plan (e.g. 'ci-default') "
+                        "including the serve.drop_connection / "
+                        "serve.slow_response network sites")
+    _add_common(p)
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="seeded traffic replay against a running decision service",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="service address")
+    p.add_argument("--port", type=int, default=8787, help="service port")
+    p.add_argument("--mix", choices=["static", "dynamic", "oscillating",
+                                     "bursty"],
+                   default="static", help="traffic shape (default static)")
+    p.add_argument("--apps", default="MPGdec,gzip,art",
+                   help="comma-separated question universe")
+    p.add_argument("--requests", type=int, default=200,
+                   help="requests to replay (default 200)")
+    p.add_argument("--concurrency", type=int, default=64,
+                   help="in-flight requests (default 64)")
+    p.add_argument("--seed", type=int, default=42, help="trace seed")
+    p.set_defaults(func=_cmd_loadgen)
 
     return parser
 

@@ -417,6 +417,75 @@ def decode_dtm_decision(payload: dict):
     )
 
 
+def encode_joint_decision(decision) -> dict:
+    return {
+        "profile_name": decision.profile_name,
+        "t_qual_k": decision.t_qual_k,
+        "t_limit_k": decision.t_limit_k,
+        "op": {
+            "frequency_hz": decision.op.frequency_hz,
+            "voltage_v": decision.op.voltage_v,
+        },
+        "performance": float(decision.performance),
+        "fit": float(decision.fit),
+        "peak_temperature_k": float(decision.peak_temperature_k),
+        "meets_fit": bool(decision.meets_fit),
+        "meets_thermal": bool(decision.meets_thermal),
+        "meets_target": bool(decision.meets_target),
+    }
+
+
+def decode_joint_decision(payload: dict):
+    from repro.config.dvs import OperatingPoint
+    from repro.core.combined import JointDecision
+
+    return JointDecision(
+        profile_name=payload["profile_name"],
+        t_qual_k=payload["t_qual_k"],
+        t_limit_k=payload["t_limit_k"],
+        op=OperatingPoint(**payload["op"]),
+        performance=payload["performance"],
+        fit=payload["fit"],
+        peak_temperature_k=payload["peak_temperature_k"],
+        meets_fit=payload["meets_fit"],
+        meets_thermal=payload["meets_thermal"],
+        meets_target=payload["meets_target"],
+    )
+
+
+def encode_intra_decision(decision) -> dict:
+    return {
+        "profile_name": decision.profile_name,
+        "t_qual_k": decision.t_qual_k,
+        "schedule": [
+            {"frequency_hz": op.frequency_hz, "voltage_v": op.voltage_v}
+            for op in decision.schedule
+        ],
+        "strategy": decision.strategy,
+        "performance": float(decision.performance),
+        "fit": float(decision.fit),
+        "meets_target": bool(decision.meets_target),
+    }
+
+
+def decode_intra_decision(payload: dict):
+    from repro.config.dvs import OperatingPoint
+    from repro.core.intra import IntraDecision
+
+    schedule = tuple(OperatingPoint(**op) for op in payload["schedule"])
+    if not schedule:
+        raise ValueError("intra-decision payload has an empty schedule")
+    return IntraDecision(
+        profile_name=payload["profile_name"],
+        t_qual_k=payload["t_qual_k"],
+        schedule=schedule,
+        strategy=payload["strategy"],
+        performance=payload["performance"],
+        fit=payload["fit"],
+        meets_target=payload["meets_target"],
+    )
+
+
 def _identity_encode(value: dict) -> dict:
     return value
 
@@ -435,6 +504,8 @@ CODECS = {
     "simulate": (encode_workload_run, decode_workload_run),
     "drm": (encode_drm_decision, decode_drm_decision),
     "dtm": (encode_dtm_decision, decode_dtm_decision),
+    "joint": (encode_joint_decision, decode_joint_decision),
+    "intra": (encode_intra_decision, decode_intra_decision),
     "qualification": (_identity_encode, _identity_decode),
     "analyze_file": (_identity_encode, _identity_decode),
 }

@@ -101,6 +101,15 @@ class ResilienceError(ReproError):
     """The fault-injection layer was misconfigured (bad plan, bad rate)."""
 
 
+class ServeError(ReproError):
+    """The decision service was misused or misconfigured.
+
+    Raised for malformed decide requests (unknown kind, missing knobs,
+    unknown application), bad service configuration, and protocol
+    violations; the HTTP layer maps it to a 400 response.
+    """
+
+
 class InjectedFault(ReproError):
     """A deliberately injected fault (never raised in production paths).
 

@@ -18,6 +18,8 @@ workload executes at an arbitrary DVS operating point:
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import asdict, dataclass
 from typing import Sequence
 
@@ -132,6 +134,11 @@ class Platform:
         self.network = ThermalRCNetwork(self.floorplan, thermal_params)
         self.thermal = TwoPassThermalModel(self.network)
         self._kernel: BatchKernel | None = None
+        self._eval_memo: OrderedDict | None = None
+        self._eval_memo_capacity = 0
+        self._eval_memo_lock = threading.Lock()
+        self._eval_memo_hits = 0
+        self._eval_memo_misses = 0
 
     def fingerprint(self) -> dict:
         """Canonical JSON-ready description of the platform's physics.
@@ -164,6 +171,48 @@ class Platform:
                 self.power_model, self.network, self.thermal.solver
             )
         return self._kernel
+
+    # ---- evaluation memo ----------------------------------------------
+
+    def enable_evaluation_memo(self, capacity: int = 256) -> None:
+        """Memoise :meth:`evaluate_batch` results in a bounded LRU.
+
+        Off by default (sweeps stream millions of one-shot grids through
+        the kernel; caching them would only burn memory).  The decision
+        service turns it on so concurrent requests that differ only in
+        their reliability knob (e.g. two DRM queries for the same
+        application at different ``t_qual_k``) share one grid
+        evaluation: the candidate tensors, fixed point, and thermal
+        solve run once, and each request applies its own RAMP model to
+        the shared :class:`~repro.kernels.batch.BatchEvaluation`.
+
+        Entries are keyed on ``(id(run), schedules, max_iters,
+        salvage)``.  Keying on ``id`` is sound because every cached
+        evaluation holds a strong reference to its run (``batch.run``),
+        so the id cannot be recycled while the entry lives.
+        """
+        if capacity < 1:
+            raise ValueError("evaluation memo capacity must be >= 1")
+        with self._eval_memo_lock:
+            self._eval_memo = OrderedDict()
+            self._eval_memo_capacity = capacity
+
+    def disable_evaluation_memo(self) -> None:
+        """Drop the memo and return to uncached evaluation."""
+        with self._eval_memo_lock:
+            self._eval_memo = None
+            self._eval_memo_capacity = 0
+
+    def evaluation_memo_stats(self) -> dict[str, int]:
+        """Hit/miss/size counters for the memo (zeros when disabled)."""
+        with self._eval_memo_lock:
+            return {
+                "enabled": int(self._eval_memo is not None),
+                "size": len(self._eval_memo) if self._eval_memo is not None else 0,
+                "capacity": self._eval_memo_capacity,
+                "hits": self._eval_memo_hits,
+                "misses": self._eval_memo_misses,
+            }
 
     def evaluate_batch(
         self,
@@ -204,7 +253,25 @@ class Platform:
                 fixed point fails to converge — the message names the
                 offending rows.
         """
-        return self.kernel.evaluate(run, candidates, max_iters, salvage=salvage)
+        if self._eval_memo is None:
+            return self.kernel.evaluate(run, candidates, max_iters, salvage=salvage)
+        schedules = self.kernel._normalise(run, candidates)
+        key = (id(run), schedules, max_iters, salvage)
+        with self._eval_memo_lock:
+            if self._eval_memo is not None:
+                hit = self._eval_memo.get(key)
+                if hit is not None:
+                    self._eval_memo.move_to_end(key)
+                    self._eval_memo_hits += 1
+                    return hit
+                self._eval_memo_misses += 1
+        batch = self.kernel.evaluate(run, schedules, max_iters, salvage=salvage)
+        with self._eval_memo_lock:
+            if self._eval_memo is not None:
+                self._eval_memo[key] = batch
+                while len(self._eval_memo) > self._eval_memo_capacity:
+                    self._eval_memo.popitem(last=False)
+        return batch
 
     def evaluate(self, run: WorkloadRun, op: OperatingPoint) -> PlatformEvaluation:
         """Evaluate a run at one operating point.

@@ -20,6 +20,8 @@ from repro.kernels.batch import (
     MAX_FIXED_POINT_ITERS,
     STRUCTURE_INDEX,
     TEMP_TOLERANCE_K,
+    grid_digest,
+    grid_tensors,
 )
 
 __all__ = [
@@ -28,4 +30,6 @@ __all__ = [
     "MAX_FIXED_POINT_ITERS",
     "STRUCTURE_INDEX",
     "TEMP_TOLERANCE_K",
+    "grid_digest",
+    "grid_tensors",
 ]

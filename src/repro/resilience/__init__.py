@@ -26,6 +26,8 @@ from repro.resilience.faults import (
     PLAN_ENV,
     SENSOR_NOISE,
     SENSOR_STUCK,
+    SERVE_DROP,
+    SERVE_SLOW,
     SITES,
     STORE_CORRUPT,
     WORKER_CRASH,
@@ -49,6 +51,8 @@ __all__ = [
     "PLAN_ENV",
     "SENSOR_NOISE",
     "SENSOR_STUCK",
+    "SERVE_DROP",
+    "SERVE_SLOW",
     "SITES",
     "STORE_CORRUPT",
     "WORKER_CRASH",

@@ -36,6 +36,12 @@ site                      effect
                           NaN before the thermal fixed point
 ``sensor.noisy_temperature``  a temperature sensor reads with Gaussian noise
 ``sensor.stuck_temperature``  a temperature sensor reads a constant value
+``serve.drop_connection`` the decision service closes a client connection
+                          before writing the response (at most once per
+                          request key, so a retry succeeds)
+``serve.slow_response``   the decision service delays a response by
+                          ``hang_s`` (asynchronously — the serving loop
+                          keeps processing other requests)
 ========================  ====================================================
 
 Fault decisions for the executor sites are, by default, **first-attempt
@@ -70,6 +76,8 @@ STORE_CORRUPT = "store.corrupt_payload"
 KERNEL_POISON = "kernel.poison_row"
 SENSOR_NOISE = "sensor.noisy_temperature"
 SENSOR_STUCK = "sensor.stuck_temperature"
+SERVE_DROP = "serve.drop_connection"
+SERVE_SLOW = "serve.slow_response"
 
 #: Every recognised injection site.
 SITES = frozenset(
@@ -80,6 +88,8 @@ SITES = frozenset(
         KERNEL_POISON,
         SENSOR_NOISE,
         SENSOR_STUCK,
+        SERVE_DROP,
+        SERVE_SLOW,
     }
 )
 
@@ -175,6 +185,8 @@ CI_DEFAULT = FaultPlan(
         WORKER_HANG: 0.05,
         STORE_CORRUPT: 0.05,
         KERNEL_POISON: 1.0,
+        SERVE_DROP: 0.08,
+        SERVE_SLOW: 0.05,
     },
     hang_s=0.05,
 )
@@ -190,6 +202,8 @@ AGGRESSIVE = FaultPlan(
         KERNEL_POISON: 1.0,
         SENSOR_NOISE: 0.5,
         SENSOR_STUCK: 0.1,
+        SERVE_DROP: 0.3,
+        SERVE_SLOW: 0.2,
     },
     hang_s=0.05,
 )
@@ -327,6 +341,32 @@ class FaultInjector:
         row = min(row, n_candidates - 1)
         self._record(KERNEL_POISON, grid_key, row=row, n_candidates=n_candidates)
         return row
+
+    # ---- serve sites ---------------------------------------------------
+
+    def drop_connection(self, request_key: str) -> bool:
+        """Whether the service should drop this request's connection.
+
+        Fires at most once per request key per process, so a client that
+        retries the identical request always gets through — the property
+        that lets the chaos load tests assert bit-identical responses.
+        """
+        if not self._once(SERVE_DROP, request_key):
+            return False
+        self._record(SERVE_DROP, request_key)
+        return True
+
+    def slow_response(self, request_key: str) -> float | None:
+        """Delay (seconds) to add before this response, or ``None``.
+
+        At most once per request key per process.  The caller sleeps
+        *asynchronously* (``await asyncio.sleep``) so an injected slow
+        response degrades one request's latency, never the event loop.
+        """
+        if not self._once(SERVE_SLOW, request_key):
+            return None
+        self._record(SERVE_SLOW, request_key, delay_s=self.plan.hang_s)
+        return self.plan.hang_s
 
     # ---- sensor sites --------------------------------------------------
 

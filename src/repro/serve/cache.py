@@ -1,0 +1,141 @@
+"""Two-tier hot-decision cache: in-process LRU over the engine store.
+
+The serving hot path is dominated by repeat questions — a fleet of
+millions of chips asks a small set of distinct ``(profile, knob, mode)``
+questions — so decisions are cached at two tiers:
+
+- **memory** — a bounded LRU of live decision dataclasses, hit from the
+  event loop without touching the disk (or even the codec layer);
+- **store** — the engine's content-addressed, schema-versioned
+  :class:`~repro.engine.store.ResultStore`, shared with the simulation
+  cache and the job engine, so decisions survive restarts, are reusable
+  across processes, and inherit the store's durability ladder (atomic
+  writes, two-strike self-heal, quarantine).  Store reads decode all the
+  way back into the frozen decision dataclasses; an undecodable entry is
+  struck (:meth:`~repro.engine.store.ResultStore.invalidate`) and reads
+  as a miss, while a verified decode absolves a prior strike.
+
+Corruption injected at the store's ``store.corrupt_payload`` fault site
+therefore exercises the same heal path the simulation cache uses — a
+damaged decision cache degrades to recomputation, never to an exception.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from collections import OrderedDict
+
+from repro.engine.store import DECODE_ERRORS, ResultStore
+from repro.serve.protocol import decode_decision, encode_decision
+
+
+@dataclasses.dataclass
+class DecisionCacheStats:
+    """Counters for one :class:`DecisionCache` instance."""
+
+    memory_hits: int = 0
+    store_hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    store_invalidated: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.store_hits
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> dict:
+        payload = dataclasses.asdict(self)
+        payload["hits"] = self.hits
+        payload["hit_rate"] = self.hit_rate
+        return payload
+
+
+class DecisionCache:
+    """Bounded LRU of decisions with an optional persistent second tier.
+
+    Args:
+        capacity: maximum number of in-memory decisions.
+        store: optional engine result store for the persistent tier.
+    """
+
+    def __init__(self, capacity: int = 4096, store: ResultStore | None = None):
+        if capacity < 1:
+            raise ValueError("decision cache capacity must be >= 1")
+        self.capacity = capacity
+        self.store = store
+        self.stats = DecisionCacheStats()
+        self._lock = threading.Lock()
+        self._memory: OrderedDict[str, tuple[str, object]] = OrderedDict()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._memory)
+
+    # ---- lookups -------------------------------------------------------
+
+    def get_memory(self, key: str):
+        """Memory-tier-only lookup (safe to call from the event loop —
+        pure dict work, no file I/O).  Returns the decision or ``None``;
+        a miss here is *not* counted (the caller goes on to
+        :meth:`get`, which does the full two-tier accounting)."""
+        with self._lock:
+            entry = self._memory.get(key)
+            if entry is None:
+                return None
+            self._memory.move_to_end(key)
+            self.stats.memory_hits += 1
+            return entry[1]
+
+    def get(self, key: str, kind: str):
+        """Two-tier lookup; promotes store hits into the memory tier.
+
+        Call from a worker thread — the store tier reads from disk.
+        """
+        hit = self.get_memory(key)
+        if hit is not None:
+            return hit
+        if self.store is not None:
+            payload = self.store.get(key)
+            if payload is not None:
+                try:
+                    decision = decode_decision(kind, payload)
+                except DECODE_ERRORS:
+                    self.store.invalidate(key)
+                    with self._lock:
+                        self.stats.store_invalidated += 1
+                else:
+                    self.store.absolve(key)
+                    self._insert(key, kind, decision)
+                    with self._lock:
+                        self.stats.store_hits += 1
+                    return decision
+        with self._lock:
+            self.stats.misses += 1
+        return None
+
+    # ---- writes --------------------------------------------------------
+
+    def put(self, key: str, kind: str, decision) -> None:
+        """Insert into both tiers (memory always; store when present)."""
+        self._insert(key, kind, decision)
+        if self.store is not None:
+            self.store.put(key, kind, encode_decision(kind, decision))
+        with self._lock:
+            self.stats.puts += 1
+
+    def _insert(self, key: str, kind: str, decision) -> None:
+        with self._lock:
+            self._memory[key] = (kind, decision)
+            self._memory.move_to_end(key)
+            while len(self._memory) > self.capacity:
+                self._memory.popitem(last=False)

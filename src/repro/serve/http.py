@@ -1,0 +1,248 @@
+"""Stdlib-only asyncio HTTP/1.1 front end for the decision service.
+
+No web framework — the repo adds no runtime dependencies — so this is a
+deliberately small HTTP server over ``asyncio.start_server``: request
+line + headers + ``Content-Length`` body in, JSON out, keep-alive
+honoured.  Four routes:
+
+=============================  ========================================
+``POST /v1/decide``            answer one :class:`DecideRequest`
+``GET /v1/chip/{id}``          one fleet member's recorded state
+``GET /healthz``               liveness (200 ok / 503 after shutdown)
+``GET /statz``                 every layer's counters
+=============================  ========================================
+
+Error mapping: a :class:`~repro.errors.ServeError` (malformed request)
+is a 400; any other :class:`~repro.errors.ReproError` (the oracle could
+not answer, e.g. an empty adaptation space) is a 422; both carry the
+structured :func:`~repro.errors.error_payload` body.
+
+When a fault plan is armed (:mod:`repro.resilience`), the transport
+exercises its two network fault sites per decide request, keyed by the
+request's *cache key* so a client retry of the same question replays the
+same decision point: ``serve.drop_connection`` closes the socket before
+any bytes are written, and ``serve.slow_response`` delays the response
+by the plan's hang duration (``asyncio.sleep`` — the event loop is never
+blocked).  Both fire at most once per key, so retries converge.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+from repro.errors import ReproError, ServeError, error_payload
+from repro.resilience import active_injector
+from repro.serve.protocol import DecideRequest, encode_decision
+from repro.serve.service import DecisionService
+
+#: Request-line / header-line length cap (a malformed peer cannot make
+#: ``readline`` buffer unboundedly).
+MAX_LINE_BYTES = 8192
+
+#: Body size cap for decide requests.
+MAX_BODY_BYTES = 1 << 20
+
+#: Header count cap.
+MAX_HEADERS = 64
+
+
+class HttpServer:
+    """One listening socket in front of a :class:`DecisionService`.
+
+    Args:
+        service: the decision service to expose.
+        host: bind address (loopback by default).
+        port: bind port (0 = ephemeral; read :attr:`port` after
+            :meth:`start`).
+    """
+
+    def __init__(
+        self,
+        service: DecisionService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[asyncio.Task] = set()
+        self.connections_dropped = 0
+        self.responses_slowed = 0
+
+    async def start(self) -> None:
+        """Bind and start accepting; resolves :attr:`port`."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting, close open connections, drain the service."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in tuple(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*tuple(self._connections), return_exceptions=True)
+        await self.service.close()
+
+    # ---- connection handling ------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        try:
+            while True:
+                parsed = await self._read_request(reader)
+                if parsed is None:
+                    break
+                method, path, headers, body = parsed
+                status, payload, fault_key = await self._route(method, path, body)
+                if not await self._respond_with_faults(
+                    writer, status, payload, fault_key
+                ):
+                    return  # connection deliberately dropped
+                if headers.get("connection", "").lower() == "close":
+                    break
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            pass
+        except asyncio.CancelledError:
+            # Server shutdown with the connection idle between requests:
+            # close the socket quietly, don't re-raise into the streams
+            # machinery.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        """Parse one request; ``None`` at clean EOF.
+
+        Raises:
+            asyncio.IncompleteReadError: on a truncated request.
+        """
+        line = await reader.readline()
+        if not line:
+            return None
+        if len(line) > MAX_LINE_BYTES:
+            raise asyncio.IncompleteReadError(line, None)
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            raise asyncio.IncompleteReadError(line, None)
+        method, path, _version = parts
+        headers: dict[str, str] = {}
+        while True:
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            if len(header) > MAX_LINE_BYTES or len(headers) >= MAX_HEADERS:
+                raise asyncio.IncompleteReadError(header, None)
+            name, _, value = header.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise asyncio.IncompleteReadError(b"", None)
+        body = await reader.readexactly(length) if length else b""
+        return method, path, headers, body
+
+    # ---- routing -------------------------------------------------------
+
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict[str, Any], str]:
+        """Dispatch; returns (status, JSON payload, fault key)."""
+        if method == "POST" and path == "/v1/decide":
+            return await self._decide(body)
+        if method == "GET" and path.startswith("/v1/chip/"):
+            chip_id = path[len("/v1/chip/"):]
+            snapshot = self.service.chips.snapshot(chip_id)
+            if snapshot is None:
+                return 404, {"error": f"unknown chip {chip_id!r}"}, path
+            return 200, snapshot, path
+        if method == "GET" and path == "/healthz":
+            if self.service.healthy():
+                return 200, {"status": "ok"}, path
+            return 503, {"status": "unhealthy"}, path
+        if method == "GET" and path == "/statz":
+            stats = self.service.stats()
+            stats["transport"] = {
+                "connections_dropped": self.connections_dropped,
+                "responses_slowed": self.responses_slowed,
+            }
+            return 200, stats, path
+        return 404, {"error": f"no route for {method} {path}"}, path
+
+    async def _decide(self, body: bytes) -> tuple[int, dict[str, Any], str]:
+        try:
+            payload = json.loads(body.decode("utf-8") or "null")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            bad = ServeError(f"decide body is not valid JSON: {exc}")
+            return 400, error_payload(bad), "/v1/decide"
+        try:
+            request = DecideRequest.from_payload(payload)
+        except ServeError as exc:
+            return 400, error_payload(exc), "/v1/decide"
+        try:
+            served = await self.service.decide(request)
+        except ServeError as exc:
+            return 400, error_payload(exc), "/v1/decide"
+        except ReproError as exc:
+            return 422, error_payload(exc), "/v1/decide"
+        response = {
+            "kind": request.kind,
+            "cache_key": served.cache_key,
+            "tier": served.tier,
+            "decision": encode_decision(request.kind, served.decision),
+        }
+        return 200, response, served.cache_key
+
+    # ---- response writing (with fault sites) --------------------------
+
+    async def _respond_with_faults(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict[str, Any],
+        fault_key: str,
+    ) -> bool:
+        """Write one response; ``False`` if the connection was dropped."""
+        injector = active_injector()
+        if injector is not None:
+            if injector.drop_connection(fault_key):
+                self.connections_dropped += 1
+                return False
+            delay_s = injector.slow_response(fault_key)
+            if delay_s is not None:
+                self.responses_slowed += 1
+                await asyncio.sleep(delay_s)
+        body = json.dumps(payload).encode("utf-8")
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                  422: "Unprocessable Entity", 503: "Service Unavailable"}
+        head = (
+            f"HTTP/1.1 {status} {reason.get(status, 'Error')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: keep-alive\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+        return True

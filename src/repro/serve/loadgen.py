@@ -1,0 +1,441 @@
+"""Seeded load generation for the decision service.
+
+A fleet does not ask uniformly random questions: chips running the same
+binary ask the same few questions over and over (hot sets), deployments
+shift the mix over time (phases), day/night cycles alternate between
+mixes (oscillation), and incidents slam one question from everywhere at
+once (bursts).  :class:`RequestTraceGenerator` reproduces those shapes
+as four seeded traffic mixes:
+
+=================  ====================================================
+``static``         a fixed hot set absorbs ``hot_ratio`` of requests;
+                   the cold tail is drawn from the whole universe
+``dynamic``        like static, but the hot set is re-drawn every
+                   ``phase_len`` requests (deployment drift)
+``oscillating``    two disjoint hot sets alternate every ``period``
+                   requests (day/night)
+``bursty``         background traffic interrupted by runs of
+                   ``burst_len`` identical requests (incident retry
+                   storms)
+=================  ====================================================
+
+Generation is pure in ``(mix, parameters, seed)`` — same inputs, same
+request list — so latency comparisons between runs are apples to apples.
+
+:class:`LoadHarness` replays a trace against the service either
+**in-process** (calling :meth:`DecisionService.decide` directly — no
+sockets, measures the service core) or **over HTTP** (a keep-alive
+asyncio client per worker, with bounded retries so armed
+``serve.drop_connection`` faults are survived), recording per-request
+latency into a :class:`LoadResult` (p50/p99/QPS).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import random
+import time
+from enum import Enum
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ServeError
+from repro.serve.protocol import DecideRequest
+from repro.serve.service import DecisionService
+from repro.workloads.suite import SUITE_NAMES
+
+#: Bounded retries for transport-level failures (armed drop faults fire
+#: once per request key, so one retry converges; we allow a margin).
+MAX_RETRIES = 3
+
+
+class TrafficMix(str, Enum):
+    """The four fleet traffic shapes (see module docstring)."""
+
+    STATIC = "static"
+    DYNAMIC = "dynamic"
+    OSCILLATING = "oscillating"
+    BURSTY = "bursty"
+
+
+#: Default question universe: the knob values fleet chips cycle through.
+DEFAULT_PARAMETERS: Dict[str, Any] = {
+    "apps": ("MPGdec", "gzip", "art"),
+    "kinds": ("drm", "dtm", "joint", "intra"),
+    "drm_mode": "dvs",
+    "intra_strategy": "greedy",
+    "t_qual_k_choices": (360.0, 370.0, 380.0),
+    "t_limit_k_choices": (350.0, 355.0, 360.0),
+    "hot_ratio": 0.8,
+    "hot_set_size": 4,
+    "phase_len": 50,
+    "period": 40,
+    "burst_len": 8,
+    "chips": 32,
+}
+
+
+@dataclasses.dataclass
+class RequestTraceGenerator:
+    """Seeded generator of :class:`DecideRequest` traces.
+
+    Args:
+        mix: which traffic shape to generate.
+        parameters: overrides of :data:`DEFAULT_PARAMETERS`.
+        seed: RNG seed (a private :class:`random.Random`, so concurrent
+            generators do not interfere).
+    """
+
+    mix: TrafficMix
+    parameters: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        merged = dict(DEFAULT_PARAMETERS)
+        merged.update(self.parameters)
+        self.parameters = merged
+        unknown = [a for a in merged["apps"] if a not in SUITE_NAMES]
+        if unknown:
+            raise ServeError(
+                f"unknown app(s) in traffic universe: {', '.join(unknown)}",
+                unknown=unknown,
+            )
+        self._rng = random.Random(self.seed)
+        self._universe = self._build_universe()
+
+    # ---- the question universe ----------------------------------------
+
+    def _build_universe(self) -> List[DecideRequest]:
+        """Every distinct question this trace can ask, in fixed order."""
+        p = self.parameters
+        universe: List[DecideRequest] = []
+        for app in p["apps"]:
+            for kind in p["kinds"]:
+                if kind == "drm":
+                    universe.extend(
+                        DecideRequest(kind="drm", app=app, t_qual_k=t,
+                                      mode=p["drm_mode"])
+                        for t in p["t_qual_k_choices"]
+                    )
+                elif kind == "dtm":
+                    universe.extend(
+                        DecideRequest(kind="dtm", app=app, t_limit_k=t)
+                        for t in p["t_limit_k_choices"]
+                    )
+                elif kind == "joint":
+                    universe.extend(
+                        DecideRequest(kind="joint", app=app, t_qual_k=tq,
+                                      t_limit_k=tl)
+                        for tq, tl in zip(p["t_qual_k_choices"],
+                                          p["t_limit_k_choices"])
+                    )
+                elif kind == "intra":
+                    universe.extend(
+                        DecideRequest(kind="intra", app=app, t_qual_k=t,
+                                      strategy=p["intra_strategy"])
+                        for t in p["t_qual_k_choices"]
+                    )
+                else:
+                    raise ServeError(f"unknown traffic kind {kind!r}", kind=kind)
+        if not universe:
+            raise ServeError("empty request universe: no apps or kinds configured")
+        for request in universe:
+            request.validate()
+        return universe
+
+    def _with_chip(self, request: DecideRequest) -> DecideRequest:
+        chip = f"chip-{self._rng.randrange(int(self.parameters['chips'])):04d}"
+        return dataclasses.replace(request, chip_id=chip)
+
+    def _hot_set(self) -> List[DecideRequest]:
+        size = min(int(self.parameters["hot_set_size"]), len(self._universe))
+        return self._rng.sample(self._universe, size)
+
+    # ---- generation ----------------------------------------------------
+
+    def generate(self, n_requests: int) -> List[DecideRequest]:
+        """The first ``n_requests`` of this seeded trace."""
+        if self.mix is TrafficMix.STATIC:
+            return self._generate_static(n_requests)
+        if self.mix is TrafficMix.DYNAMIC:
+            return self._generate_dynamic(n_requests)
+        if self.mix is TrafficMix.OSCILLATING:
+            return self._generate_oscillating(n_requests)
+        if self.mix is TrafficMix.BURSTY:
+            return self._generate_bursty(n_requests)
+        raise ServeError(f"unknown traffic mix {self.mix!r}")
+
+    def _draw(self, hot: Sequence[DecideRequest]) -> DecideRequest:
+        if hot and self._rng.random() < float(self.parameters["hot_ratio"]):
+            return self._with_chip(self._rng.choice(list(hot)))
+        return self._with_chip(self._rng.choice(self._universe))
+
+    def _generate_static(self, n: int) -> List[DecideRequest]:
+        hot = self._hot_set()
+        return [self._draw(hot) for _ in range(n)]
+
+    def _generate_dynamic(self, n: int) -> List[DecideRequest]:
+        phase_len = max(1, int(self.parameters["phase_len"]))
+        trace: List[DecideRequest] = []
+        hot = self._hot_set()
+        for i in range(n):
+            if i and i % phase_len == 0:
+                hot = self._hot_set()  # deployment drift: new hot set
+            trace.append(self._draw(hot))
+        return trace
+
+    def _generate_oscillating(self, n: int) -> List[DecideRequest]:
+        period = max(1, int(self.parameters["period"]))
+        hot_a = self._hot_set()
+        hot_b = [r for r in self._hot_set() if r not in hot_a] or self._hot_set()
+        trace: List[DecideRequest] = []
+        for i in range(n):
+            hot = hot_a if (i // period) % 2 == 0 else hot_b
+            trace.append(self._draw(hot))
+        return trace
+
+    def _generate_bursty(self, n: int) -> List[DecideRequest]:
+        burst_len = max(1, int(self.parameters["burst_len"]))
+        trace: List[DecideRequest] = []
+        while len(trace) < n:
+            if self._rng.random() < 0.5:
+                target = self._rng.choice(self._universe)
+                trace.extend(
+                    self._with_chip(target)
+                    for _ in range(min(burst_len, n - len(trace)))
+                )
+            else:
+                trace.append(self._draw(()))
+        return trace
+
+
+# ---- measurement -------------------------------------------------------
+
+
+@dataclasses.dataclass
+class LoadResult:
+    """Latency/throughput record of one replayed trace.
+
+    Attributes:
+        mix: traffic shape replayed.
+        transport: ``"inprocess"`` or ``"http"``.
+        concurrency: worker count.
+        latencies_s: per-request wall latency, completion order.
+        wall_s: whole-replay wall time.
+        errors: requests that exhausted their retries.
+        retries: transport-level retries performed (HTTP only).
+        tiers: count of responses per cache tier.
+    """
+
+    mix: str
+    transport: str
+    concurrency: int
+    latencies_s: List[float] = dataclasses.field(default_factory=list)
+    wall_s: float = 0.0
+    errors: int = 0
+    retries: int = 0
+    tiers: Dict[str, int] = dataclasses.field(default_factory=dict)
+
+    @property
+    def requests(self) -> int:
+        return len(self.latencies_s)
+
+    @property
+    def qps(self) -> float:
+        return self.requests / self.wall_s if self.wall_s > 0.0 else 0.0
+
+    def percentile_ms(self, q: float) -> float:
+        if not self.latencies_s:
+            return 0.0
+        ordered = sorted(self.latencies_s)
+        index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[index] * 1e3
+
+    @property
+    def p50_ms(self) -> float:
+        return self.percentile_ms(0.50)
+
+    @property
+    def p99_ms(self) -> float:
+        return self.percentile_ms(0.99)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "mix": self.mix,
+            "transport": self.transport,
+            "concurrency": self.concurrency,
+            "requests": self.requests,
+            "wall_s": round(self.wall_s, 6),
+            "qps": round(self.qps, 3),
+            "p50_ms": round(self.p50_ms, 4),
+            "p99_ms": round(self.p99_ms, 4),
+            "errors": self.errors,
+            "retries": self.retries,
+            "tiers": dict(sorted(self.tiers.items())),
+        }
+
+
+class LoadHarness:
+    """Replays request traces against a service (see module docstring).
+
+    Args:
+        concurrency: simultaneous in-flight requests (worker tasks).
+    """
+
+    def __init__(self, concurrency: int = 64) -> None:
+        if concurrency < 1:
+            raise ServeError("load harness needs at least one worker")
+        self.concurrency = concurrency
+
+    # ---- in-process ----------------------------------------------------
+
+    async def run_inprocess(
+        self,
+        service: DecisionService,
+        requests: Sequence[DecideRequest],
+        *,
+        mix: str = "static",
+    ) -> LoadResult:
+        """Replay ``requests`` by awaiting ``service.decide`` directly."""
+        result = LoadResult(
+            mix=mix, transport="inprocess", concurrency=self.concurrency
+        )
+        queue: asyncio.Queue = asyncio.Queue()
+        for request in requests:
+            queue.put_nowait(request)
+
+        async def worker() -> None:
+            while True:
+                try:
+                    request = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    return
+                t_start = time.perf_counter()
+                try:
+                    served = await service.decide(request)
+                # repro: ignore[RPR006] measurement harness: any failure
+                # is counted as an error and the replay continues.
+                except Exception:
+                    result.errors += 1
+                    continue
+                latency_s = time.perf_counter() - t_start
+                result.latencies_s.append(latency_s)
+                result.tiers[served.tier] = result.tiers.get(served.tier, 0) + 1
+
+        t0 = time.perf_counter()
+        await asyncio.gather(*(worker() for _ in range(self.concurrency)))
+        result.wall_s = time.perf_counter() - t0
+        return result
+
+    # ---- over HTTP -----------------------------------------------------
+
+    async def run_http(
+        self,
+        host: str,
+        port: int,
+        requests: Sequence[DecideRequest],
+        *,
+        mix: str = "static",
+    ) -> LoadResult:
+        """Replay ``requests`` over HTTP keep-alive connections.
+
+        Each worker owns one connection; a transport failure (dropped
+        connection fault, reset) reconnects and retries the same request
+        up to :data:`MAX_RETRIES` times.
+        """
+        result = LoadResult(mix=mix, transport="http", concurrency=self.concurrency)
+        queue: asyncio.Queue = asyncio.Queue()
+        for request in requests:
+            queue.put_nowait(request)
+
+        async def worker() -> None:
+            reader: asyncio.StreamReader | None = None
+            writer: asyncio.StreamWriter | None = None
+
+            async def close() -> None:
+                nonlocal reader, writer
+                if writer is not None:
+                    writer.close()
+                    try:
+                        await writer.wait_closed()
+                    except (ConnectionResetError, BrokenPipeError):
+                        pass
+                reader = writer = None
+
+            try:
+                while True:
+                    try:
+                        request = queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        return
+                    body = json.dumps(request.as_payload()).encode("utf-8")
+                    t_start = time.perf_counter()
+                    response = None
+                    for _attempt in range(1 + MAX_RETRIES):
+                        try:
+                            if writer is None:
+                                reader, writer = await asyncio.open_connection(
+                                    host, port
+                                )
+                            writer.write(
+                                b"POST /v1/decide HTTP/1.1\r\n"
+                                b"Host: repro-serve\r\n"
+                                b"Content-Type: application/json\r\n"
+                                + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                                + body
+                            )
+                            await writer.drain()
+                            response = await _read_response(reader)
+                            break
+                        except (
+                            asyncio.IncompleteReadError,
+                            ConnectionResetError,
+                            ConnectionRefusedError,
+                            BrokenPipeError,
+                        ):
+                            result.retries += 1
+                            await close()
+                    if response is None:
+                        result.errors += 1
+                        continue
+                    status, payload = response
+                    if status != 200:
+                        result.errors += 1
+                        continue
+                    latency_s = time.perf_counter() - t_start
+                    result.latencies_s.append(latency_s)
+                    tier = payload.get("tier", "unknown")
+                    result.tiers[tier] = result.tiers.get(tier, 0) + 1
+            finally:
+                await close()
+
+        t0 = time.perf_counter()
+        await asyncio.gather(*(worker() for _ in range(self.concurrency)))
+        result.wall_s = time.perf_counter() - t0
+        return result
+
+
+async def _read_response(reader: asyncio.StreamReader) -> tuple[int, dict]:
+    """Parse one keep-alive HTTP response (status, JSON body).
+
+    Raises:
+        asyncio.IncompleteReadError: on a truncated response (e.g. the
+            server dropped the connection at a fault site).
+    """
+    line = await reader.readline()
+    if not line:
+        raise asyncio.IncompleteReadError(b"", None)
+    status = int(line.decode("latin-1").split()[1])
+    length = 0
+    while True:
+        header = await reader.readline()
+        if header in (b"\r\n", b"\n"):
+            break
+        if not header:
+            raise asyncio.IncompleteReadError(b"", None)
+        name, _, value = header.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value.strip())
+    body = await reader.readexactly(length) if length else b""
+    return status, json.loads(body.decode("utf-8") or "{}")

@@ -1,0 +1,248 @@
+"""The decision service's wire protocol: requests, responses, cache keys.
+
+One :class:`DecideRequest` asks one oracle question — the same
+``best(profile, ...)`` question the library answers directly — plus an
+optional ``chip_id`` tying the decision to a fleet member's state.  The
+four kinds map onto the four oracles:
+
+=========  =====================================  =======================
+kind       oracle                                 required knobs
+=========  =====================================  =======================
+``drm``    :class:`~repro.core.drm.DRMOracle`     ``t_qual_k`` (+ ``mode``)
+``dtm``    :class:`~repro.core.dtm.DTMOracle`     ``t_limit_k``
+``joint``  :class:`~repro.core.combined.JointOracle`  ``t_qual_k``, ``t_limit_k``
+``intra``  :class:`~repro.core.intra.IntraAppOracle`  ``t_qual_k`` (+ ``strategy``)
+=========  =====================================  =======================
+
+Decisions travel as the engine store's JSON payloads
+(:data:`repro.engine.store.CODECS`), so a served decision decodes back
+into the exact frozen dataclass a direct oracle call returns — the
+bit-identity tests rely on this round trip.
+
+The **cache identity** of a request (:meth:`DecideRequest.identity`)
+excludes ``chip_id``: two chips asking the same question share one
+decision.  :func:`decision_cache_key` folds the identity together with
+everything else that can change the answer (profile content digest,
+platform fingerprint, grid resolutions, FIT target, simulation budgets,
+store schema version) into a content hash addressing the engine store.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Any, Mapping
+
+from repro.engine.jobs import content_hash, profile_payload
+from repro.engine.store import CODECS, SCHEMA_VERSION, decode_result, encode_result
+from repro.errors import ServeError
+from repro.workloads.suite import SUITE_NAMES
+
+#: Request kinds the service answers, in documentation order.
+DECISION_KINDS = ("drm", "dtm", "joint", "intra")
+
+#: DRM adaptation spaces (mirrors :class:`repro.core.drm.AdaptationMode`).
+DRM_MODES = ("arch", "dvs", "archdvs")
+
+#: Intra-application search strategies.
+INTRA_STRATEGIES = ("greedy", "exhaustive")
+
+
+@dataclasses.dataclass(frozen=True)
+class DecideRequest:
+    """One oracle question, JSON-shaped.
+
+    Attributes:
+        kind: which oracle answers (see :data:`DECISION_KINDS`).
+        app: workload-suite application name.
+        t_qual_k: qualification temperature (drm / joint / intra).
+        t_limit_k: thermal design point (dtm / joint).
+        mode: DRM adaptation space (drm only; default ``archdvs``).
+        strategy: intra search strategy (intra only; default ``greedy``).
+        chip_id: optional fleet-member id for per-chip state tracking.
+    """
+
+    kind: str
+    app: str
+    t_qual_k: float | None = None
+    t_limit_k: float | None = None
+    mode: str = "archdvs"
+    strategy: str = "greedy"
+    chip_id: str | None = None
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.errors.ServeError` on a malformed request."""
+        if self.kind not in DECISION_KINDS:
+            raise ServeError(
+                f"unknown decision kind {self.kind!r}",
+                kind=self.kind,
+                known=DECISION_KINDS,
+            )
+        if self.app not in SUITE_NAMES:
+            raise ServeError(
+                f"unknown application {self.app!r}",
+                app=self.app,
+                known=SUITE_NAMES,
+            )
+        needs_qual = self.kind in ("drm", "joint", "intra")
+        needs_limit = self.kind in ("dtm", "joint")
+        if needs_qual and not _is_finite_number(self.t_qual_k):
+            raise ServeError(
+                f"{self.kind!r} request needs a finite t_qual_k",
+                kind=self.kind,
+                t_qual_k=self.t_qual_k,
+            )
+        if needs_limit and not _is_finite_number(self.t_limit_k):
+            raise ServeError(
+                f"{self.kind!r} request needs a finite t_limit_k",
+                kind=self.kind,
+                t_limit_k=self.t_limit_k,
+            )
+        if self.kind == "drm" and self.mode not in DRM_MODES:
+            raise ServeError(
+                f"unknown DRM mode {self.mode!r}",
+                mode=self.mode,
+                known=DRM_MODES,
+            )
+        if self.kind == "intra" and self.strategy not in INTRA_STRATEGIES:
+            raise ServeError(
+                f"unknown intra strategy {self.strategy!r}",
+                strategy=self.strategy,
+                known=INTRA_STRATEGIES,
+            )
+        if self.chip_id is not None and not isinstance(self.chip_id, str):
+            raise ServeError("chip_id must be a string when present")
+
+    def identity(self) -> tuple:
+        """The request's compute identity — everything except the chip.
+
+        Two requests with equal identities must receive bit-identical
+        decisions; the batcher dedupes on it and the decision cache keys
+        on its hash.
+        """
+        if self.kind == "drm":
+            return ("drm", self.app, float(self.t_qual_k), self.mode)
+        if self.kind == "dtm":
+            return ("dtm", self.app, float(self.t_limit_k))
+        if self.kind == "joint":
+            return (
+                "joint", self.app, float(self.t_qual_k), float(self.t_limit_k)
+            )
+        return ("intra", self.app, float(self.t_qual_k), self.strategy)
+
+    def as_payload(self) -> dict[str, Any]:
+        """JSON-ready request body (omits unset optionals)."""
+        payload: dict[str, Any] = {"kind": self.kind, "app": self.app}
+        if self.t_qual_k is not None:
+            payload["t_qual_k"] = self.t_qual_k
+        if self.t_limit_k is not None:
+            payload["t_limit_k"] = self.t_limit_k
+        if self.kind == "drm":
+            payload["mode"] = self.mode
+        if self.kind == "intra":
+            payload["strategy"] = self.strategy
+        if self.chip_id is not None:
+            payload["chip_id"] = self.chip_id
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "DecideRequest":
+        """Parse and validate one request body.
+
+        Raises:
+            ServeError: for non-object bodies, unknown fields, wrong
+                field types, or a semantically invalid request.
+        """
+        if not isinstance(payload, Mapping):
+            raise ServeError("decide request body must be a JSON object")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ServeError(
+                f"unknown request field(s): {', '.join(sorted(unknown))}",
+                unknown=sorted(unknown),
+            )
+        kwargs: dict[str, Any] = {}
+        for field in ("kind", "app", "mode", "strategy", "chip_id"):
+            if field in payload:
+                value = payload[field]
+                if value is not None and not isinstance(value, str):
+                    raise ServeError(f"{field} must be a string", field=field)
+                kwargs[field] = value
+        for field in ("t_qual_k", "t_limit_k"):
+            if field in payload and payload[field] is not None:
+                value = payload[field]
+                if isinstance(value, bool) or not isinstance(
+                    value, (int, float)
+                ):
+                    raise ServeError(f"{field} must be a number", field=field)
+                kwargs[field] = float(value)
+        if "kind" not in kwargs or "app" not in kwargs:
+            raise ServeError("decide request needs 'kind' and 'app'")
+        if kwargs.get("mode") is None:
+            kwargs.pop("mode", None)
+        if kwargs.get("strategy") is None:
+            kwargs.pop("strategy", None)
+        request = cls(**kwargs)
+        request.validate()
+        return request
+
+
+def _is_finite_number(value) -> bool:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return False
+    return math.isfinite(value)
+
+
+def decision_cache_key(
+    request: DecideRequest,
+    context: Mapping[str, Any],
+    *,
+    profile_hash: str | None = None,
+) -> str:
+    """Content hash addressing one decision in the engine store.
+
+    Args:
+        request: the validated request (``chip_id`` is excluded — it
+            cannot change the decision).
+        context: everything service-side that can change the answer:
+            the service's :meth:`DecisionService.cache_context` — profile
+            content digest, platform fingerprint, DVS/intra grid
+            resolutions, FIT target, and simulation budgets.
+        profile_hash: precomputed content hash of the application's
+            profile payload (the service hashes each suite profile once
+            at startup; omitting it hashes the profile here).
+    """
+    if profile_hash is None:
+        profile_hash = content_hash(profile_payload_for(request.app))
+    return content_hash(
+        {
+            "kind": "serve.decision",
+            "schema": SCHEMA_VERSION,
+            "request": list(request.identity()),
+            "profile": profile_hash,
+            "context": dict(context),
+        }
+    )
+
+
+def profile_payload_for(app: str) -> dict:
+    """The full content payload of a suite application (see
+    :func:`repro.engine.jobs.profile_payload`)."""
+    from repro.workloads.suite import workload_by_name
+
+    return profile_payload(workload_by_name(app))
+
+
+def encode_decision(kind: str, decision) -> dict:
+    """Engine-store JSON payload for a decision of ``kind``."""
+    if kind not in DECISION_KINDS or kind not in CODECS:
+        raise ServeError(f"no codec for decision kind {kind!r}", kind=kind)
+    return encode_result(kind, decision)
+
+
+def decode_decision(kind: str, payload: dict):
+    """Rebuild the frozen decision dataclass from a stored payload."""
+    if kind not in DECISION_KINDS or kind not in CODECS:
+        raise ServeError(f"no codec for decision kind {kind!r}", kind=kind)
+    return decode_result(kind, payload)

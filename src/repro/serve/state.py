@@ -1,0 +1,167 @@
+"""Sharded per-chip state for the decision service.
+
+The paper's premise is a *fleet*: millions of shipped processors, each
+periodically asking "what configuration should I run right now?".  The
+service remembers, per chip, what it was last told and what it has been
+asking — the running profile mix — so operators can inspect a fleet
+member (``GET /v1/chip/{id}``) and see its adaptation history at a
+glance.
+
+State is sharded by ``sha256(chip_id)`` across independently-locked
+dicts, so concurrent recordings from the worker pool contend only when
+two chips land in the same shard — the classic striped-lock layout.  All
+operations are pure in-memory dict work (safe to call from the event
+loop; no file I/O).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import threading
+from typing import Any
+
+#: Default shard count — enough stripes that a worker pool of a few
+#: dozen threads rarely collides, small enough to iterate cheaply.
+DEFAULT_SHARDS = 16
+
+
+@dataclasses.dataclass
+class ChipState:
+    """Everything the service remembers about one fleet member.
+
+    Attributes:
+        chip_id: the chip's fleet identifier.
+        requests: total decide requests this chip has made.
+        first_seq / last_seq: service-wide sequence numbers of the
+            chip's first and most recent request.
+        last_kind: decision kind of the most recent request.
+        last_request: JSON-shaped body of the most recent request.
+        last_decision_key: cache key of the decision it was served.
+        last_cache_tier: where that decision came from
+            (``"memory"`` / ``"store"`` / ``"computed"``).
+        profile_mix: running count of requests per application — the
+            chip's observed workload mix.
+        kind_mix: running count of requests per decision kind.
+    """
+
+    chip_id: str
+    requests: int = 0
+    first_seq: int = -1
+    last_seq: int = -1
+    last_kind: str = ""
+    last_request: dict = dataclasses.field(default_factory=dict)
+    last_decision_key: str = ""
+    last_cache_tier: str = ""
+    profile_mix: dict[str, int] = dataclasses.field(default_factory=dict)
+    kind_mix: dict[str, int] = dataclasses.field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready snapshot (the ``/v1/chip/{id}`` response body)."""
+        return {
+            "chip_id": self.chip_id,
+            "requests": self.requests,
+            "first_seq": self.first_seq,
+            "last_seq": self.last_seq,
+            "last_kind": self.last_kind,
+            "last_request": dict(self.last_request),
+            "last_decision_key": self.last_decision_key,
+            "last_cache_tier": self.last_cache_tier,
+            "profile_mix": dict(sorted(self.profile_mix.items())),
+            "kind_mix": dict(sorted(self.kind_mix.items())),
+        }
+
+
+class _Shard:
+    __slots__ = ("lock", "chips")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.chips: dict[str, ChipState] = {}
+
+
+class ChipStateStore:
+    """Striped-lock map of ``chip_id`` -> :class:`ChipState`.
+
+    Args:
+        n_shards: number of independent lock stripes.
+    """
+
+    def __init__(self, n_shards: int = DEFAULT_SHARDS) -> None:
+        if n_shards < 1:
+            raise ValueError("need at least one shard")
+        self.n_shards = n_shards
+        self._shards = tuple(_Shard() for _ in range(n_shards))
+        self._seq_lock = threading.Lock()
+        self._seq = 0
+
+    def shard_index(self, chip_id: str) -> int:
+        digest = hashlib.sha256(chip_id.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") % self.n_shards
+
+    def _shard(self, chip_id: str) -> _Shard:
+        return self._shards[self.shard_index(chip_id)]
+
+    # ---- recording -----------------------------------------------------
+
+    def record(
+        self,
+        chip_id: str,
+        *,
+        kind: str,
+        app: str,
+        request_payload: dict,
+        decision_key: str,
+        cache_tier: str,
+    ) -> None:
+        """Fold one served decision into the chip's running state."""
+        with self._seq_lock:
+            seq = self._seq
+            self._seq += 1
+        shard = self._shard(chip_id)
+        with shard.lock:
+            state = shard.chips.get(chip_id)
+            if state is None:
+                state = ChipState(chip_id=chip_id, first_seq=seq)
+                shard.chips[chip_id] = state
+            state.requests += 1
+            state.last_seq = seq
+            state.last_kind = kind
+            state.last_request = dict(request_payload)
+            state.last_decision_key = decision_key
+            state.last_cache_tier = cache_tier
+            state.profile_mix[app] = state.profile_mix.get(app, 0) + 1
+            state.kind_mix[kind] = state.kind_mix.get(kind, 0) + 1
+
+    # ---- reading -------------------------------------------------------
+
+    def snapshot(self, chip_id: str) -> dict[str, Any] | None:
+        """JSON-ready state of one chip, or ``None`` if never seen."""
+        shard = self._shard(chip_id)
+        with shard.lock:
+            state = shard.chips.get(chip_id)
+            return state.as_dict() if state is not None else None
+
+    def __len__(self) -> int:
+        total = 0
+        for shard in self._shards:
+            with shard.lock:
+                total += len(shard.chips)
+        return total
+
+    def stats(self) -> dict[str, Any]:
+        """Fleet-level counters for ``/statz``."""
+        chips = 0
+        requests = 0
+        per_shard: list[int] = []
+        for shard in self._shards:
+            with shard.lock:
+                per_shard.append(len(shard.chips))
+                chips += len(shard.chips)
+                requests += sum(s.requests for s in shard.chips.values())
+        return {
+            "chips": chips,
+            "tracked_requests": requests,
+            "shards": self.n_shards,
+            "max_shard_chips": max(per_shard) if per_shard else 0,
+        }

@@ -74,6 +74,39 @@ def dtm_oracle(platform, test_cache) -> DTMOracle:
 
 
 @pytest.fixture(scope="session")
+def serve_config():
+    """Reduced-budget decision-service config shared by the serve tests.
+
+    Small grids and a two-app qualification suite (one integer app, one
+    FP app so every failure mechanism has activity to act on) keep the
+    oracle searches fast while exercising all four decision kinds.
+    """
+    from repro.serve import ServiceConfig
+
+    return ServiceConfig(
+        dvs_steps=5,
+        intra_grid_steps=3,
+        instructions=TEST_INSTRUCTIONS,
+        warmup=TEST_WARMUP,
+        sim_seed=7,
+        qual_apps=("gzip", "art"),
+        max_batch=16,
+        max_delay_s=0.002,
+        workers=2,
+    )
+
+
+@pytest.fixture(scope="session")
+def serve_service(serve_config):
+    """One shared decision service (its caches amortise across tests)."""
+    from repro.serve import DecisionService
+
+    service = DecisionService(serve_config)
+    yield service
+    service.executor.shutdown(wait=False)
+
+
+@pytest.fixture(scope="session")
 def quick_simulator() -> CycleSimulator:
     """A small-budget simulator for direct runs."""
     return CycleSimulator(instructions=TEST_INSTRUCTIONS, warmup=TEST_WARMUP, seed=7)

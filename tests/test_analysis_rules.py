@@ -387,3 +387,83 @@ class TestParseErrors:
         assert rules_hit(result) == ["RPR000"]
         assert result.parse_errors == 1
         assert not result.clean
+
+
+class TestAsyncBlocking:
+    def test_flags_blocking_calls_in_serve_coroutines(self, tmp_path):
+        result = run(tmp_path, {
+            "src/repro/serve/worker.py": """
+                import subprocess
+                import time
+
+                async def decide(self, key):
+                    payload = self.cache.get(key)
+                    time.sleep(0.005)
+                    with open("dump.json") as handle:
+                        handle.read()
+                    subprocess.run(["true"])
+                    return payload
+            """,
+        }, select=["RPR008"])
+        assert rules_hit(result) == ["RPR008"] * 4
+        messages = " ".join(f.message for f in result.findings)
+        assert "asyncio.sleep" in messages
+        assert "run_in_executor" in messages
+        assert "cache.get()" in messages
+        assert all("async def decide" in f.message for f in result.findings)
+
+    def test_flags_sync_store_reads_and_path_io(self, tmp_path):
+        result = run(tmp_path, {
+            "src/repro/serve/state.py": """
+                async def snapshot(self, path, key):
+                    self.store.put(key, "kind", {})
+                    return path.read_text()
+            """,
+        }, select=["RPR008"])
+        assert rules_hit(result) == ["RPR008", "RPR008"]
+
+    def test_clean_async_and_sync_code_pass(self, tmp_path):
+        result = run(tmp_path, {
+            "src/repro/serve/service.py": """
+                import asyncio
+
+                def warm(self, path):
+                    # Synchronous context: blocking calls are fine here.
+                    return open(path).read()
+
+                async def decide(self, key):
+                    await asyncio.sleep(0)
+                    hit = self.cache.get_memory(key)
+                    if hit is None:
+                        loop = asyncio.get_running_loop()
+                        hit = await loop.run_in_executor(None, self._compute, key)
+                    return hit
+            """,
+        }, select=["RPR008"])
+        assert result.findings == []
+
+    def test_nested_sync_helper_is_exempt(self, tmp_path):
+        result = run(tmp_path, {
+            "src/repro/serve/http.py": """
+                async def flush(self, items):
+                    def on_pool(item):
+                        # Runs on the worker pool, not the event loop.
+                        return self.store.get(item)
+                    return [on_pool(item) for item in items]
+            """,
+        }, select=["RPR008"])
+        assert result.findings == []
+
+    def test_out_of_scope_modules_are_ignored(self, tmp_path):
+        blocking = """
+            import time
+
+            async def tick(self):
+                time.sleep(1.0)
+        """
+        result = run(tmp_path, {
+            "src/repro/harness/poller.py": blocking,
+            "src/repro/servelike/poller.py": blocking,
+            "tests/test_serve_thing.py": blocking,
+        }, select=["RPR008"])
+        assert result.findings == []

@@ -18,6 +18,8 @@ from repro.resilience import (
     KERNEL_POISON,
     SENSOR_NOISE,
     SENSOR_STUCK,
+    SERVE_DROP,
+    SERVE_SLOW,
     SITES,
     STORE_CORRUPT,
     WORKER_CRASH,
@@ -257,4 +259,6 @@ def test_site_constants_cover_every_site():
         KERNEL_POISON,
         SENSOR_NOISE,
         SENSOR_STUCK,
+        SERVE_DROP,
+        SERVE_SLOW,
     }

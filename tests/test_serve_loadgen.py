@@ -1,0 +1,157 @@
+"""Load-generator unit tests: trace determinism, mix shapes, results.
+
+These never touch a server — they pin down the seeded request traces
+(same seed, same trace) and the latency arithmetic of ``LoadResult``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import (
+    DEFAULT_PARAMETERS,
+    LoadResult,
+    RequestTraceGenerator,
+    TrafficMix,
+)
+
+
+def make_generator(mix, seed=3, **overrides):
+    parameters = dict(DEFAULT_PARAMETERS)
+    parameters.update(overrides)
+    return RequestTraceGenerator(mix=mix, parameters=parameters, seed=seed)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("mix", list(TrafficMix))
+    def test_same_seed_same_trace(self, mix):
+        first = make_generator(mix, seed=3).generate(120)
+        second = make_generator(mix, seed=3).generate(120)
+        assert [r.as_payload() for r in first] == [
+            r.as_payload() for r in second
+        ]
+
+    @pytest.mark.parametrize("mix", list(TrafficMix))
+    def test_different_seed_different_trace(self, mix):
+        first = make_generator(mix, seed=3).generate(120)
+        second = make_generator(mix, seed=4).generate(120)
+        assert [r.as_payload() for r in first] != [
+            r.as_payload() for r in second
+        ]
+
+    def test_every_generated_request_validates(self):
+        for mix in TrafficMix:
+            for request in make_generator(mix, seed=9).generate(80):
+                request.validate()  # raises ServeError on any bad request
+
+
+class TestMixShapes:
+    def test_static_mix_concentrates_on_the_hot_set(self):
+        trace = make_generator(
+            TrafficMix.STATIC, hot_ratio=0.8, hot_set_size=4
+        ).generate(400)
+        counts: dict[str, int] = {}
+        for request in trace:
+            counts[request.identity()] = counts.get(request.identity(), 0) + 1
+        top4 = sorted(counts.values(), reverse=True)[:4]
+        # The four hot identities absorb most of the traffic.
+        assert sum(top4) >= 0.6 * len(trace)
+
+    def test_dynamic_mix_drifts_between_phases(self):
+        trace = make_generator(
+            TrafficMix.DYNAMIC, phase_len=50, hot_set_size=3
+        ).generate(200)
+        phase_sets = [
+            {r.identity() for r in trace[i : i + 50]}
+            for i in range(0, 200, 50)
+        ]
+        # Adjacent phases centre on different hot sets, so the union
+        # across phases is strictly richer than any single phase.
+        assert len(set().union(*phase_sets)) > max(len(s) for s in phase_sets)
+
+    def test_oscillating_mix_alternates_between_two_poles(self):
+        # hot_ratio=1.0 removes background traffic, so each period's
+        # identity set is exactly one of the two poles.
+        trace = make_generator(
+            TrafficMix.OSCILLATING, period=40, hot_set_size=2, hot_ratio=1.0
+        ).generate(120)
+        periods = [
+            {r.identity() for r in trace[i : i + 40]}
+            for i in range(0, 120, 40)
+        ]
+        assert periods[0] != periods[1]  # adjacent periods swap poles
+        assert periods[2] == periods[0]  # ...and the swap oscillates back
+
+    def test_bursty_mix_emits_runs_of_identical_requests(self):
+        trace = make_generator(
+            TrafficMix.BURSTY, burst_len=8
+        ).generate(160)
+        longest = run = 1
+        for previous, current in zip(trace, trace[1:]):
+            run = run + 1 if current.identity() == previous.identity() else 1
+            longest = max(longest, run)
+        assert longest >= 4  # visible bursts, not i.i.d. traffic
+
+    def test_chip_ids_are_assigned_from_the_fleet(self):
+        trace = make_generator(TrafficMix.STATIC, chips=5).generate(100)
+        chip_ids = {r.chip_id for r in trace}
+        assert chip_ids and all(c.startswith("chip-") for c in chip_ids)
+        assert len(chip_ids) <= 5
+
+
+class TestValidation:
+    def test_bad_universe_is_rejected_up_front(self):
+        with pytest.raises(ServeError):
+            make_generator(TrafficMix.STATIC, kinds=("drm", "bogus"))
+        with pytest.raises(ServeError):
+            make_generator(TrafficMix.STATIC, apps=())
+        with pytest.raises(ServeError):
+            make_generator(TrafficMix.STATIC, drm_mode="warp-speed")
+
+    def test_unknown_mix_is_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficMix("sawtooth")
+
+
+class TestLoadResult:
+    def make_result(self, latencies_s):
+        return LoadResult(
+            mix="static",
+            transport="inprocess",
+            concurrency=4,
+            latencies_s=list(latencies_s),
+            wall_s=2.0,
+            errors=0,
+            retries=1,
+            tiers={"memory": len(latencies_s)},
+        )
+
+    def test_percentiles_use_nearest_rank(self):
+        result = self.make_result([i / 1000.0 for i in range(1, 101)])
+        # index = round(q * 99): p50 -> rank 50, p99 -> rank 98.
+        assert math.isclose(result.p50_ms, 51.0)
+        assert math.isclose(result.p99_ms, 99.0)
+        assert math.isclose(result.percentile_ms(1.0), 100.0)
+        assert math.isclose(result.percentile_ms(0.0), 1.0)
+
+    def test_qps_is_requests_over_wall(self):
+        result = self.make_result([0.001] * 10)
+        assert math.isclose(result.qps, 5.0)  # 10 requests / 2 s
+
+    def test_as_dict_round_trips_the_summary(self):
+        result = self.make_result([0.002, 0.004])
+        summary = result.as_dict()
+        assert summary["requests"] == 2
+        assert summary["errors"] == 0
+        assert summary["retries"] == 1
+        assert summary["tiers"] == {"memory": 2}
+        assert summary["p50_ms"] > 0.0
+
+    def test_empty_result_has_zero_percentiles(self):
+        result = self.make_result([])
+        # An empty result returns the literal 0.0, not a computed value.
+        assert result.p50_ms == 0.0  # repro: ignore[RPR004] exact sentinel
+        assert result.qps == 0.0  # repro: ignore[RPR004] exact sentinel
