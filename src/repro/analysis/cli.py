@@ -23,7 +23,12 @@ from repro.analysis.baseline import DEFAULT_BASELINE, Baseline
 from repro.analysis.emitters import to_json, to_sarif, to_text
 from repro.analysis.engine import Analyzer
 from repro.analysis.incremental import DEFAULT_CACHE_DIR
-from repro.analysis.registry import AnalysisError, all_rules, get_rule
+from repro.analysis.registry import (
+    AnalysisError,
+    all_rules,
+    expand_rule_patterns,
+    get_rule,
+)
 
 _DEFAULT_PATHS = ["src", "tests"]
 
@@ -75,6 +80,10 @@ def add_analyze_parser(sub: argparse._SubParsersAction) -> None:
                    help="comma-separated rule ids to run (default: all)")
     p.add_argument("--ignore", default=None,
                    help="comma-separated rule ids to skip")
+    p.add_argument("--rules", default=None, metavar="PATTERNS",
+                   help="comma-separated rule-id globs to run (e.g. "
+                        "RPR2xx, RPR10?, RPR*); x/X match any digit. "
+                        "Combines with --select; exit codes unchanged")
     p.add_argument("--list-rules", action="store_true",
                    help="print the registered rules and exit")
     p.add_argument("--explain", default=None, metavar="RULE",
@@ -137,9 +146,17 @@ def run_analyze(args: argparse.Namespace) -> int:
 
     started = time.monotonic()
     try:
+        select = _split_ids(args.select)
+        patterns = _split_ids(args.rules)
+        if patterns is not None:
+            # Globs expand to exact ids and union with --select, so
+            # `--rules RPR2xx` runs the concurrency family standalone.
+            select = sorted(set(select or []) | set(
+                expand_rule_patterns(patterns)
+            ))
         analyzer = Analyzer(
             root=root,
-            select=_split_ids(args.select),
+            select=select,
             ignore=_split_ids(args.ignore),
             cache_dir=cache_dir,
             workers=args.jobs,
@@ -201,6 +218,14 @@ def run_analyze(args: argparse.Namespace) -> int:
             line += (
                 f" (harvest: {stats['harvest_hits']} hit(s), "
                 f"{stats['harvest_misses']} miss(es))"
+            )
+        files = stats.get("files", result.files_scanned) or 0
+        if duration_s > 0:
+            line += f", {files / duration_s:.1f} files/s"
+        if stats.get("callgraph_rules"):
+            line += (
+                f" [callgraph: {stats.get('callgraph_pass', '?')} in "
+                f"{stats.get('callgraph_pass_s', 0.0):.3f}s]"
             )
         print(line, file=sys.stderr)
 

@@ -11,6 +11,7 @@ finding set.
 from __future__ import annotations
 
 import ast
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -68,13 +69,7 @@ class FileContext:
     @property
     def is_test(self) -> bool:
         """Heuristic: test files get looser treatment from src-only rules."""
-        parts = PathPartsCache.parts(self.rel_path)
-        return (
-            "tests" in parts
-            or "test" in parts
-            or parts[-1].startswith(("test_", "bench_"))
-            or parts[-1].endswith("_test.py")
-        )
+        return is_test_path(self.rel_path)
 
     @property
     def in_determinism_scope(self) -> bool:
@@ -119,6 +114,22 @@ class PathPartsCache:
             parts = tuple(rel_path.split("/"))
             cls._cache[rel_path] = parts
         return parts
+
+
+def is_test_path(rel_path: str) -> bool:
+    """Whether a repo-relative posix path names a test/bench file.
+
+    Shared by :attr:`FileContext.is_test` and the project snapshot
+    (test files never enter the call graph — their fixtures break
+    concurrency discipline on purpose).
+    """
+    parts = PathPartsCache.parts(rel_path)
+    return (
+        "tests" in parts
+        or "test" in parts
+        or parts[-1].startswith(("test_", "bench_"))
+        or parts[-1].endswith("_test.py")
+    )
 
 
 def collect_files(paths: list[Path]) -> list[Path]:
@@ -224,8 +235,16 @@ class Analyzer:
             unit_signatures=SignatureTable.merge(harvests),
         )
 
+        file_rules = tuple(r for r in self.rules if r.scope == "file")
+        project_rules = tuple(r for r in self.rules if r.scope == "project")
+
+        suppress_maps: dict[str, dict[int, set[str]]] = {}
+        lines_by_rel: dict[str, list[str]] = {}
         for rel, (path, source, tree) in parsed.items():
             lines = source.splitlines()
+            suppressions = parse_suppressions(lines, tree)
+            suppress_maps[rel] = suppressions._by_line
+            lines_by_rel[rel] = lines
             ctx = FileContext(
                 path=path,
                 rel_path=rel,
@@ -234,9 +253,9 @@ class Analyzer:
                 tree=tree,
                 module=module_name_for(rel),
                 project=project,
-                suppressions=parse_suppressions(lines, tree),
+                suppressions=suppressions,
             )
-            for rule in self.rules:
+            for rule in file_rules:
                 if not rule.applies_to(ctx):
                     continue
                 for finding in rule.check(ctx):
@@ -245,6 +264,30 @@ class Analyzer:
                     else:
                         result.findings.append(finding)
 
+        callgraph_pass_s = 0.0
+        if project_rules:
+            from repro.analysis.callgraph import harvest_callgraph
+            from repro.analysis.concurrency import (
+                ProjectSnapshot,
+                run_project_rules,
+            )
+
+            start = time.perf_counter()
+            cg_harvests = {
+                rel: (module_name_for(rel), harvest_callgraph(tree, module_name_for(rel)))
+                for rel, (_, _, tree) in parsed.items()
+                if not is_test_path(rel)
+            }
+            snapshot = ProjectSnapshot.build(
+                cg_harvests, lines_by_rel, suppress_maps
+            )
+            proj_findings, proj_suppressed = run_project_rules(
+                project_rules, snapshot
+            )
+            result.findings.extend(proj_findings)
+            result.suppressed.extend(proj_suppressed)
+            callgraph_pass_s = time.perf_counter() - start
+
         result.findings.sort(key=Finding.sort_key)
         result.suppressed.sort(key=Finding.sort_key)
         result.stats = {
@@ -252,5 +295,8 @@ class Analyzer:
             "files": len(files),
             "analyzed": len(parsed),
             "cached": 0,
+            "callgraph_rules": len(project_rules),
+            "callgraph_pass": "computed" if project_rules else "skipped",
+            "callgraph_pass_s": round(callgraph_pass_s, 4),
         }
         return result

@@ -28,12 +28,21 @@ from __future__ import annotations
 import ast
 import hashlib
 import json
+import time
 from pathlib import Path
 
+from repro.analysis.callgraph import CALLGRAPH_VERSION, harvest_callgraph
+from repro.analysis.concurrency import (
+    ProjectSnapshot,
+    run_project_rules,
+    suppress_from_payload,
+    suppress_payload,
+)
 from repro.analysis.engine import (
     DETERMINISM_ROOTS,
     FileContext,
     ProjectContext,
+    is_test_path,
 )
 from repro.analysis.findings import AnalysisResult, Finding, Severity
 from repro.analysis.imports import (
@@ -47,7 +56,7 @@ from repro.analysis.suppressions import parse_suppressions
 from repro.analysis.unitsig import SignatureTable, harvest_signatures
 
 #: Bump when the harvest payload shape or semantics change.
-HARVEST_VERSION = 1
+HARVEST_VERSION = 2
 
 #: Bump whenever any rule's logic changes in a way that can alter its
 #: findings; cached per-file verdicts from older rule code then read as
@@ -123,6 +132,10 @@ def run_rules_on_source(
     suppressed: list[Finding] = []
     for rule_id in rule_ids:
         rule = get_rule(rule_id)
+        if rule.scope != "file":
+            # Project rules run once, driver-side, over the merged
+            # call-graph snapshot — never in a per-file worker.
+            continue
         if not rule.applies_to(ctx):
             continue
         for finding in rule.check(ctx):
@@ -211,6 +224,7 @@ class IncrementalDriver:
                     "line": getattr(exc, "lineno", None) or 1,
                 }
             else:
+                lines = source.splitlines()
                 payload = {
                     "ok": True,
                     "module": module,
@@ -218,6 +232,13 @@ class IncrementalDriver:
                     if module
                     else [],
                     "signatures": harvest_signatures(tree, module),
+                    # Call-graph layer: this file's interprocedural
+                    # facts, plus its suppression map so a suppression
+                    # edit invalidates the cached project pass.
+                    "callgraph": harvest_callgraph(tree, module),
+                    "suppress": suppress_payload(
+                        parse_suppressions(lines, tree)
+                    ),
                 }
         self.store.put(key, "analysis_harvest", payload)
         return digest, source, payload, 0
@@ -270,7 +291,9 @@ class IncrementalDriver:
         sig_json = canonical_json(table.as_payload())
         sig_hash = hashlib.sha256(sig_json.encode()).hexdigest()
 
-        rule_ids = tuple(rule.id for rule in self.rules)
+        file_rules = tuple(r for r in self.rules if r.scope == "file")
+        project_rules = tuple(r for r in self.rules if r.scope == "project")
+        rule_ids = tuple(rule.id for rule in file_rules)
         jobs: list[AnalyzeFileJob] = []
         for rel, payload in harvests.items():
             if not payload.get("ok"):
@@ -335,6 +358,15 @@ class IncrementalDriver:
                     _finding_from_payload(job.rel_path, entry)
                 )
 
+        callgraph_status = "skipped"
+        callgraph_pass_s = 0.0
+        if project_rules:
+            start = time.perf_counter()
+            callgraph_status = self._project_pass(
+                project_rules, harvests, sources, sig_hash, result
+            )
+            callgraph_pass_s = time.perf_counter() - start
+
         result.findings.sort(key=Finding.sort_key)
         result.suppressed.sort(key=Finding.sort_key)
         result.stats = {
@@ -345,7 +377,100 @@ class IncrementalDriver:
             "failed": failed,
             "harvest_hits": harvest_hits,
             "harvest_misses": len(harvests) - harvest_hits,
+            "callgraph_rules": len(project_rules),
+            "callgraph_pass": callgraph_status,
+            "callgraph_pass_s": round(callgraph_pass_s, 4),
             "workers": self.workers,
             "store": self.store.stats.as_dict(),
         }
         return result
+
+    # ---- call-graph (project) layer ------------------------------------
+
+    def _project_pass(
+        self,
+        project_rules: tuple[Rule, ...],
+        harvests: dict[str, dict],
+        sources: dict[str, str],
+        sig_hash: str,
+        result: AnalysisResult,
+    ) -> str:
+        """Run (or replay) the interprocedural pass; returns its status.
+
+        The pass result is cached as ONE store entry keyed by the
+        digest of every non-test file's call-graph facts *and*
+        suppression map, the signature-table digest, and the
+        rule/format versions.  A warm unchanged tree replays the cached
+        findings without building the graph; a body edit changes one
+        file's facts and recomputes the pass in-process from the (all
+        cached) harvests; a signature edit flips ``sig_hash`` and so
+        invalidates this layer together with every per-file result —
+        the promised signature-digest invalidation.
+        """
+        from repro.engine.jobs import canonical_json, content_hash
+
+        cg_facts = {
+            rel: {
+                "callgraph": payload["callgraph"],
+                "suppress": payload["suppress"],
+            }
+            for rel, payload in sorted(harvests.items())
+            if payload.get("ok") and not is_test_path(rel)
+        }
+        cg_hash = hashlib.sha256(
+            canonical_json(cg_facts).encode()
+        ).hexdigest()
+        pass_key = content_hash(
+            {
+                "kind": "analysis_callgraph_pass",
+                "hv": HARVEST_VERSION,
+                "cgv": CALLGRAPH_VERSION,
+                "rv": RULESET_VERSION,
+                "rules": [rule.id for rule in project_rules],
+                "cg": cg_hash,
+                "sig": sig_hash,
+            }
+        )
+        cached = self.store.get(pass_key)
+        if cached is not None:
+            for entry in cached["findings"]:
+                result.findings.append(
+                    _finding_from_payload(entry["path"], entry)
+                )
+            for entry in cached["suppressed"]:
+                result.suppressed.append(
+                    _finding_from_payload(entry["path"], entry)
+                )
+            return "cached"
+
+        snapshot = ProjectSnapshot.build(
+            harvests={
+                rel: (harvests[rel].get("module"), facts["callgraph"])
+                for rel, facts in cg_facts.items()
+            },
+            lines={
+                rel: sources[rel].splitlines()
+                for rel in cg_facts
+                if rel in sources
+            },
+            suppress={
+                rel: suppress_from_payload(facts["suppress"])
+                for rel, facts in cg_facts.items()
+            },
+        )
+        findings, suppressed = run_project_rules(project_rules, snapshot)
+        self.store.put(
+            pass_key,
+            "analysis_callgraph_pass",
+            {
+                "findings": [
+                    {**_finding_payload(f), "path": f.path} for f in findings
+                ],
+                "suppressed": [
+                    {**_finding_payload(f), "path": f.path} for f in suppressed
+                ],
+            },
+        )
+        result.findings.extend(findings)
+        result.suppressed.extend(suppressed)
+        return "computed"

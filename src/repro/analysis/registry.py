@@ -9,6 +9,7 @@ names.
 from __future__ import annotations
 
 import abc
+import fnmatch
 import re
 from collections.abc import Iterable, Iterator
 from typing import TYPE_CHECKING
@@ -17,6 +18,7 @@ from repro.analysis.findings import Finding, Severity
 from repro.errors import ReproError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.concurrency import ProjectSnapshot
     from repro.analysis.engine import FileContext
 
 _RULE_ID = re.compile(r"^RPR\d{3}$")
@@ -48,6 +50,10 @@ class Rule(abc.ABC):
     description: str = ""
     rationale: str = ""
     example: str = ""
+    #: ``"file"`` rules see one :class:`FileContext` at a time;
+    #: ``"project"`` rules (see :class:`ProjectRule`) see the merged
+    #: call-graph snapshot and run once per analysis.
+    scope: str = "file"
 
     @abc.abstractmethod
     def check(self, ctx: "FileContext") -> Iterator[Finding]:
@@ -97,6 +103,47 @@ class Rule(abc.ABC):
             "  (on the offending line, or on its own line directly above)"
         )
         return "\n".join(parts)
+
+
+class ProjectRule(Rule):
+    """A rule that reasons over the whole project at once.
+
+    Project rules run once per analysis against the merged call-graph
+    snapshot (interprocedural facts: coloring, lock domains, escape
+    classes) instead of once per file.  They still emit ordinary
+    :class:`Finding` objects anchored in specific files, so emitters,
+    suppressions, and the baseline ratchet treat them identically.
+    """
+
+    scope = "project"
+
+    def check(self, ctx: "FileContext") -> Iterator[Finding]:
+        """Project rules contribute nothing to the per-file pass."""
+        return iter(())
+
+    @abc.abstractmethod
+    def check_project(self, snapshot: "ProjectSnapshot") -> Iterator[Finding]:
+        """Yield findings for one project snapshot."""
+
+    def finding_at(
+        self,
+        snapshot: "ProjectSnapshot",
+        rel_path: str,
+        line: int,
+        col: int,
+        message: str,
+        severity: Severity | None = None,
+    ) -> Finding:
+        """Build a finding anchored at ``rel_path:line`` of the snapshot."""
+        return Finding(
+            rule=self.id,
+            path=rel_path,
+            line=line,
+            col=col,
+            message=message,
+            severity=severity or self.severity,
+            snippet=snapshot.snippet(rel_path, line),
+        )
 
 
 _REGISTRY: dict[str, Rule] = {}
@@ -157,3 +204,26 @@ def select_rules(
         unwanted = {get_rule(rid).id for rid in ignore}
         rules = tuple(r for r in rules if r.id not in unwanted)
     return rules
+
+
+def expand_rule_patterns(patterns: Iterable[str]) -> list[str]:
+    """Expand ``--rules`` globs (``RPR2xx``, ``RPR20?``, ``RPR*``) to ids.
+
+    ``x``/``X`` are wildcard digits (the conventional family spelling);
+    since rule ids contain no letter beyond the ``RPR`` prefix, both are
+    translated to ``?`` before fnmatch.  Exact ids pass through.
+
+    Raises:
+        AnalysisError: if a pattern matches no registered rule.
+    """
+    ids = [rule.id for rule in all_rules()]
+    out: set[str] = set()
+    for pattern in patterns:
+        translated = pattern.replace("x", "?").replace("X", "?")
+        matched = [rid for rid in ids if fnmatch.fnmatchcase(rid, translated)]
+        if not matched:
+            raise AnalysisError(
+                f"rule pattern {pattern!r} matches no registered rule"
+            )
+        out.update(matched)
+    return sorted(out)

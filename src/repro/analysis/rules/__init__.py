@@ -3,6 +3,7 @@
 from repro.analysis.rules import (  # noqa: F401
     async_blocking,
     broad_except,
+    concurrency_rules,
     constants_audit,
     determinism,
     dimension_args,

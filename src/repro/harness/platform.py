@@ -134,6 +134,7 @@ class Platform:
         self.network = ThermalRCNetwork(self.floorplan, thermal_params)
         self.thermal = TwoPassThermalModel(self.network)
         self._kernel: BatchKernel | None = None
+        self._kernel_lock = threading.Lock()
         self._eval_memo: OrderedDict | None = None
         self._eval_memo_capacity = 0
         self._eval_memo_lock = threading.Lock()
@@ -166,10 +167,17 @@ class Platform:
         Cholesky factor, and the structure-to-node permutation are all
         candidate-independent.
         """
+        # Double-checked: service worker threads share one Platform, and
+        # two of them racing the lazy build would each construct a
+        # kernel with only one surviving — wasted Cholesky work and a
+        # torn read on CPython-without-GIL.  The fast path stays
+        # lock-free once built.
         if self._kernel is None:
-            self._kernel = BatchKernel(
-                self.power_model, self.network, self.thermal.solver
-            )
+            with self._kernel_lock:
+                if self._kernel is None:
+                    self._kernel = BatchKernel(
+                        self.power_model, self.network, self.thermal.solver
+                    )
         return self._kernel
 
     # ---- evaluation memo ----------------------------------------------

@@ -32,6 +32,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 from pathlib import Path
 
 from repro.config.microarch import BASE_MICROARCH, MicroarchConfig
@@ -74,6 +75,10 @@ class SimulationCache:
         self.disk_dir = Path(disk_dir) if disk_dir is not None else None
         self.store = ResultStore(self.disk_dir) if self.disk_dir is not None else None
         self._memory: dict[str, WorkloadRun] = {}
+        # The decision service shares one cache across its worker
+        # threads; the memo is the only mutable state, so it alone is
+        # locked — simulations (and store I/O) run outside the lock.
+        self._memory_lock = threading.Lock()
 
     def _key(self, profile: WorkloadProfile, config: MicroarchConfig) -> str:
         return simulate_cache_key(
@@ -91,7 +96,8 @@ class SimulationCache:
         corruption degrades to recomputation, never to an exception.
         """
         key = self._key(profile, config)
-        cached = self._memory.get(key)
+        with self._memory_lock:
+            cached = self._memory.get(key)
         if cached is not None:
             return cached
         if self.store is not None:
@@ -103,7 +109,8 @@ class SimulationCache:
                     self.store.invalidate(key)
                 else:
                     self.store.absolve(key)
-                    self._memory[key] = run
+                    with self._memory_lock:
+                        self._memory[key] = run
                     return run
         simulator = CycleSimulator(
             config=config,
@@ -112,7 +119,8 @@ class SimulationCache:
             seed=self.seed,
         )
         run = simulator.run(profile)
-        self._memory[key] = run
+        with self._memory_lock:
+            self._memory[key] = run
         if self.store is not None:
             self.store.put(key, "simulate", encode_workload_run(run))
         return run

@@ -58,6 +58,7 @@ import hashlib
 import json
 import math
 import os
+import threading
 import time
 from pathlib import Path
 from typing import Any, Iterator, Mapping
@@ -235,6 +236,9 @@ class FaultInjector:
         #: fired-fault records (this process only).
         self.fired: list[dict[str, Any]] = []
         self._once_fired: set[tuple[str, str]] = set()
+        # One injector is shared by every serve worker thread; the
+        # record list and once-set are the only mutable state.
+        self._record_lock = threading.Lock()
 
     # ---- the decision primitive ---------------------------------------
 
@@ -259,7 +263,8 @@ class FaultInjector:
             "wall_s": round(time.time(), 3),  # repro: ignore[RPR002] log metadata
             **detail,
         }
-        self.fired.append(record)
+        with self._record_lock:
+            self.fired.append(record)
         if self.log_path is not None:
             try:
                 self.log_path.parent.mkdir(parents=True, exist_ok=True)
@@ -272,11 +277,12 @@ class FaultInjector:
 
     def _once(self, site: str, key: str) -> bool:
         """``should``, firing at most once per (site, key) per process."""
-        if (site, key) in self._once_fired:
-            return False
         if not self.should(site, key):
             return False
-        self._once_fired.add((site, key))
+        with self._record_lock:
+            if (site, key) in self._once_fired:
+                return False
+            self._once_fired.add((site, key))
         return True
 
     # ---- executor sites ------------------------------------------------

@@ -1,0 +1,500 @@
+"""RPR201-205 fixture tests: positive, suppressed, and cross-module.
+
+Each concurrency rule gets one true-positive fixture, one fixture that
+silences the finding with ``# repro: ignore[RPRxxx]``, and (for the
+interprocedural rules) a fixture whose racy write is only reachable
+through a cross-module call chain.  Fixtures run through the real
+in-process :class:`Analyzer` so harvesting, graph merging, coloring,
+and suppression all run exactly as ``python -m repro analyze`` would.
+"""
+
+import textwrap
+
+from repro.analysis import Analyzer
+
+
+def run(tmp_path, files, select=None):
+    """Write ``files`` (rel-path -> source) and analyze the tree."""
+    for rel, text in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(text), encoding="utf-8")
+    return Analyzer(root=tmp_path, select=select).analyze_paths([tmp_path])
+
+
+def rules_hit(result):
+    return [f.rule for f in result.findings]
+
+
+#: A service whose worker threads mutate an unlocked dict — the exact
+#: shape of the Platform grid-memo bug this rule family was built for.
+RACY_SERVICE = """
+    from concurrent.futures import ThreadPoolExecutor
+
+
+    class Memo:
+        def __init__(self):
+            self.grid = {}
+
+        def put(self, key, value):
+            self.grid[key] = value
+
+
+    class Service:
+        def __init__(self):
+            self.memo = Memo()
+            self.pool = ThreadPoolExecutor(4)
+
+        def work(self, key):
+            self.memo.put(key, key * 2)
+
+        def dispatch(self, key):
+            self.pool.submit(self.work, key)
+"""
+
+LOCKED_SERVICE = """
+    import threading
+    from concurrent.futures import ThreadPoolExecutor
+
+
+    class Memo:
+        def __init__(self):
+            self.grid = {}
+            self.lock = threading.Lock()
+
+        def put(self, key, value):
+            with self.lock:
+                self.grid[key] = value
+
+
+    class Service:
+        def __init__(self):
+            self.memo = Memo()
+            self.pool = ThreadPoolExecutor(4)
+
+        def work(self, key):
+            self.memo.put(key, key * 2)
+
+        def dispatch(self, key):
+            self.pool.submit(self.work, key)
+"""
+
+
+class TestSharedStateWithoutLock:
+    def test_unlocked_write_on_thread_path_fires(self, tmp_path):
+        result = run(
+            tmp_path, {"src/svc.py": RACY_SERVICE}, select=["RPR201"]
+        )
+        assert rules_hit(result) == ["RPR201"]
+        finding = result.findings[0]
+        assert "grid" in finding.message
+        # The message carries the interprocedural chain to the write.
+        assert "Service.work -> Memo.put" in finding.message
+
+    def test_consistent_lock_domain_is_clean(self, tmp_path):
+        result = run(
+            tmp_path, {"src/svc.py": LOCKED_SERVICE}, select=["RPR201"]
+        )
+        assert result.findings == []
+
+    def test_per_call_local_objects_are_not_shared(self, tmp_path):
+        # The mutated object is constructed inside the threaded call, so
+        # no two threads ever see the same instance.
+        result = run(tmp_path, {
+            "src/svc.py": """
+                from concurrent.futures import ThreadPoolExecutor
+
+
+                class Scratch:
+                    def __init__(self):
+                        self.rows = {}
+
+                    def put(self, key):
+                        self.rows[key] = key
+
+
+                class Service:
+                    def __init__(self):
+                        self.pool = ThreadPoolExecutor(4)
+
+                    def work(self, key):
+                        scratch = Scratch()
+                        scratch.put(key)
+
+                    def dispatch(self, key):
+                        self.pool.submit(self.work, key)
+            """,
+        }, select=["RPR201"])
+        assert result.findings == []
+
+    def test_cross_module_chain_is_tracked(self, tmp_path):
+        result = run(tmp_path, {
+            "src/store.py": """
+                class Memo:
+                    def __init__(self):
+                        self.grid = {}
+
+                    def put(self, key, value):
+                        self.grid[key] = value
+            """,
+            "src/svc.py": """
+                from concurrent.futures import ThreadPoolExecutor
+
+                from store import Memo
+
+
+                class Service:
+                    def __init__(self):
+                        self.memo = Memo()
+                        self.pool = ThreadPoolExecutor(4)
+
+                    def work(self, key):
+                        self.memo.put(key, key * 2)
+
+                    def dispatch(self, key):
+                        self.pool.submit(self.work, key)
+            """,
+        }, select=["RPR201"])
+        assert rules_hit(result) == ["RPR201"]
+        assert result.findings[0].path == "src/store.py"
+
+    def test_suppression_comment_silences_it(self, tmp_path):
+        suppressed = RACY_SERVICE.replace(
+            "self.grid[key] = value",
+            "self.grid[key] = value  # repro: ignore[RPR201] single-writer",
+        )
+        result = run(
+            tmp_path, {"src/svc.py": suppressed}, select=["RPR201"]
+        )
+        assert result.findings == []
+        assert [f.rule for f in result.suppressed] == ["RPR201"]
+
+
+class TestLockHeldAcrossAwait:
+    def test_threading_lock_across_await_fires(self, tmp_path):
+        result = run(tmp_path, {
+            "src/svc.py": """
+                import asyncio
+                import threading
+
+
+                class Gate:
+                    def __init__(self):
+                        self.lock = threading.Lock()
+
+                    async def pass_through(self):
+                        with self.lock:
+                            await asyncio.sleep(0.01)
+            """,
+        }, select=["RPR202"])
+        assert rules_hit(result) == ["RPR202"]
+        assert "await" in result.findings[0].message
+
+    def test_asyncio_lock_is_fine_across_await(self, tmp_path):
+        result = run(tmp_path, {
+            "src/svc.py": """
+                import asyncio
+
+
+                class Gate:
+                    def __init__(self):
+                        self.lock = asyncio.Lock()
+
+                    async def pass_through(self):
+                        async with self.lock:
+                            await asyncio.sleep(0.01)
+            """,
+        }, select=["RPR202"])
+        assert result.findings == []
+
+    def test_lock_released_before_await_is_fine(self, tmp_path):
+        result = run(tmp_path, {
+            "src/svc.py": """
+                import asyncio
+                import threading
+
+
+                class Gate:
+                    def __init__(self):
+                        self.lock = threading.Lock()
+                        self.hits = 0
+
+                    async def pass_through(self):
+                        with self.lock:
+                            self.hits += 1
+                        await asyncio.sleep(0.01)
+            """,
+        }, select=["RPR202"])
+        assert result.findings == []
+
+    def test_suppression_comment_silences_it(self, tmp_path):
+        result = run(tmp_path, {
+            "src/svc.py": """
+                import asyncio
+                import threading
+
+
+                class Gate:
+                    def __init__(self):
+                        self.lock = threading.Lock()
+
+                    async def pass_through(self):
+                        with self.lock:  # repro: ignore[RPR202] bounded sleep
+                            await asyncio.sleep(0.01)
+            """,
+        }, select=["RPR202"])
+        assert result.findings == []
+
+
+class TestUnsafeObjectCrossesThread:
+    def test_unlocked_container_class_crossing_fires(self, tmp_path):
+        result = run(tmp_path, {
+            "src/svc.py": """
+                import threading
+
+
+                class Tally:
+                    def __init__(self):
+                        self.counts = {}
+
+                    def bump(self, key):
+                        self.counts[key] = self.counts.get(key, 0) + 1
+
+
+                def spawn(tally: Tally):
+                    threading.Thread(target=tally.bump, args=("k",)).start()
+            """,
+        }, select=["RPR203"])
+        assert rules_hit(result) == ["RPR203"]
+        assert "Tally" in result.findings[0].message
+
+    def test_locked_class_crossing_is_fine(self, tmp_path):
+        result = run(tmp_path, {
+            "src/svc.py": """
+                import threading
+
+
+                class Tally:
+                    def __init__(self):
+                        self.lock = threading.Lock()
+                        self.counts = {}
+
+                    def bump(self, key):
+                        with self.lock:
+                            self.counts[key] = self.counts.get(key, 0) + 1
+
+
+                def spawn(tally: Tally):
+                    threading.Thread(target=tally.bump, args=("k",)).start()
+            """,
+        }, select=["RPR203"])
+        assert result.findings == []
+
+    def test_suppression_comment_silences_it(self, tmp_path):
+        result = run(tmp_path, {
+            "src/svc.py": """
+                import threading
+
+
+                class Tally:
+                    def __init__(self):
+                        self.counts = {}
+
+                    def bump(self, key):
+                        self.counts[key] = self.counts.get(key, 0) + 1
+
+
+                def spawn(tally: Tally):
+                    # repro: ignore[RPR203] joined before any read
+                    threading.Thread(target=tally.bump, args=("k",)).start()
+            """,
+        }, select=["RPR203"])
+        assert result.findings == []
+
+
+class TestFireAndForget:
+    def test_dropped_create_task_fires(self, tmp_path):
+        result = run(tmp_path, {
+            "src/svc.py": """
+                import asyncio
+
+
+                async def work():
+                    pass
+
+
+                async def entry():
+                    asyncio.create_task(work())
+            """,
+        }, select=["RPR204"])
+        assert rules_hit(result) == ["RPR204"]
+
+    def test_tracked_task_is_fine(self, tmp_path):
+        result = run(tmp_path, {
+            "src/svc.py": """
+                import asyncio
+
+
+                async def work():
+                    pass
+
+
+                async def entry(pending: set):
+                    task = asyncio.create_task(work())
+                    pending.add(task)
+                    task.add_done_callback(pending.discard)
+            """,
+        }, select=["RPR204"])
+        assert result.findings == []
+
+    def test_unjoined_local_thread_fires(self, tmp_path):
+        result = run(tmp_path, {
+            "src/svc.py": """
+                import threading
+
+
+                def work():
+                    pass
+
+
+                def entry():
+                    t = threading.Thread(target=work)
+                    t.start()
+            """,
+        }, select=["RPR204"])
+        assert rules_hit(result) == ["RPR204"]
+
+    def test_joined_thread_is_fine(self, tmp_path):
+        result = run(tmp_path, {
+            "src/svc.py": """
+                import threading
+
+
+                def work():
+                    pass
+
+
+                def entry():
+                    t = threading.Thread(target=work)
+                    t.start()
+                    t.join()
+            """,
+        }, select=["RPR204"])
+        assert result.findings == []
+
+    def test_suppression_comment_silences_it(self, tmp_path):
+        result = run(tmp_path, {
+            "src/svc.py": """
+                import asyncio
+
+
+                async def work():
+                    pass
+
+
+                async def entry():
+                    asyncio.create_task(work())  # repro: ignore[RPR204] daemon
+            """,
+        }, select=["RPR204"])
+        assert result.findings == []
+
+
+class TestResourceLeak:
+    def test_unclosed_socket_fires(self, tmp_path):
+        result = run(tmp_path, {
+            "src/svc.py": """
+                import socket
+
+
+                def probe(host, port):
+                    conn = socket.create_connection((host, port))
+                    conn.sendall(b"ping")
+            """,
+        }, select=["RPR205"])
+        assert rules_hit(result) == ["RPR205"]
+        assert "socket" in result.findings[0].message
+
+    def test_with_block_is_fine(self, tmp_path):
+        result = run(tmp_path, {
+            "src/svc.py": """
+                import socket
+
+
+                def probe(host, port):
+                    with socket.create_connection((host, port)) as conn:
+                        conn.sendall(b"ping")
+            """,
+        }, select=["RPR205"])
+        assert result.findings == []
+
+    def test_explicit_close_is_fine(self, tmp_path):
+        result = run(tmp_path, {
+            "src/svc.py": """
+                def slurp(path):
+                    handle = open(path)
+                    text = handle.read()
+                    handle.close()
+                    return text
+            """,
+        }, select=["RPR205"])
+        assert result.findings == []
+
+    def test_stored_executor_with_class_close_is_fine(self, tmp_path):
+        result = run(tmp_path, {
+            "src/svc.py": """
+                from concurrent.futures import ThreadPoolExecutor
+
+
+                class Service:
+                    def __init__(self):
+                        self.pool = ThreadPoolExecutor(4)
+
+                    def close(self):
+                        self.pool.shutdown()
+            """,
+        }, select=["RPR205"])
+        assert result.findings == []
+
+    def test_stored_executor_without_close_fires(self, tmp_path):
+        result = run(tmp_path, {
+            "src/svc.py": """
+                from concurrent.futures import ThreadPoolExecutor
+
+
+                class Service:
+                    def __init__(self):
+                        self.pool = ThreadPoolExecutor(4)
+            """,
+        }, select=["RPR205"])
+        assert rules_hit(result) == ["RPR205"]
+
+    def test_suppression_comment_silences_it(self, tmp_path):
+        result = run(tmp_path, {
+            "src/svc.py": """
+                import socket
+
+
+                def probe(host, port):
+                    conn = socket.create_connection((host, port))  # repro: ignore[RPR205] closed by caller
+                    return conn
+            """,
+        }, select=["RPR205"])
+        assert result.findings == []
+
+
+class TestRuleFamilyGlob:
+    def test_rules_glob_expands_to_the_family(self, tmp_path):
+        from repro.analysis.registry import expand_rule_patterns
+
+        expanded = expand_rule_patterns(["RPR2xx"])
+        for rule_id in ("RPR201", "RPR202", "RPR203", "RPR204", "RPR205"):
+            assert rule_id in expanded
+        assert not any(r.startswith("RPR1") for r in expanded)
+
+    def test_unknown_pattern_is_an_error(self):
+        import pytest
+
+        from repro.analysis.registry import AnalysisError, expand_rule_patterns
+
+        with pytest.raises(AnalysisError):
+            expand_rule_patterns(["RPR9xx"])

@@ -181,3 +181,125 @@ class TestJobKeys:
         ]
         keys = {base.cache_key} | {v.cache_key for v in variants}
         assert len(keys) == len(variants) + 1
+
+
+RACY = """
+    from concurrent.futures import ThreadPoolExecutor
+
+
+    class Memo:
+        def __init__(self):
+            self.grid = {}
+
+        def put(self, key, value):
+            self.grid[key] = value
+
+
+    class Service:
+        def __init__(self):
+            self.memo = Memo()
+            self.pool = ThreadPoolExecutor(4)
+
+        def work(self, key):
+            self.memo.put(key, key * 2)
+
+        def dispatch(self, key):
+            self.pool.submit(self.work, key)
+"""
+
+RACY_LOCKED = """
+    import threading
+    from concurrent.futures import ThreadPoolExecutor
+
+
+    class Memo:
+        def __init__(self):
+            self.grid = {}
+            self.lock = threading.Lock()
+
+        def put(self, key, value):
+            with self.lock:
+                self.grid[key] = value
+
+
+    class Service:
+        def __init__(self):
+            self.memo = Memo()
+            self.pool = ThreadPoolExecutor(4)
+
+        def work(self, key):
+            self.memo.put(key, key * 2)
+
+        def dispatch(self, key):
+            self.pool.submit(self.work, key)
+"""
+
+
+class TestCallGraphLayer:
+    """The interprocedural pass caches as one store entry keyed on the
+    merged call-graph facts; file edits only recompute it when those
+    facts (or the signature table) actually change."""
+
+    def tree(self, tmp_path):
+        write_tree(tmp_path, {
+            "src/svc.py": RACY,
+            "src/alpha.py": CLEAN,
+        })
+        return tmp_path
+
+    def test_findings_replay_from_the_cached_pass(self, tmp_path):
+        tree = self.tree(tmp_path)
+        cold = analyze(tree, select=["RPR201"])
+        assert cold.stats["callgraph_pass"] == "computed"
+        assert [f.rule for f in cold.findings] == ["RPR201"]
+        warm = analyze(tree, select=["RPR201"])
+        assert warm.stats["callgraph_pass"] == "cached"
+        assert warm.stats["analyzed"] == 0
+        assert [(f.path, f.line, f.message) for f in warm.findings] == [
+            (f.path, f.line, f.message) for f in cold.findings
+        ]
+
+    def test_body_edit_reanalyzes_one_file_and_keeps_the_pass(self, tmp_path):
+        tree = self.tree(tmp_path)
+        analyze(tree, select=["RPR201"])
+        # Rewrite a body without touching signatures, calls, or writes:
+        # the per-file layer re-runs for that file alone and the merged
+        # call-graph facts hash to the same key.
+        write_tree(tree, {
+            "src/alpha.py": """
+                def total(core_power_w: float, cache_power_w: float) -> float:
+                    return cache_power_w + core_power_w
+            """,
+        })
+        result = analyze(tree, select=["RPR201"])
+        assert result.stats["analyzed"] == 1
+        assert result.stats["cached"] == 1
+        assert result.stats["callgraph_pass"] == "cached"
+
+    def test_call_fact_edit_recomputes_the_pass(self, tmp_path):
+        tree = self.tree(tmp_path)
+        analyze(tree, select=["RPR201"])
+        # Locking the write changes svc.py's harvested call-graph facts,
+        # so the pass key misses and the finding disappears.
+        write_tree(tree, {"src/svc.py": RACY_LOCKED})
+        result = analyze(tree, select=["RPR201"])
+        assert result.stats["callgraph_pass"] == "computed"
+        assert result.findings == []
+
+    def test_signature_edit_invalidates_the_pass(self, tmp_path):
+        tree = self.tree(tmp_path)
+        analyze(tree, select=["RPR201"])
+        # A new public function in an unrelated module changes the
+        # project signature table; the pass key includes it, so the
+        # interprocedural layer recomputes even though svc.py is
+        # untouched.
+        write_tree(tree, {"src/alpha.py": CLEAN_WITH_NEW_SIGNATURE})
+        result = analyze(tree, select=["RPR201"])
+        assert result.stats["callgraph_pass"] == "computed"
+        assert [f.rule for f in result.findings] == ["RPR201"]
+
+    def test_file_only_selection_skips_the_pass(self, tmp_path):
+        tree = self.tree(tmp_path)
+        result = analyze(tree, select=["RPR101"])
+        assert result.stats["callgraph_rules"] == 0
+        assert result.stats["callgraph_pass"] == "skipped"
