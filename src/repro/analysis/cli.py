@@ -103,6 +103,15 @@ def add_analyze_parser(sub: argparse._SubParsersAction) -> None:
                         "everything in-process")
     p.add_argument("--stats", action="store_true",
                    help="print cache and timing statistics to stderr")
+    p.add_argument("--stats-json", default=None, metavar="FILE",
+                   help="also write driver statistics (cache layers, "
+                        "timings, files/s) to FILE as JSON")
+    p.add_argument("--changed", action="store_true",
+                   help="report findings only for files changed vs git "
+                        "HEAD (plus untracked); the whole tree is still "
+                        "analyzed so project-wide passes stay correct, "
+                        "but unchanged-file findings and stale-baseline "
+                        "gating are skipped (pre-commit mode)")
     p.set_defaults(func=run_analyze)
 
 
@@ -110,6 +119,38 @@ def _split_ids(raw: str | None) -> list[str] | None:
     if raw is None:
         return None
     return [token.strip() for token in raw.split(",") if token.strip()]
+
+
+def changed_rel_paths(root: Path) -> set[str] | None:
+    """Repo-relative ``.py`` paths changed vs HEAD, plus untracked.
+
+    Returns None when git is unavailable or the root is not a work
+    tree (callers fall back to a full run with a warning).
+    """
+    import subprocess
+
+    try:
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", "HEAD", "--"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        untracked = subprocess.run(
+            ["git", "ls-files", "--others", "--exclude-standard"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    return {
+        line.strip()
+        for line in (diff.stdout + untracked.stdout).splitlines()
+        if line.strip().endswith(".py")
+    }
 
 
 def run_analyze(args: argparse.Namespace) -> int:
@@ -144,6 +185,19 @@ def run_analyze(args: argparse.Namespace) -> int:
             args.cache_dir or config.get("cache_dir") or DEFAULT_CACHE_DIR
         )
 
+    report_only: set[str] | None = None
+    if args.changed:
+        report_only = changed_rel_paths(root)
+        if report_only is None:
+            print(
+                "analyze: --changed needs a git work tree; running on "
+                "everything",
+                file=sys.stderr,
+            )
+        elif not report_only:
+            print("analyze: no changed python files", file=sys.stderr)
+            return 0
+
     started = time.monotonic()
     try:
         select = _split_ids(args.select)
@@ -160,6 +214,7 @@ def run_analyze(args: argparse.Namespace) -> int:
             ignore=_split_ids(args.ignore),
             cache_dir=cache_dir,
             workers=args.jobs,
+            report_only=report_only,
         )
         result = analyzer.analyze_paths(paths)
     except AnalysisError as exc:
@@ -188,6 +243,10 @@ def run_analyze(args: argparse.Namespace) -> int:
             print(f"analyze: {exc}", file=sys.stderr)
             return 2
         baseline.partition(result)
+        if args.changed:
+            # A diff-scoped run sees only a slice of the findings, so
+            # unmatched baseline entries prove nothing about staleness.
+            result.stale_baseline = []
 
     if args.format == "json":
         report = json.dumps(to_json(result), indent=2)
@@ -205,11 +264,12 @@ def run_analyze(args: argparse.Namespace) -> int:
     else:
         print(report)
 
+    stats = dict(result.stats)
+    files = stats.get("files", result.files_scanned) or 0
     if args.stats:
-        stats = dict(result.stats)
         line = (
             f"analyze: {stats.get('driver', '?')} driver, "
-            f"{stats.get('files', result.files_scanned)} file(s), "
+            f"{files} file(s), "
             f"{stats.get('analyzed', '?')} analyzed, "
             f"{stats.get('cached', 0)} cached, "
             f"{duration_s:.2f}s"
@@ -219,7 +279,6 @@ def run_analyze(args: argparse.Namespace) -> int:
                 f" (harvest: {stats['harvest_hits']} hit(s), "
                 f"{stats['harvest_misses']} miss(es))"
             )
-        files = stats.get("files", result.files_scanned) or 0
         if duration_s > 0:
             line += f", {files / duration_s:.1f} files/s"
         if stats.get("callgraph_rules"):
@@ -227,6 +286,21 @@ def run_analyze(args: argparse.Namespace) -> int:
                 f" [callgraph: {stats.get('callgraph_pass', '?')} in "
                 f"{stats.get('callgraph_pass_s', 0.0):.3f}s]"
             )
+        if stats.get("range_rules"):
+            line += (
+                f" [range: {stats.get('range_pass', '?')} in "
+                f"{stats.get('range_pass_s', 0.0):.3f}s]"
+            )
         print(line, file=sys.stderr)
+
+    if args.stats_json:
+        stats["duration_s"] = round(duration_s, 4)
+        stats["files_per_s"] = (
+            round(files / duration_s, 2) if duration_s > 0 else None
+        )
+        Path(args.stats_json).write_text(
+            json.dumps(stats, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
 
     return 0 if result.clean else 1

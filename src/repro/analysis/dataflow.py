@@ -63,6 +63,33 @@ class UnitDiagnostic:
     message: str
 
 
+def build_import_map(tree: ast.Module, module: str | None) -> dict[str, str]:
+    """Local name -> dotted import target, from one file's imports.
+
+    Shared by the unit and interval interpreters; relative imports are
+    anchored at ``module``'s package.
+    """
+    out: dict[str, str] = {}
+    package = (module or "").split(".")[:-1]
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                out[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                base = node.module or ""
+            else:
+                anchor = package[: len(package) - (node.level - 1)]
+                base = ".".join(anchor + ([node.module] if node.module else []))
+            for alias in node.names:
+                out[alias.asname or alias.name] = (
+                    f"{base}.{alias.name}" if base else alias.name
+                )
+    return out
+
+
 def _known(unit: Unit | None) -> bool:
     return unit is not None and unit is not NUMBER and unit is not DIMENSIONLESS
 
@@ -105,7 +132,7 @@ class UnitInterpreter:
     # ---- entry point ---------------------------------------------------
 
     def run(self, tree: ast.Module) -> list[UnitDiagnostic]:
-        self._imports = self._import_map(tree)
+        self._imports = build_import_map(tree, self.module)
         self._exec_block(tree.body, {})
         for node in ast.walk(tree):
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
@@ -113,30 +140,6 @@ class UnitInterpreter:
                 self._exec_block(node.body, env)
         self.diagnostics.sort(key=lambda d: (d.line, d.col))
         return self.diagnostics
-
-    def _import_map(self, tree: ast.Module) -> dict[str, str]:
-        """Local name -> dotted target, from the file's imports."""
-        out: dict[str, str] = {}
-        package = (self.module or "").split(".")[:-1]
-        for node in ast.walk(tree):
-            if isinstance(node, ast.Import):
-                for alias in node.names:
-                    out[alias.asname or alias.name.split(".")[0]] = (
-                        alias.name if alias.asname else alias.name.split(".")[0]
-                    )
-            elif isinstance(node, ast.ImportFrom):
-                if node.level == 0:
-                    base = node.module or ""
-                else:
-                    anchor = package[: len(package) - (node.level - 1)]
-                    base = ".".join(
-                        anchor + ([node.module] if node.module else [])
-                    )
-                for alias in node.names:
-                    out[alias.asname or alias.name] = (
-                        f"{base}.{alias.name}" if base else alias.name
-                    )
-        return out
 
     def _seed_env(
         self, node: ast.FunctionDef | ast.AsyncFunctionDef

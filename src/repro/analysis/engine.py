@@ -99,7 +99,22 @@ class FileContext:
             )
         return self._unit_diags
 
+    def interval_diagnostics(self):
+        """Interval-domain diagnostics for this file, computed once.
+
+        The numeric-safety and loop rules (RPR301/303/310) share one
+        interpretation the same way the unit rules share theirs.
+        """
+        if self._interval_diags is None:
+            from repro.analysis.intervals import analyze_intervals
+
+            self._interval_diags = analyze_intervals(
+                self.tree, self.project.unit_signatures, self.module
+            )
+        return self._interval_diags
+
     _unit_diags: list | None = field(default=None, repr=False)
+    _interval_diags: list | None = field(default=None, repr=False)
 
 
 class PathPartsCache:
@@ -145,6 +160,30 @@ def collect_files(paths: list[Path]) -> list[Path]:
     return sorted(out)
 
 
+def range_findings(rules: tuple[Rule, ...], payloads: list[dict]) -> list[Finding]:
+    """Turn range-pass payloads into RPR302 findings.
+
+    Shared by both drivers: the in-process path computes payloads
+    directly, the incremental driver replays them from its cache.
+    """
+    rule = next((r for r in rules if r.id == "RPR302"), None)
+    if rule is None:
+        return []
+    return [
+        Finding(
+            rule=rule.id,
+            path=p["path"],
+            line=p["line"],
+            col=p["col"],
+            message=p["message"],
+            severity=rule.severity,
+            snippet=p.get("snippet", ""),
+            context=p.get("context", ""),
+        )
+        for p in payloads
+    ]
+
+
 class Analyzer:
     """Runs a rule set over a file tree.
 
@@ -154,6 +193,10 @@ class Analyzer:
         select: optional rule-id allowlist.
         ignore: optional rule-id denylist.
         rules: explicit rule instances (overrides select/ignore).
+        report_only: optional set of repo-relative posix paths; when
+            given, the whole tree is still analyzed (project passes need
+            global facts) but only findings anchored in these files are
+            reported.  This is the ``--changed`` mode.
     """
 
     def __init__(
@@ -164,12 +207,14 @@ class Analyzer:
         rules: tuple[Rule, ...] | None = None,
         cache_dir: Path | str | None = None,
         workers: int | None = None,
+        report_only: set[str] | None = None,
     ) -> None:
         self.root = Path(root)
         self._custom_rules = rules is not None
         self.rules = rules if rules is not None else select_rules(select, ignore)
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.workers = workers
+        self.report_only = report_only
 
     def analyze_paths(self, paths: list[Path | str]) -> AnalysisResult:
         """Analyze files and directories; returns all raw findings.
@@ -194,7 +239,7 @@ class Analyzer:
                 cache_dir=self.cache_dir,
                 workers=self.workers,
             )
-            return driver.analyze_files(files)
+            return self._filter_report(driver.analyze_files(files))
         result = AnalysisResult(files_scanned=len(files))
 
         parsed: dict[str, tuple[Path, str, ast.Module]] = {}
@@ -237,6 +282,7 @@ class Analyzer:
 
         file_rules = tuple(r for r in self.rules if r.scope == "file")
         project_rules = tuple(r for r in self.rules if r.scope == "project")
+        interval_rules = tuple(r for r in self.rules if r.scope == "intervals")
 
         suppress_maps: dict[str, dict[int, set[str]]] = {}
         lines_by_rel: dict[str, list[str]] = {}
@@ -288,6 +334,32 @@ class Analyzer:
             result.suppressed.extend(proj_suppressed)
             callgraph_pass_s = time.perf_counter() - start
 
+        range_pass_s = 0.0
+        if interval_rules:
+            from repro.analysis.intervals import (
+                harvest_interval_facts,
+                run_range_pass,
+            )
+
+            start = time.perf_counter()
+            facts = {
+                rel: harvest_interval_facts(
+                    tree, module_name_for(rel), lines_by_rel[rel]
+                )
+                for rel, (_, _, tree) in parsed.items()
+                if not is_test_path(rel)
+            }
+            payloads = run_range_pass(facts, project.unit_signatures)
+            for finding in range_findings(interval_rules, payloads):
+                covered = finding.rule in suppress_maps.get(
+                    finding.path, {}
+                ).get(finding.line, set())
+                if covered:
+                    result.suppressed.append(finding)
+                else:
+                    result.findings.append(finding)
+            range_pass_s = time.perf_counter() - start
+
         result.findings.sort(key=Finding.sort_key)
         result.suppressed.sort(key=Finding.sort_key)
         result.stats = {
@@ -298,5 +370,20 @@ class Analyzer:
             "callgraph_rules": len(project_rules),
             "callgraph_pass": "computed" if project_rules else "skipped",
             "callgraph_pass_s": round(callgraph_pass_s, 4),
+            "range_rules": len(interval_rules),
+            "range_pass": "computed" if interval_rules else "skipped",
+            "range_pass_s": round(range_pass_s, 4),
         }
+        return self._filter_report(result)
+
+    def _filter_report(self, result: AnalysisResult) -> AnalysisResult:
+        """Drop findings outside ``report_only``, when set (--changed)."""
+        if self.report_only is None:
+            return result
+        result.findings = [
+            f for f in result.findings if f.path in self.report_only
+        ]
+        result.suppressed = [
+            f for f in result.suppressed if f.path in self.report_only
+        ]
         return result

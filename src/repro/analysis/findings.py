@@ -2,9 +2,12 @@
 
 A :class:`Finding` is one rule violation at one source location.  Its
 :meth:`~Finding.fingerprint` deliberately excludes the line *number* —
-it hashes the rule id, the file path, and the normalised source line —
-so a finding keeps its identity (and stays matched against the
-committed baseline) when unrelated edits shift code up or down a file.
+it hashes the rule id, the file path, and either the rule-supplied
+``context`` (a semantic anchor like ``call:qualname:param``) or, when
+none is given, the normalised source line — so a finding keeps its
+identity (and stays matched against the committed baseline) when
+unrelated edits shift code up or down a file, and for project-scope
+rules even when the anchoring line itself is reformatted or reordered.
 """
 
 from __future__ import annotations
@@ -42,7 +45,11 @@ class Finding:
         col: 1-based source column.
         message: human-readable description of the violation.
         severity: finding severity.
-        snippet: the stripped source line, used for the fingerprint.
+        snippet: the stripped source line (fingerprint fallback basis).
+        context: optional semantic anchor supplied by the rule (e.g.
+            ``attr:ClassName.field`` or ``call:qualname:param``); when
+            set it replaces the snippet in the fingerprint so identity
+            survives reformatting of the anchoring line.
     """
 
     rule: str
@@ -52,11 +59,13 @@ class Finding:
     message: str
     severity: Severity = Severity.ERROR
     snippet: str = ""
+    context: str = ""
 
     @property
     def fingerprint(self) -> str:
         """Stable identity for baseline matching (line-number free)."""
-        basis = f"{self.rule}|{self.path}|{' '.join(self.snippet.split())}"
+        anchor = self.context or " ".join(self.snippet.split())
+        basis = f"{self.rule}|{self.path}|{anchor}"
         return hashlib.sha256(basis.encode()).hexdigest()[:16]
 
     def sort_key(self) -> tuple:

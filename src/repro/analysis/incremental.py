@@ -15,6 +15,15 @@ units stored in the engine's content-addressed result store:
    :class:`~repro.engine.analysis_jobs.AnalyzeFileJob` fanned out over
    the engine's process-pool executor.  Cold runs use all cores; warm
    runs hit the store and touch only changed files.
+3. **Call-graph pass** (one entry, keyed by every non-test file's
+   call-graph facts + suppression maps + signature digest): the
+   interprocedural concurrency findings (RPR2xx).
+4. **Interval facts + range pass**: per-file boundary-crossing numeric
+   values (kind ``analysis_intervals``, keyed by content hash), and
+   one project-wide range-check entry (kind ``analysis_range_pass``,
+   keyed by the facts + suppression digest and the signature-table
+   digest, which covers the declared physical-range table).  This is
+   what backs RPR302.
 
 Because the signature-table digest is part of every rule-result key, an
 edit that changes a function's *signature* re-analyzes the whole tree
@@ -43,6 +52,12 @@ from repro.analysis.engine import (
     FileContext,
     ProjectContext,
     is_test_path,
+    range_findings,
+)
+from repro.analysis.intervals import (
+    INTERVALS_VERSION,
+    harvest_interval_facts,
+    run_range_pass,
 )
 from repro.analysis.findings import AnalysisResult, Finding, Severity
 from repro.analysis.imports import (
@@ -56,13 +71,16 @@ from repro.analysis.suppressions import parse_suppressions
 from repro.analysis.unitsig import SignatureTable, harvest_signatures
 
 #: Bump when the harvest payload shape or semantics change.
-HARVEST_VERSION = 2
+#: v3: signature payloads carry module constant values and the declared
+#: physical-range table.
+HARVEST_VERSION = 3
 
 #: Bump whenever any rule's logic changes in a way that can alter its
 #: findings; cached per-file verdicts from older rule code then read as
 #: misses.  (Adding/removing rules needs no bump — the active rule ids
 #: are part of every cache key.)
-RULESET_VERSION = 1
+#: v2: finding payloads carry the semantic fingerprint context.
+RULESET_VERSION = 2
 
 #: Default cache location, relative to the analysis root.
 DEFAULT_CACHE_DIR = ".repro-cache/analysis"
@@ -76,6 +94,7 @@ def _finding_payload(finding: Finding) -> dict:
         "message": finding.message,
         "severity": finding.severity.value,
         "snippet": finding.snippet,
+        "context": finding.context,
     }
 
 
@@ -88,6 +107,7 @@ def _finding_from_payload(rel_path: str, payload: dict) -> Finding:
         message=payload["message"],
         severity=Severity(payload["severity"]),
         snippet=payload.get("snippet", ""),
+        context=payload.get("context", ""),
     )
 
 
@@ -293,6 +313,7 @@ class IncrementalDriver:
 
         file_rules = tuple(r for r in self.rules if r.scope == "file")
         project_rules = tuple(r for r in self.rules if r.scope == "project")
+        interval_rules = tuple(r for r in self.rules if r.scope == "intervals")
         rule_ids = tuple(rule.id for rule in file_rules)
         jobs: list[AnalyzeFileJob] = []
         for rel, payload in harvests.items():
@@ -367,6 +388,22 @@ class IncrementalDriver:
             )
             callgraph_pass_s = time.perf_counter() - start
 
+        range_status = "skipped"
+        range_pass_s = 0.0
+        intervals_hits = intervals_misses = 0
+        if interval_rules:
+            start = time.perf_counter()
+            range_status, intervals_hits, intervals_misses = self._range_pass(
+                interval_rules,
+                harvests,
+                sources,
+                digests,
+                table,
+                sig_hash,
+                result,
+            )
+            range_pass_s = time.perf_counter() - start
+
         result.findings.sort(key=Finding.sort_key)
         result.suppressed.sort(key=Finding.sort_key)
         result.stats = {
@@ -380,6 +417,11 @@ class IncrementalDriver:
             "callgraph_rules": len(project_rules),
             "callgraph_pass": callgraph_status,
             "callgraph_pass_s": round(callgraph_pass_s, 4),
+            "range_rules": len(interval_rules),
+            "range_pass": range_status,
+            "range_pass_s": round(range_pass_s, 4),
+            "intervals_hits": intervals_hits,
+            "intervals_misses": intervals_misses,
             "workers": self.workers,
             "store": self.store.stats.as_dict(),
         }
@@ -474,3 +516,108 @@ class IncrementalDriver:
         result.findings.extend(findings)
         result.suppressed.extend(suppressed)
         return "computed"
+
+    # ---- interval (range) layer ----------------------------------------
+
+    def _interval_facts(
+        self, rel: str, digest: str, source: str
+    ) -> tuple[dict, int]:
+        """(facts, store hit) for one file's interval harvest."""
+        from repro.engine.jobs import content_hash
+
+        key = content_hash(
+            {
+                "kind": "analysis_intervals",
+                "v": INTERVALS_VERSION,
+                "path": rel,
+                "content": digest,
+            }
+        )
+        cached = self.store.get(key)
+        if cached is not None:
+            return cached, 1
+        tree = ast.parse(source, filename=rel)
+        facts = harvest_interval_facts(
+            tree, module_name_for(rel), source.splitlines()
+        )
+        self.store.put(key, "analysis_intervals", facts)
+        return facts, 0
+
+    def _range_pass(
+        self,
+        interval_rules: tuple[Rule, ...],
+        harvests: dict[str, dict],
+        sources: dict[str, str],
+        digests: dict[str, str],
+        table: SignatureTable,
+        sig_hash: str,
+        result: AnalysisResult,
+    ) -> tuple[str, int, int]:
+        """Run (or replay) the project range check; returns its status.
+
+        Cached as one entry keyed by every non-test file's interval
+        facts *and* suppression map, plus the signature-table digest —
+        which covers the declared physical-range table, so editing an
+        envelope in ``constants.PHYSICAL_RANGES`` recomputes the pass.
+        """
+        from repro.engine.jobs import canonical_json, content_hash
+
+        hits = misses = 0
+        facts_by_path: dict[str, dict] = {}
+        keyed: dict[str, dict] = {}
+        for rel, payload in sorted(harvests.items()):
+            if not payload.get("ok") or is_test_path(rel) or rel not in sources:
+                continue
+            facts, hit = self._interval_facts(rel, digests[rel], sources[rel])
+            facts_by_path[rel] = facts
+            keyed[rel] = {"facts": facts, "suppress": payload["suppress"]}
+            hits += hit
+            misses += 1 - hit
+        facts_hash = hashlib.sha256(canonical_json(keyed).encode()).hexdigest()
+        pass_key = content_hash(
+            {
+                "kind": "analysis_range_pass",
+                "hv": HARVEST_VERSION,
+                "iv": INTERVALS_VERSION,
+                "rv": RULESET_VERSION,
+                "rules": [rule.id for rule in interval_rules],
+                "facts": facts_hash,
+                "sig": sig_hash,
+            }
+        )
+        cached = self.store.get(pass_key)
+        if cached is not None:
+            for entry in cached["findings"]:
+                result.findings.append(
+                    _finding_from_payload(entry["path"], entry)
+                )
+            for entry in cached["suppressed"]:
+                result.suppressed.append(
+                    _finding_from_payload(entry["path"], entry)
+                )
+            return "cached", hits, misses
+
+        payloads = run_range_pass(facts_by_path, table)
+        findings: list[Finding] = []
+        suppressed: list[Finding] = []
+        for finding in range_findings(interval_rules, payloads):
+            suppress = harvests[finding.path].get("suppress", {})
+            if finding.rule in set(suppress.get(str(finding.line), ())):
+                suppressed.append(finding)
+            else:
+                findings.append(finding)
+        self.store.put(
+            pass_key,
+            "analysis_range_pass",
+            {
+                "findings": [
+                    {**_finding_payload(f), "path": f.path} for f in findings
+                ],
+                "suppressed": [
+                    {**_finding_payload(f), "path": f.path} for f in suppressed
+                ],
+            },
+        )
+        result.findings.extend(findings)
+        result.suppressed.extend(suppressed)
+        return "computed", hits, misses

@@ -52,7 +52,10 @@ class Rule(abc.ABC):
     example: str = ""
     #: ``"file"`` rules see one :class:`FileContext` at a time;
     #: ``"project"`` rules (see :class:`ProjectRule`) see the merged
-    #: call-graph snapshot and run once per analysis.
+    #: call-graph snapshot and run once per analysis; ``"intervals"``
+    #: rules are descriptors for the interval range pass (their findings
+    #: come from :func:`repro.analysis.intervals.run_range_pass`, run by
+    #: the engine, not from ``check``).
     scope: str = "file"
 
     @abc.abstractmethod
@@ -70,6 +73,7 @@ class Rule(abc.ABC):
         col: int,
         message: str,
         severity: Severity | None = None,
+        context: str = "",
     ) -> Finding:
         """Build a finding anchored at ``line``/``col`` of ``ctx``."""
         return Finding(
@@ -80,6 +84,7 @@ class Rule(abc.ABC):
             message=message,
             severity=severity or self.severity,
             snippet=ctx.line_text(line).strip(),
+            context=context,
         )
 
     def explain(self) -> str:
@@ -133,6 +138,7 @@ class ProjectRule(Rule):
         col: int,
         message: str,
         severity: Severity | None = None,
+        context: str = "",
     ) -> Finding:
         """Build a finding anchored at ``rel_path:line`` of the snapshot."""
         return Finding(
@@ -143,6 +149,7 @@ class ProjectRule(Rule):
             message=message,
             severity=severity or self.severity,
             snippet=snapshot.snippet(rel_path, line),
+            context=context,
         )
 
 

@@ -9,6 +9,8 @@ from repro.analysis.rules import (  # noqa: F401
     dimension_args,
     fit_mttf,
     float_eq,
+    hotpath,
+    numeric_safety,
     pool_safety,
     swallowed_interrupt,
     unit_flow,

@@ -108,6 +108,7 @@ class Platform:
                 site.col,
                 f"{what} is written without a consistent lock domain on a "
                 f"thread-reachable path ({chain}){detail}",
+                context=f"write:{owner or '<module>'}:{attr}",
             )
 
 
@@ -148,6 +149,7 @@ async def flush(self):
                     f"'{wrec['expr']}' across an await (first await at "
                     f"line {wrec['awaits'][0]}); use asyncio.Lock or "
                     f"release before awaiting",
+                    context=f"lock-await:{qual}:{wrec['expr']}",
                 )
 
     @staticmethod
@@ -217,6 +219,7 @@ loop.run_in_executor(pool, log.emit, "tick")   # RPR203: EventLog
                 f"crosses a thread boundary but the class mutates "
                 f"'{unsafe_attr}' without any lock; protect it or keep the "
                 f"instance on one thread",
+                context=f"cross-thread:{edge.caller}:{edge.callee}",
             )
 
 
@@ -252,6 +255,10 @@ async def shutdown(self):
                         f"{_short(qual)} drops the result of "
                         f"{rec.get('name') or 'create_task'}(); keep a "
                         f"reference and add a done-callback or await it",
+                        context=(
+                            f"dropped-task:{qual}:"
+                            f"{rec.get('name') or 'create_task'}"
+                        ),
                     )
                 if (
                     rec.get("recv_call") in _THREAD_CTORS
@@ -261,6 +268,7 @@ async def shutdown(self):
                         snapshot, node.rel_path, rec["line"], rec["col"],
                         f"{_short(qual)} starts a Thread on a temporary "
                         f"instance; store it so shutdown can join it",
+                        context=f"temp-thread:{qual}",
                     )
             yield from self._unjoined_locals(snapshot, qual, node)
 
@@ -299,6 +307,7 @@ async def shutdown(self):
                 f"{_short(qual)} starts thread '{var}' but never joins, "
                 f"stores, or returns it; it cannot be waited for at "
                 f"shutdown",
+                context=f"unjoined-thread:{qual}:{var}",
             )
 
 
@@ -346,6 +355,7 @@ def warm(self, path):
                         f"{_short(qual)} acquires a {res['type']} "
                         f"({res['ctor']}) and drops the handle; use a "
                         f"with-block",
+                        context=f"leak-dropped:{qual}:{res['ctor']}",
                     )
                     continue
                 if assigned.startswith("self."):
@@ -356,6 +366,7 @@ def warm(self, path):
                         f"{_short(qual)} stores a {res['type']} on "
                         f"'{assigned}' but no method of the class ever "
                         f"closes it",
+                        context=f"leak-unclosed:{qual}:{assigned}",
                     )
                     continue
                 if (
@@ -374,6 +385,7 @@ def warm(self, path):
                     f"{_short(qual)} acquires a {res['type']} "
                     f"({res['ctor']}) with no close()/with on its exits "
                     f"and the handle never escapes",
+                    context=f"leak-local:{qual}:{assigned}",
                 )
 
     @staticmethod

@@ -195,6 +195,9 @@ def unit_from_name(name: str) -> Unit | None:
 #: Name of the explicit-annotation table read from constants.py.
 CONSTANT_UNITS_NAME = "CONSTANT_UNITS"
 
+#: Name of the declared physical-envelope table read from constants.py.
+PHYSICAL_RANGES_NAME = "PHYSICAL_RANGES"
+
 _SKIP_PARAMS = frozenset({"self", "cls"})
 
 
@@ -248,8 +251,76 @@ def _constant_units_literal(node: ast.expr) -> dict[str, str]:
     return out
 
 
+def _numeric_literal(node: ast.expr) -> float | None:
+    """The numeric value of a literal expression, or None.
+
+    Accepts plain int/float constants and a leading unary minus; bools
+    are rejected (they are ints to Python but not physical values).
+    """
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _numeric_literal(node.operand)
+        return None if inner is None else -inner
+    if (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, (int, float))
+        and not isinstance(node.value, bool)
+    ):
+        return float(node.value)
+    return None
+
+
+def _physical_ranges_literal(
+    node: ast.expr, values: dict[str, float]
+) -> dict[str, list]:
+    """Parse a ``PHYSICAL_RANGES = {...}`` dict literal.
+
+    Each value is normalised to ``[lo, hi, strict_lo]`` with numeric or
+    null bounds.  Bound entries that are bare UPPER_CASE names resolve
+    against the same file's numeric constants (``values``); entries
+    that cannot be resolved drop the whole range rather than inventing
+    a bound.
+    """
+    out: dict[str, list] = {}
+    if not isinstance(node, ast.Dict):
+        return out
+    for key, value in zip(node.keys, node.values):
+        if not (
+            isinstance(key, ast.Constant)
+            and isinstance(key.value, str)
+            and isinstance(value, (ast.List, ast.Tuple))
+            and len(value.elts) in (2, 3)
+        ):
+            continue
+        bounds: list = []
+        ok = True
+        for elt in value.elts[:2]:
+            if isinstance(elt, ast.Constant) and elt.value is None:
+                bounds.append(None)
+                continue
+            num = _numeric_literal(elt)
+            if num is None and isinstance(elt, ast.Name) and elt.id.isupper():
+                num = values.get(elt.id)
+            if num is None and not (
+                isinstance(elt, ast.Constant) and elt.value is None
+            ):
+                ok = False
+                break
+            bounds.append(num)
+        if not ok:
+            continue
+        strict_lo = False
+        if len(value.elts) == 3:
+            flag = value.elts[2]
+            if isinstance(flag, ast.Constant) and isinstance(flag.value, bool):
+                strict_lo = flag.value
+            else:
+                continue
+        out[key.value] = [bounds[0], bounds[1], strict_lo]
+    return out
+
+
 def harvest_signatures(tree: ast.Module, module: str | None) -> dict:
-    """One file's unit signatures and constant units, JSON-ready.
+    """One file's unit signatures, constant units/values, and ranges.
 
     Args:
         tree: the parsed file.
@@ -258,6 +329,8 @@ def harvest_signatures(tree: ast.Module, module: str | None) -> dict:
     """
     functions: dict[str, dict] = {}
     constants: dict[str, str] = {}
+    values: dict[str, float] = {}
+    ranges_node: ast.expr | None = None
 
     def record(qual: str, sig: dict) -> None:
         if module is not None:
@@ -287,11 +360,29 @@ def harvest_signatures(tree: ast.Module, module: str | None) -> dict:
                     continue
                 if target.id == CONSTANT_UNITS_NAME and stmt.value is not None:
                     constants.update(_constant_units_literal(stmt.value))
+                elif target.id == PHYSICAL_RANGES_NAME and stmt.value is not None:
+                    ranges_node = stmt.value
                 elif target.id.isupper():
                     unit = unit_from_name(target.id)
                     if unit is not None:
                         constants.setdefault(target.id, unit.name)
-    return {"functions": functions, "constants": constants}
+                    if stmt.value is not None:
+                        num = _numeric_literal(stmt.value)
+                        if num is not None:
+                            values.setdefault(target.id, num)
+    # Ranges resolve last so bound names may reference constants defined
+    # anywhere in the same file.
+    ranges = (
+        _physical_ranges_literal(ranges_node, values)
+        if ranges_node is not None
+        else {}
+    )
+    return {
+        "functions": functions,
+        "constants": constants,
+        "values": values,
+        "ranges": ranges,
+    }
 
 
 @dataclass(frozen=True)
@@ -304,19 +395,29 @@ class SignatureTable:
             across modules with *different* units are dropped).
         methods: final attribute name -> qualname, only for method
             names that resolve uniquely across the project.
+        values: UPPER_CASE constant name -> numeric literal value
+            (collisions with *different* values are dropped).
+        ranges: unit or name-token -> ``[lo, hi, strict_lo]`` declared
+            physical envelope (from ``PHYSICAL_RANGES``).
     """
 
     functions: dict[str, dict]
     constants: dict[str, str]
     methods: dict[str, str]
+    values: dict[str, float]
+    ranges: dict[str, list]
 
     @classmethod
     def merge(cls, harvests: list[dict]) -> "SignatureTable":
         functions: dict[str, dict] = {}
         constants: dict[str, str] = {}
+        values: dict[str, float] = {}
+        ranges: dict[str, list] = {}
         dropped: set[str] = set()
+        dropped_values: set[str] = set()
         for harvest in harvests:
             functions.update(harvest.get("functions", {}))
+            ranges.update(harvest.get("ranges", {}))
             for name, unit in harvest.get("constants", {}).items():
                 if name in dropped:
                     continue
@@ -325,13 +426,27 @@ class SignatureTable:
                     dropped.add(name)
                 else:
                     constants[name] = unit
+            for name, value in harvest.get("values", {}).items():
+                if name in dropped_values:
+                    continue
+                if name in values and values[name] != value:
+                    del values[name]
+                    dropped_values.add(name)
+                else:
+                    values[name] = value
         by_method: dict[str, list[str]] = {}
         for qual in functions:
             by_method.setdefault(qual.rsplit(".", 1)[-1], []).append(qual)
         methods = {
             name: quals[0] for name, quals in by_method.items() if len(quals) == 1
         }
-        return cls(functions=functions, constants=constants, methods=methods)
+        return cls(
+            functions=functions,
+            constants=constants,
+            methods=methods,
+            values=values,
+            ranges=ranges,
+        )
 
     def as_payload(self) -> dict:
         """JSON-able form (for cache keys and worker transport)."""
@@ -339,6 +454,8 @@ class SignatureTable:
             "functions": self.functions,
             "constants": self.constants,
             "methods": self.methods,
+            "values": self.values,
+            "ranges": self.ranges,
         }
 
     @classmethod
@@ -347,6 +464,8 @@ class SignatureTable:
             functions=payload.get("functions", {}),
             constants=payload.get("constants", {}),
             methods=payload.get("methods", {}),
+            values=payload.get("values", {}),
+            ranges=payload.get("ranges", {}),
         )
 
     def constant_unit(self, name: str) -> Unit | None:
@@ -355,5 +474,33 @@ class SignatureTable:
             return None
         return unit_by_name(spelled)
 
+    def range_for_unit(self, unit_name: str) -> list | None:
+        """The declared ``[lo, hi, strict_lo]`` envelope, or None."""
+        return self.ranges.get(unit_name)
 
-EMPTY_TABLE = SignatureTable(functions={}, constants={}, methods={})
+    def range_for_name(self, identifier: str) -> list | None:
+        """Declared envelope for an identifier, via its unit or token.
+
+        Tries the suffix-inferred unit's lattice name first, then the
+        identifier's final token (so ``fault_probability`` resolves via
+        the "probability" token even though the lattice folds it into
+        plain dimensionless).
+        """
+        unit = unit_from_name(identifier)
+        if unit is not None and unit.name in self.ranges:
+            return self.ranges[unit.name]
+        tokens = [t for t in identifier.lower().split("_") if t]
+        while tokens:
+            last = tokens[-1]
+            if last in self.ranges:
+                return self.ranges[last]
+            if last in META_TOKENS:
+                tokens = tokens[:-1]
+                continue
+            return None
+        return None
+
+
+EMPTY_TABLE = SignatureTable(
+    functions={}, constants={}, methods={}, values={}, ranges={}
+)

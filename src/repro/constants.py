@@ -95,6 +95,52 @@ CONSTANT_UNITS: dict[str, str] = {
 }
 
 
+#: Declared physical envelopes for the interval-domain analyzer
+#: (RPR301-303).  Keys are either unit names from the analyzer's
+#: lattice ("K", "V", "FIT", ...) or bare name tokens for quantities
+#: the lattice treats as dimensionless ("probability", "activity").
+#: Values are ``[lo, hi]`` (inclusive) or ``[lo, hi, True]`` where the
+#: third element marks the lower bound as *strict* (durations and
+#: areas are positive, never zero).  ``None`` means unbounded.  Bounds
+#: may reference the module-level constants above by name; the
+#: analyzer resolves them from this file's AST without importing it.
+PHYSICAL_RANGES: dict[str, list] = {
+    # Temperatures: the same plausibility envelope validate_temperature
+    # enforces at runtime, in both absolute scales.
+    "K": [MIN_TEMPERATURE_K, MAX_TEMPERATURE_K],
+    "degC": [-73.15, 226.85],
+    # Qualified electrical envelopes: DVS never leaves [0.5, 1.6] V and
+    # the clock stays between 1 MHz (deep scaling) and 10 GHz.
+    "V": [0.5, 1.6],
+    "mV": [500.0, 1600.0],
+    "Hz": [1.0e6, 1.0e10],
+    "kHz": [1.0e3, 1.0e7],
+    "MHz": [1.0, 1.0e4],
+    "GHz": [1.0e-3, 10.0],
+    # Reliability: failure rates and powers are non-negative; activation
+    # energies sit well under 10 eV for any silicon mechanism.
+    "FIT": [0.0, None],
+    "W": [0.0, None],
+    "mW": [0.0, None],
+    "J": [0.0, None],
+    "eV": [0.0, 10.0],
+    # Durations and areas are strictly positive (third element: the
+    # lower bound is open, so dividing by one is provably safe).
+    "hours": [0.0, None, True],
+    "years": [0.0, None, True],
+    "s": [0.0, None, True],
+    "ms": [0.0, None, True],
+    "mm2": [0.0, None, True],
+    "m2": [0.0, None, True],
+    "um2": [0.0, None, True],
+    "device_hours": [0.0, None, True],
+    # Name-token envelopes for dimensionless quantities.
+    "probability": [0.0, 1.0],
+    "activity": [0.0, 1.0],
+    "fraction": [0.0, 1.0],
+}
+
+
 def mttf_hours_to_fit(mttf_hours: float) -> float:
     """Convert a mean-time-to-failure in hours to a FIT value.
 

@@ -136,13 +136,16 @@ class JointOracle:
         grid = self.vf_curve.grid(self.dvs_steps)
         if not grid:
             raise AdaptationError("DVS grid is empty")
+        target_fit = self.fit_target
+        if target_fit <= 0.0:
+            raise AdaptationError("FIT target must be positive")
         run = self.cache.run(profile, BASE_MICROARCH)
         base = self._base_evaluation(profile)
         batch = self.platform.evaluate_batch(run, grid)
         perf = batch.ips / base.ips
         fit = ramp.application_fit_batch(batch)
         peak = batch.peak_temperature_k
-        meets_fit = fit <= self.fit_target + 1e-9
+        meets_fit = fit <= target_fit + 1e-9
         meets_thermal = peak <= t_limit_k + 1e-9
         feasible = meets_fit & meets_thermal
         if np.any(feasible):
@@ -151,7 +154,7 @@ class JointOracle:
         else:
             violation = np.maximum(
                 np.maximum(
-                    fit / self.fit_target - 1.0,
+                    fit / target_fit - 1.0,
                     (peak - t_limit_k) / max(t_limit_k, 1.0),
                 ),
                 0.0,

@@ -120,6 +120,8 @@ class FeedbackDVSController:
         if n_epochs <= 0:
             raise AdaptationError("need at least one epoch")
         target = self.ramp.qualified.fit_target
+        if target <= 0.0:
+            raise AdaptationError("qualified FIT target must be positive")
         budget = ReliabilityBudget(fit_target=target)
         base_eval = self.platform.evaluate(run, self.vf_curve.nominal)
         f = self._clamp(

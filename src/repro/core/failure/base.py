@@ -57,6 +57,7 @@ class StressConditions:
 
     @property
     def f_ratio(self) -> float:
+        # repro: ignore[RPR303] f_nominal validated positive in __post_init__
         return self.frequency_hz / self.f_nominal
 
 
@@ -119,6 +120,8 @@ class FailureMechanism(abc.ABC):
         )
         out = np.empty(t.shape, dtype=float)
         flat = out.reshape(-1)
+        # repro: ignore[RPR310] documented scalar fallback: mechanisms
+        # without a closed-form batch override evaluate per element.
         for i, (ti, vi, fi, ai) in enumerate(
             zip(t.reshape(-1), v.reshape(-1), f.reshape(-1), a.reshape(-1))
         ):

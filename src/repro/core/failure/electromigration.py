@@ -59,9 +59,9 @@ class Electromigration(FailureMechanism):
         j_rel = conditions.v_ratio * conditions.f_ratio * conditions.activity
         if j_rel <= 0.0:
             return math.inf
-        arrhenius = math.exp(
+        arrhenius = float(np.exp(
             self.ea_ev / (BOLTZMANN_EV_PER_K * conditions.temperature_k)
-        )
+        ))
         return j_rel ** (-self.n) * arrhenius
 
     def relative_fit_batch(
@@ -75,8 +75,8 @@ class Electromigration(FailureMechanism):
     ) -> np.ndarray:
         """Array form of :meth:`relative_mttf` reciprocal.
 
-        Mirrors the scalar operation order so results differ only by
-        libm rounding (np.exp vs math.exp, at most a few ULPs).
+        Mirrors the scalar operation order (both paths use ``np.exp``),
+        so per-element results match the scalar model exactly.
         """
         j_rel = (voltage_v / v_nominal) * (frequency_hz / f_nominal) * activity
         arrhenius = np.exp(self.ea_ev / (BOLTZMANN_EV_PER_K * temperature_k))

@@ -58,9 +58,9 @@ class StressMigration(FailureMechanism):
         stress = abs(self.t_metal_k - conditions.temperature_k)
         if stress <= 0.0:
             return math.inf
-        arrhenius = math.exp(
+        arrhenius = float(np.exp(
             self.ea_ev / (BOLTZMANN_EV_PER_K * conditions.temperature_k)
-        )
+        ))
         return stress ** (-self.m) * arrhenius
 
     def relative_fit_batch(

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.constants import BOLTZMANN_EV_PER_K
 from repro.core.failure.base import FailureMechanism, StressConditions
+from repro.errors import ReliabilityError
 
 
 class TimeDependentDielectricBreakdown(FailureMechanism):
@@ -47,7 +48,7 @@ class TimeDependentDielectricBreakdown(FailureMechanism):
         a: float = 78.0,
         b: float = 0.081,
         x_ev: float = 0.759,
-        y_ev_k: float = -66.8,
+        y_ev_k: float = -66.8,  # repro: ignore[RPR302] eV·K fit term, not eV
         z_ev_per_k: float = -8.37e-4,
     ) -> None:
         self.a = a
@@ -68,7 +69,16 @@ class TimeDependentDielectricBreakdown(FailureMechanism):
         activation = (
             self.x_ev + self.y_ev_k / t + self.z_ev_per_k * t
         ) / (BOLTZMANN_EV_PER_K * t)
-        return (1.0 / v) ** exponent * math.exp(activation)
+        mttf = (1.0 / v) ** exponent * float(np.exp(activation))
+        if not math.isfinite(mttf) or mttf <= 0.0:
+            # The huge voltage exponent (~100) can overflow or underflow
+            # float range for extreme (but validated) operating points;
+            # surface that instead of propagating inf/0 into the FIT sum.
+            raise ReliabilityError(
+                f"TDDB relative MTTF degenerate ({mttf!r}) at "
+                f"T={t!r} K, V={v!r} V"
+            )
+        return mttf
 
     def relative_fit_batch(
         self,
@@ -79,12 +89,19 @@ class TimeDependentDielectricBreakdown(FailureMechanism):
         v_nominal: float,
         f_nominal: float,
     ) -> np.ndarray:
-        """Array form of :meth:`relative_mttf` reciprocal (always finite
-        for positive voltage, so no mask is needed)."""
+        """Array form of :meth:`relative_mttf` reciprocal.
+
+        The huge voltage exponent can underflow MTTF to zero at extreme
+        operating points; those elements map to an infinite FIT rather
+        than a divide-by-zero warning, and the caller's finite-check
+        rejects them the same way the scalar path's error does.
+        """
         t = temperature_k
         exponent = self.a - self.b * t
         activation = (
             self.x_ev + self.y_ev_k / t + self.z_ev_per_k * t
         ) / (BOLTZMANN_EV_PER_K * t)
-        mttf = (1.0 / voltage_v) ** exponent * np.exp(activation)
-        return np.broadcast_to(1.0 / mttf, np.broadcast(mttf, activity).shape)
+        with np.errstate(divide="ignore"):
+            mttf = (1.0 / voltage_v) ** exponent * np.exp(activation)
+            fit = np.where(mttf > 0.0, 1.0 / mttf, np.inf)
+        return np.broadcast_to(fit, np.broadcast(fit, activity).shape)

@@ -65,8 +65,15 @@ class AppReliability:
     @property
     def margin(self) -> float:
         """Unused reliability budget as a fraction of the target
-        (negative when the target is violated)."""
-        return (self.fit_target - self.total_fit) / self.fit_target
+        (negative when the target is violated).
+
+        Raises:
+            ReliabilityError: if the recorded target is not positive.
+        """
+        target = self.fit_target
+        if target <= 0.0:
+            raise ReliabilityError("fit_target must be positive")
+        return (target - self.total_fit) / target
 
 
 class RampModel:

@@ -159,6 +159,8 @@ def audit_calibration(
         run = cache.run(profile)
         evaluation = platform.evaluate(run, nominal)
         ipc_ratio = run.ipc / profile.table2_ipc
+        # repro: ignore[RPR301] Table 2 reference powers are positive
+        # published constants, never zero.
         power_ratio = evaluation.avg_power_w / profile.table2_power_w
         report.record(
             f"calibration {profile.name}",

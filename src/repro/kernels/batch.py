@@ -32,10 +32,10 @@ With ``salvage=False`` unconverged rows raise
 :class:`~repro.errors.ThermalError` naming the offending candidate
 indices (the historical behaviour; equivalence tests rely on it).
 
-The arithmetic mirrors the scalar path operation for operation, so
-results are bit-identical up to libm differences (``np.exp`` vs
-``math.exp``) and summation order — a few ULPs, verified by the
-equivalence tests at 1e-12 relative tolerance.
+The arithmetic mirrors the scalar path operation for operation (both
+paths use ``np.exp``), so results are bit-identical up to summation
+order — a few ULPs, verified by the equivalence tests at 1e-12
+relative tolerance.
 """
 
 from __future__ import annotations
@@ -76,6 +76,8 @@ STRUCTURE_PEAK_DYNAMIC_W = np.array([s.peak_dynamic_w for s in STRUCTURES])
 
 #: Convergence tolerance (kelvin) for the leakage/temperature fixed
 #: point — identical to the scalar path's tolerance by construction.
+# repro: ignore[RPR302] temperature *delta* tolerance, not an absolute
+# temperature, so the plausibility envelope does not apply.
 TEMP_TOLERANCE_K = 0.01
 
 #: Iteration budget for the fixed point.
@@ -458,18 +460,15 @@ class BatchKernel:
         report: SalvageReport | None = None
         if salvage:
             # Non-finite rows "converge" trivially (NaN comparisons are
-            # false), so sweep both failure modes here.
-            finite = np.isfinite(
-                np.concatenate(
-                    [
-                        temps_k.reshape(temps_k.shape[0], -1),
-                        dynamic_w.reshape(dynamic_w.shape[0], -1),
-                        leakage_w.reshape(leakage_w.shape[0], -1),
-                        sink_k[:, None],
-                    ],
-                    axis=1,
-                )
-            ).all(axis=1)
+            # false), so sweep both failure modes here.  Checking each
+            # array in place avoids materialising a concatenated copy.
+            n = temps_k.shape[0]
+            finite = (
+                np.isfinite(temps_k.reshape(n, -1)).all(axis=1)
+                & np.isfinite(dynamic_w.reshape(n, -1)).all(axis=1)
+                & np.isfinite(leakage_w.reshape(n, -1)).all(axis=1)
+                & np.isfinite(sink_k)
+            )
             poisoned = np.flatnonzero(~finite)
             bad = sorted(set(map(int, poisoned)) | set(map(int, unconverged)))
             if bad:

@@ -15,6 +15,8 @@ have no supply voltage and therefore no leakage.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.config.dvs import OperatingPoint
 from repro.config.microarch import MicroarchConfig
 from repro.config.technology import STRUCTURES, TechnologyParameters
@@ -36,12 +38,10 @@ class LeakagePowerModel:
         """Leakage power density (W/mm^2) at ``temperature_k``."""
         validate_temperature(temperature_k, what="leakage temperature")
         tech = self.technology
-        import math
-
-        return tech.leakage_density_w_per_mm2 * math.exp(
+        return tech.leakage_density_w_per_mm2 * float(np.exp(
             tech.leakage_temp_coefficient_per_k
             * (temperature_k - tech.leakage_reference_temp_k)
-        )
+        ))
 
     def structure_power(
         self,

@@ -130,6 +130,8 @@ def build_default_floorplan(
     """
     die = technology.die_edge_mm
     total_area = sum(s.area_mm2 for s in structures)
+    if total_area <= 0.0:
+        raise ThermalError("floorplan needs structures with positive total area")
     # Greedy: put the next structure into the currently lightest column.
     columns: list[list[StructureSpec]] = [[] for _ in range(_N_COLUMNS)]
     column_area = [0.0] * _N_COLUMNS

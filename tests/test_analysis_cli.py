@@ -153,3 +153,77 @@ class TestOutputs:
             '[tool.repro.analysis]\npaths = ["extra"]\n', encoding="utf-8"
         )
         assert main(["analyze"]) == 1
+
+
+def _git(root, *args):
+    import subprocess
+
+    subprocess.run(
+        ["git", "-c", "user.email=t@example.com", "-c", "user.name=t",
+         *args],
+        cwd=root, check=True, capture_output=True,
+    )
+
+
+class TestChangedMode:
+    def test_reports_only_changed_files(self, project, capsys):
+        root = project(src=DIRTY)
+        (root / "src" / "other.py").write_text(
+            textwrap.dedent(CLEAN), encoding="utf-8"
+        )
+        _git(root, "init", "-q")
+        _git(root, "add", "-A")
+        _git(root, "commit", "-qm", "seed")
+        # The committed finding in mod.py is not reported; a fresh
+        # finding in the edited file is.
+        (root / "src" / "other.py").write_text(
+            textwrap.dedent(DIRTY), encoding="utf-8"
+        )
+        assert main(["analyze", "--changed", "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "other.py" in out
+        assert "mod.py" not in out
+
+    def test_no_changes_short_circuits_clean(self, project, capsys):
+        root = project(src=DIRTY)
+        _git(root, "init", "-q")
+        _git(root, "add", "-A")
+        _git(root, "commit", "-qm", "seed")
+        assert main(["analyze", "--changed", "--no-baseline"]) == 0
+        assert "no changed python files" in capsys.readouterr().err
+
+    def test_untracked_files_count_as_changed(self, project, capsys):
+        root = project(src=CLEAN)
+        _git(root, "init", "-q")
+        _git(root, "add", "-A")
+        _git(root, "commit", "-qm", "seed")
+        (root / "src" / "fresh.py").write_text(
+            textwrap.dedent(DIRTY), encoding="utf-8"
+        )
+        assert main(["analyze", "--changed", "--no-baseline"]) == 1
+        assert "fresh.py" in capsys.readouterr().out
+
+    def test_outside_git_falls_back_to_full_run(self, project, capsys):
+        project(src=DIRTY)
+        assert main(["analyze", "--changed", "--no-baseline"]) == 1
+        assert "running on everything" in capsys.readouterr().err
+
+
+class TestStatsJson:
+    def test_stats_json_written(self, project, tmp_path):
+        project()
+        out = tmp_path / "stats.json"
+        assert main(["analyze", "--stats-json", str(out)]) == 0
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert payload["driver"] in ("incremental", "in-process")
+        assert payload["duration_s"] >= 0.0
+        assert "files" in payload
+
+    def test_warm_run_reports_cache_layers(self, project, tmp_path):
+        project()
+        out = tmp_path / "stats.json"
+        assert main(["analyze", "--stats-json", str(out)]) == 0
+        assert main(["analyze", "--stats-json", str(out)]) == 0
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert payload["cached"] == payload["files"]
+        assert payload["harvest_hits"] == payload["files"]

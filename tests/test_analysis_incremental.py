@@ -303,3 +303,86 @@ class TestCallGraphLayer:
         result = analyze(tree, select=["RPR101"])
         assert result.stats["callgraph_rules"] == 0
         assert result.stats["callgraph_pass"] == "skipped"
+
+
+RANGED = """
+    PHYSICAL_RANGES = {
+        "K": [200.0, 500.0],
+    }
+"""
+
+COLD_CONST = """
+    START_TEMPERATURE_K = 50.0
+"""
+
+WARM_CONST = """
+    START_TEMPERATURE_K = 318.0
+"""
+
+SUPPRESSED_CONST = """
+    START_TEMPERATURE_K = 50.0  # repro: ignore[RPR302] fixture
+"""
+
+
+class TestRangePassLayer:
+    """The interval/range pass is the fourth cached layer: per-file
+    interval facts keyed on content, the project range check keyed on
+    facts + suppressions + the signature-table digest."""
+
+    def tree(self, tmp_path):
+        write_tree(tmp_path, {
+            "src/ranges.py": RANGED,
+            "src/consts.py": COLD_CONST,
+            "src/alpha.py": CLEAN,
+        })
+        return tmp_path
+
+    def test_findings_replay_from_the_cached_pass(self, tmp_path):
+        tree = self.tree(tmp_path)
+        cold = analyze(tree, select=["RPR302"])
+        assert cold.stats["range_pass"] == "computed"
+        assert cold.stats["intervals_misses"] == 3
+        assert [f.rule for f in cold.findings] == ["RPR302"]
+        warm = analyze(tree, select=["RPR302"])
+        assert warm.stats["range_pass"] == "cached"
+        assert warm.stats["intervals_hits"] == 3
+        assert warm.stats["analyzed"] == 0
+        assert [(f.path, f.line, f.context) for f in warm.findings] == [
+            (f.path, f.line, f.context) for f in cold.findings
+        ]
+
+    def test_unrelated_body_edit_keeps_the_pass(self, tmp_path):
+        tree = self.tree(tmp_path)
+        analyze(tree, select=["RPR302"])
+        write_tree(tree, {
+            "src/alpha.py": """
+                def total(core_power_w: float, cache_power_w: float) -> float:
+                    return cache_power_w + core_power_w
+            """,
+        })
+        result = analyze(tree, select=["RPR302"])
+        assert result.stats["analyzed"] == 1
+        assert result.stats["range_pass"] == "cached"
+
+    def test_value_edit_recomputes_the_pass(self, tmp_path):
+        tree = self.tree(tmp_path)
+        analyze(tree, select=["RPR302"])
+        write_tree(tree, {"src/consts.py": WARM_CONST})
+        result = analyze(tree, select=["RPR302"])
+        assert result.stats["range_pass"] == "computed"
+        assert result.findings == []
+
+    def test_suppression_edit_recomputes_the_pass(self, tmp_path):
+        tree = self.tree(tmp_path)
+        analyze(tree, select=["RPR302"])
+        write_tree(tree, {"src/consts.py": SUPPRESSED_CONST})
+        result = analyze(tree, select=["RPR302"])
+        assert result.stats["range_pass"] == "computed"
+        assert result.findings == []
+        assert [f.rule for f in result.suppressed] == ["RPR302"]
+
+    def test_file_only_selection_skips_the_pass(self, tmp_path):
+        tree = self.tree(tmp_path)
+        result = analyze(tree, select=["RPR101"])
+        assert result.stats["range_rules"] == 0
+        assert result.stats["range_pass"] == "skipped"
