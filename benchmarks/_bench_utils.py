@@ -1,6 +1,12 @@
 """Helpers shared by the bench modules (kept out of conftest so imports
 cannot collide with the test suite's conftest)."""
 
+import json
+import os
+import platform as _platform
+import sys
+from pathlib import Path
+
 from repro.config.microarch import arch_adaptation_space
 from repro.workloads.suite import WORKLOAD_SUITE
 
@@ -32,3 +38,62 @@ def prewarm_simulations(cache, profiles=None, configs=None, max_workers=None):
         list(arch_adaptation_space()) if configs is None else list(configs)
     )
     return cache.run_many(profiles, configs, max_workers=max_workers)
+
+
+#: Where bench telemetry streams accumulate (one run per invocation).
+BENCH_STREAM_ROOT = Path(__file__).parent / ".telemetry"
+
+
+def machine_info() -> dict:
+    """The uniform machine block every bench result carries."""
+    return {
+        "platform": _platform.platform(),
+        "python": _platform.python_version(),
+        "implementation": sys.implementation.name,
+        "cpus": os.cpu_count(),
+    }
+
+
+def write_bench_result(
+    path,
+    *,
+    name,
+    mode,
+    headline,
+    floor=None,
+    timings=None,
+    details=None,
+    stream_root=None,
+):
+    """Emit one benchmark result through the telemetry plane.
+
+    Every ``BENCH_*.json`` is the same shape now: a telemetry record
+    envelope (``schema_version`` / ``kind`` / ``ts`` / ``run_id`` /
+    ``seq`` / ``payload``) whose payload carries the uniform keys —
+    ``name``, ``mode``, ``headline`` (the metrics a floor check reads),
+    ``floor``, ``timings`` (raw seconds), ``machine``, and free-form
+    ``details``.  The identical record is also appended to the bench
+    telemetry stream, so ``repro report`` renders benches alongside
+    engine / sweep / chaos / fleet history.
+
+    Returns the envelope dict written to ``path``.
+    """
+    from repro.telemetry import TelemetryWriter
+
+    payload = {
+        "name": name,
+        "mode": mode,
+        "headline": dict(headline),
+        "floor": floor,
+        "timings": dict(timings or {}),
+        "machine": machine_info(),
+        "details": dict(details or {}),
+    }
+    writer = TelemetryWriter(
+        stream_root if stream_root is not None else BENCH_STREAM_ROOT,
+        prefix="bench",
+    )
+    record = writer.append("bench.result", payload)
+    envelope = record.as_dict()
+    Path(path).write_text(json.dumps(envelope, indent=2) + "\n")
+    return envelope

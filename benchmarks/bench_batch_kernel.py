@@ -20,14 +20,13 @@ bench-smoke job); the speedup floor is only asserted on the full grid.
 from __future__ import annotations
 
 import itertools
-import json
 import os
 import time
 
 from repro.config.microarch import arch_adaptation_space
 from repro.workloads.suite import WORKLOAD_SUITE
 
-from _bench_utils import prewarm_simulations, run_once
+from _bench_utils import prewarm_simulations, run_once, write_bench_result
 from conftest import BENCH_DIR, BENCH_DVS_STEPS
 
 RESULT_PATH = BENCH_DIR.parent / "BENCH_batch_kernel.json"
@@ -95,34 +94,50 @@ def measure_batch_kernel(drm_oracle):
 
     evaluations = len(candidates) * len(profiles)
     return {
-        "benchmark": "batch_kernel",
         "mode": "smoke" if _smoke() else "full",
-        "t_qual_k": T_QUAL_K,
-        "n_profiles": len(profiles),
-        "n_configs": len(configs),
-        "n_dvs_points": len(ops),
-        "n_candidates_per_profile": len(candidates),
-        "n_evaluations": evaluations,
-        "scalar_s": scalar_s,
-        "batched_s": batched_s,
-        "scalar_candidates_per_s": evaluations / scalar_s,
-        "batched_candidates_per_s": evaluations / batched_s,
-        "speedup": scalar_s / batched_s,
+        "headline": {
+            "speedup": scalar_s / batched_s,
+            "scalar_candidates_per_s": evaluations / scalar_s,
+            "batched_candidates_per_s": evaluations / batched_s,
+        },
+        "timings": {"scalar_s": scalar_s, "batched_s": batched_s},
+        "details": {
+            "t_qual_k": T_QUAL_K,
+            "n_profiles": len(profiles),
+            "n_configs": len(configs),
+            "n_dvs_points": len(ops),
+            "n_candidates_per_profile": len(candidates),
+            "n_evaluations": evaluations,
+        },
     }
 
 
 def test_batch_kernel_speedup(benchmark, emit, drm_oracle):
     result = run_once(benchmark, lambda: measure_batch_kernel(drm_oracle))
-    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    write_bench_result(
+        RESULT_PATH,
+        name="batch_kernel",
+        mode=result["mode"],
+        headline=result["headline"],
+        floor=MIN_SPEEDUP,
+        timings=result["timings"],
+        details=result["details"],
+    )
     emit(
         "batch_kernel",
         "Batched kernel vs scalar loop ({mode}): "
         "{n_evaluations} evaluations, scalar {scalar_s:.2f} s "
-        "({scalar_candidates_per_s:.0f}/s), batched {batched_s:.2f} s "
-        "({batched_candidates_per_s:.0f}/s), speedup {speedup:.1f}x".format(
-            **result
+        "({scalar_per_s:.0f}/s), batched {batched_s:.2f} s "
+        "({batched_per_s:.0f}/s), speedup {speedup:.1f}x".format(
+            mode=result["mode"],
+            n_evaluations=result["details"]["n_evaluations"],
+            scalar_s=result["timings"]["scalar_s"],
+            scalar_per_s=result["headline"]["scalar_candidates_per_s"],
+            batched_s=result["timings"]["batched_s"],
+            batched_per_s=result["headline"]["batched_candidates_per_s"],
+            speedup=result["headline"]["speedup"],
         ),
     )
-    assert result["batched_s"] < result["scalar_s"]
+    assert result["timings"]["batched_s"] < result["timings"]["scalar_s"]
     if not _smoke():
-        assert result["speedup"] >= MIN_SPEEDUP
+        assert result["headline"]["speedup"] >= MIN_SPEEDUP

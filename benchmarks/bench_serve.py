@@ -21,7 +21,6 @@ asserted on the full run.
 from __future__ import annotations
 
 import asyncio
-import json
 import os
 import time
 
@@ -34,7 +33,7 @@ from repro.serve import (
     TrafficMix,
 )
 
-from _bench_utils import run_once
+from _bench_utils import run_once, write_bench_result
 from conftest import BENCH_DIR
 
 RESULT_PATH = BENCH_DIR.parent / "BENCH_serve.json"
@@ -132,36 +131,57 @@ def measure_serve():
     assert sequential_result.errors == 0
 
     return {
-        "benchmark": "serve",
         "mode": "smoke" if _smoke() else "full",
-        "concurrency": concurrency,
-        "requests_per_mix": n_requests,
-        "apps": list(TRACE_APPS),
-        "trace_seed": TRACE_SEED,
-        "mixes": {
-            mix.value: result.as_dict()
-            for mix, result in mix_results.items()
+        "headline": {
+            "speedup_vs_sequential": static.qps / sequential_result.qps,
+            "static_qps": static.qps,
+            "sequential_qps": sequential_result.qps,
         },
-        "sequential": {
-            "requests": sequential_result.requests,
-            "wall_s": sequential_result.wall_s,
-            "qps": sequential_result.qps,
-            "p50_ms": sequential_result.p50_ms,
-            "p99_ms": sequential_result.p99_ms,
+        "timings": {
+            "static_wall_s": static.wall_s,
+            "sequential_wall_s": sequential_result.wall_s,
         },
-        "speedup_vs_sequential": static.qps / sequential_result.qps,
-        "min_speedup": MIN_SPEEDUP,
+        "details": {
+            "concurrency": concurrency,
+            "requests_per_mix": n_requests,
+            "apps": list(TRACE_APPS),
+            "trace_seed": TRACE_SEED,
+            "mixes": {
+                mix.value: result.as_dict()
+                for mix, result in mix_results.items()
+            },
+            "sequential": {
+                "requests": sequential_result.requests,
+                "wall_s": sequential_result.wall_s,
+                "qps": sequential_result.qps,
+                "p50_ms": sequential_result.p50_ms,
+                "p99_ms": sequential_result.p99_ms,
+            },
+        },
     }
 
 
 def test_serve_throughput(benchmark, emit):
     result = run_once(benchmark, measure_serve)
-    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    write_bench_result(
+        RESULT_PATH,
+        name="serve",
+        mode=result["mode"],
+        headline=result["headline"],
+        floor=MIN_SPEEDUP,
+        timings=result["timings"],
+        details=result["details"],
+    )
+    details = result["details"]
     lines = [
         "Decision service ({mode}), concurrency {concurrency}, "
-        "{requests_per_mix} requests/mix:".format(**result)
+        "{requests_per_mix} requests/mix:".format(
+            mode=result["mode"],
+            concurrency=details["concurrency"],
+            requests_per_mix=details["requests_per_mix"],
+        )
     ]
-    for mix, summary in result["mixes"].items():
+    for mix, summary in details["mixes"].items():
         lines.append(
             "  {mix:<12} {qps:7.1f} qps  p50 {p50:7.2f} ms  "
             "p99 {p99:7.2f} ms  tiers {tiers}".format(
@@ -175,19 +195,19 @@ def test_serve_throughput(benchmark, emit):
     lines.append(
         "  sequential   {qps:7.1f} qps  p50 {p50:7.2f} ms  "
         "(batching/cache/memo off)".format(
-            qps=result["sequential"]["qps"],
-            p50=result["sequential"]["p50_ms"],
+            qps=details["sequential"]["qps"],
+            p50=details["sequential"]["p50_ms"],
         )
     )
     lines.append(
         "  speedup (static vs sequential): "
-        "{speedup_vs_sequential:.1f}x".format(**result)
+        "{speedup:.1f}x".format(speedup=result["headline"]["speedup_vs_sequential"])
     )
     emit("serve", "\n".join(lines))
 
-    for summary in result["mixes"].values():
+    for summary in details["mixes"].values():
         assert summary["qps"] > 0.0
         assert summary["p99_ms"] >= summary["p50_ms"]
-    assert result["speedup_vs_sequential"] > 1.0
+    assert result["headline"]["speedup_vs_sequential"] > 1.0
     if not _smoke():
-        assert result["speedup_vs_sequential"] >= MIN_SPEEDUP
+        assert result["headline"]["speedup_vs_sequential"] >= MIN_SPEEDUP

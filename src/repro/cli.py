@@ -24,6 +24,9 @@ user asks of this reproduction:
                         caching; ``--fault-plan`` arms network chaos)
 - ``loadgen``           seeded traffic replay against a running service,
                         reporting p50/p99 latency and sustained QPS
+- ``report``            render a telemetry stream (engine / sweep /
+                        chaos / fleet / bench history) or audit it with
+                        ``--check``
 
 Every command accepts ``--instructions/--warmup/--seed`` to trade speed
 for fidelity, and ``--dvs-steps`` for grid resolution.
@@ -138,8 +141,8 @@ def _cmd_dtm(args: argparse.Namespace) -> int:
     print(f"  frequency   : {decision.op.frequency_ghz:.2f} GHz")
     print(f"  performance : {decision.performance:.3f}x vs base")
     print(f"  peak T      : {decision.peak_temperature_k:.1f} K "
-          f"(meets limit: {decision.meets_limit})")
-    return 0 if decision.meets_limit else 2
+          f"(meets limit: {decision.meets_target})")
+    return 0 if decision.meets_target else 2
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -147,8 +150,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     tquals = [float(t) for t in args.tquals.split(",")]
     mode = AdaptationMode(args.mode)
     if args.cache_dir is not None:
-        # Checkpointed path: each finished cell is journalled through the
-        # engine store, so a killed sweep resumes where it left off.
+        # Checkpointed path: each finished cell lands on the store's
+        # telemetry stream, so a killed sweep resumes where it left off.
         from repro.harness.sweep import DRMSweepRunner
 
         runner = DRMSweepRunner(
@@ -170,11 +173,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         fits = [d.fit for d in cells]
         resumed = runner.engine.events.counters["resumed"]
         if resumed:
-            print(f"resumed: {resumed} cell(s) restored from the journal",
+            print(f"resumed: {resumed} cell(s) restored from the telemetry stream",
                   file=sys.stderr)
     else:
         if args.resume:
-            print("sweep: --resume needs --cache-dir (the journal lives in "
+            print("sweep: --resume needs --cache-dir (the stream lives in "
                   "the result store)", file=sys.stderr)
             return 2
         oracle = _oracle(args)
@@ -212,7 +215,7 @@ def _cmd_engine(args: argparse.Namespace) -> int:
     tquals = [float(t) for t in args.tquals.split(",")]
     progress = stderr_progress if args.progress else None
     if args.cache_dir is not None:
-        # Checkpointed path: the journal lives in the store, so a killed
+        # Checkpointed path: the stream lives in the store, so a killed
         # sweep resumes with --resume, recomputing only unfinished cells.
         from repro.harness.sweep import DRMSweepRunner
 
@@ -233,7 +236,7 @@ def _cmd_engine(args: argparse.Namespace) -> int:
         engine = runner.engine
     else:
         if args.resume:
-            print("engine: --resume needs --cache-dir (the journal lives in "
+            print("engine: --resume needs --cache-dir (the stream lives in "
                   "the result store)", file=sys.stderr)
             return 2
         engine = Engine(
@@ -385,6 +388,37 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return 0 if result.errors == 0 else 1
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json
+    from pathlib import Path
+
+    from repro.telemetry import (
+        STORE_DIRNAME,
+        build_report,
+        check_stream,
+        render_report,
+    )
+
+    source = Path(args.source)
+    # Convenience: pointing at a result store finds its stream root.
+    if (source / STORE_DIRNAME).is_dir():
+        source = source / STORE_DIRNAME
+    if args.check:
+        check = check_stream(source, run_id=args.run)
+        if args.format == "json":
+            print(json.dumps(dataclasses.asdict(check), indent=2))
+        else:
+            print(check.render())
+        return 0 if check.ok else 1
+    report = build_report(source, run_id=args.run)
+    if args.format == "json":
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(render_report(report))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -435,7 +469,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated T_qual list (K)")
     p.add_argument("--mode", choices=[m.value for m in AdaptationMode], default="dvs")
     p.add_argument("--resume", action="store_true",
-                   help="restore finished cells from the journal in "
+                   help="restore finished cells from the telemetry stream in "
                         "--cache-dir and compute only the rest")
     _add_common(p)
     p.set_defaults(func=_cmd_sweep)
@@ -464,7 +498,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fail a job fast after this many failed attempts "
                         "across the sweep (default: unlimited)")
     p.add_argument("--resume", action="store_true",
-                   help="restore finished cells from the journal in "
+                   help="restore finished cells from the telemetry stream in "
                         "--cache-dir and compute only the rest")
     p.add_argument("--fault-plan", default=None,
                    help="arm a deterministic fault plan (a named plan such "
@@ -504,6 +538,23 @@ def build_parser() -> argparse.ArgumentParser:
                         "serve.slow_response network sites")
     _add_common(p)
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "report",
+        help="render or audit a telemetry stream (repro report <dir>)",
+    )
+    p.add_argument("source",
+                   help="a telemetry stream root, one run directory, one "
+                        "segment file, or a result store containing "
+                        "telemetry/")
+    p.add_argument("--run", default=None,
+                   help="restrict to one run id")
+    p.add_argument("--check", action="store_true",
+                   help="audit every segment against the record schema "
+                        "(exit 1 on schema-invalid records)")
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="output format (default text)")
+    p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser(
         "loadgen",

@@ -22,11 +22,7 @@ import numpy as np
 from repro.config.dvs import OperatingPoint, VoltageFrequencyCurve, DEFAULT_VF_CURVE
 from repro.config.microarch import BASE_MICROARCH
 from repro.constants import TARGET_FIT, validate_temperature
-from repro.core.decision import (
-    Decision,
-    require_keyword,
-    resolve_deprecated_positional,
-)
+from repro.core.decision import Decision
 from repro.core.ramp import RampModel
 from repro.errors import AdaptationError
 from repro.harness.platform import Platform, PlatformEvaluation
@@ -103,34 +99,20 @@ class JointOracle:
     def best(
         self,
         profile: WorkloadProfile,
-        *args,
-        t_qual_k: float | None = None,
-        t_limit_k: float | None = None,
+        *,
+        t_qual_k: float,
+        t_limit_k: float,
     ) -> JointDecision:
         """Best DVS point within both constraints.
 
-        Keyword-only: ``best(profile, t_qual_k=370.0, t_limit_k=355.0)``
-        (the legacy positional form still works but warns).  The whole
-        DVS grid goes through one
+        Keyword-only: ``best(profile, t_qual_k=370.0, t_limit_k=355.0)``.
+        The whole DVS grid goes through one
         :meth:`~repro.harness.platform.Platform.evaluate_batch` call plus
         one batched RAMP pass.
 
         When the intersection is empty, returns the candidate minimising
         the larger of its two normalised violations.
         """
-        keyword: dict = {}
-        if t_qual_k is not None:
-            keyword["t_qual_k"] = t_qual_k
-        if t_limit_k is not None:
-            keyword["t_limit_k"] = t_limit_k
-        merged = resolve_deprecated_positional(
-            "JointOracle.best", args, ("t_qual_k", "t_limit_k"), keyword
-        )
-        t_qual_k, t_limit_k = require_keyword(
-            "JointOracle.best",
-            t_qual_k=merged.get("t_qual_k"),
-            t_limit_k=merged.get("t_limit_k"),
-        )
         validate_temperature(t_limit_k, what="T_limit")
         ramp: RampModel = self.ramp_factory(t_qual_k)
         grid = self.vf_curve.grid(self.dvs_steps)

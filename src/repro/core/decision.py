@@ -14,15 +14,14 @@ constraint?" — so they share one frozen, keyword-only base record:
 Subclasses add the policy-specific fields (chosen operating point,
 qualification temperature, adaptation mode, ...).  Every oracle's
 ``best`` entry point is keyword-only with consistent parameter names
-(``t_qual_k``, ``t_limit_k``, ``mode``); the old positional call forms
-still work through :func:`resolve_deprecated_positional`, which emits a
-:class:`DeprecationWarning`.
+(``t_qual_k``, ``t_limit_k``, ``mode``); the deprecated positional call
+forms (and the ``meets_limit`` alias) were removed after one release of
+``DeprecationWarning``.
 """
 
 from __future__ import annotations
 
 import math
-import warnings
 from dataclasses import dataclass
 
 
@@ -45,66 +44,3 @@ class Decision:
     performance: float
     fit: float = math.nan
     meets_target: bool
-
-
-def resolve_deprecated_positional(
-    owner: str,
-    positional: tuple,
-    names: tuple[str, ...],
-    keyword: dict,
-) -> dict:
-    """Fold legacy positional arguments into the keyword-only API.
-
-    The oracles' ``best`` methods used to take their knobs positionally
-    (``best(profile, 370.0, mode)``); the unified API is keyword-only.
-    This shim maps any positional leftovers onto ``names`` in order,
-    warns once per call site, and rejects ambiguous mixes.
-
-    Args:
-        owner: dotted method name for messages (``"DRMOracle.best"``).
-        positional: the ``*args`` the caller supplied.
-        names: the keyword parameters the positionals map to, in the
-            legacy order.
-        keyword: explicitly passed keyword values (omissions absent,
-            not ``None``).
-
-    Returns:
-        The merged keyword mapping.
-
-    Raises:
-        TypeError: on too many positional arguments or a parameter
-            given both ways.
-    """
-    merged = dict(keyword)
-    if not positional:
-        return merged
-    if len(positional) > len(names):
-        raise TypeError(
-            f"{owner}() takes at most {len(names)} arguments after the "
-            f"profile, got {len(positional)}"
-        )
-    shown = ", ".join(names[: len(positional)])
-    warnings.warn(
-        f"passing {shown} to {owner}() positionally is deprecated; "
-        "use keyword arguments",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-    for name, value in zip(names, positional):
-        if name in merged:
-            raise TypeError(f"{owner}() got multiple values for {name!r}")
-        merged[name] = value
-    return merged
-
-
-def require_keyword(owner: str, **values):
-    """Unpack required keyword parameters, raising ``TypeError`` on
-    omissions (mirroring Python's own missing-argument errors)."""
-    missing = [name for name, value in values.items() if value is None]
-    if missing:
-        shown = ", ".join(repr(m) for m in missing)
-        raise TypeError(
-            f"{owner}() missing required keyword argument(s): {shown}"
-        )
-    out = tuple(values.values())
-    return out[0] if len(out) == 1 else out

@@ -30,11 +30,7 @@ from repro.config.dvs import OperatingPoint, VoltageFrequencyCurve, DEFAULT_VF_C
 from repro.config.microarch import BASE_MICROARCH, MicroarchConfig, arch_adaptation_space
 from repro.config.technology import STRUCTURE_NAMES
 from repro.constants import TARGET_FIT
-from repro.core.decision import (
-    Decision,
-    require_keyword,
-    resolve_deprecated_positional,
-)
+from repro.core.decision import Decision
 from repro.core.qualification import QualificationPoint, calibrate
 from repro.core.ramp import AppReliability, RampModel
 from repro.errors import AdaptationError
@@ -192,15 +188,14 @@ class DRMOracle:
     def best(
         self,
         profile: WorkloadProfile,
-        *args,
-        t_qual_k: float | None = None,
-        mode: AdaptationMode | None = None,
+        *,
+        t_qual_k: float,
+        mode: AdaptationMode = AdaptationMode.ARCHDVS,
     ) -> DRMDecision:
         """Best-performing candidate within the FIT target.
 
         Keyword-only: ``best(profile, t_qual_k=370.0, mode=...)``.
-        ``mode`` defaults to the full ArchDVS space.  The legacy
-        positional form still works but warns.
+        ``mode`` defaults to the full ArchDVS space.
 
         The whole adaptation space is evaluated through
         :meth:`~repro.harness.platform.Platform.evaluate_batch` — one
@@ -213,19 +208,6 @@ class DRMOracle:
         allows: it returns the best-performing candidate at the minimum
         achievable FIT, flagged ``meets_target=False``.
         """
-        keyword: dict = {}
-        if t_qual_k is not None:
-            keyword["t_qual_k"] = t_qual_k
-        if mode is not None:
-            keyword["mode"] = mode
-        merged = resolve_deprecated_positional(
-            "DRMOracle.best", args, ("t_qual_k", "mode"), keyword
-        )
-        t_qual_k = require_keyword(
-            "DRMOracle.best", t_qual_k=merged.get("t_qual_k")
-        )
-        mode = merged.get("mode", AdaptationMode.ARCHDVS)
-
         ramp = self.ramp_for(t_qual_k)
         cands = self.candidates(mode)
         if not cands:

@@ -22,11 +22,7 @@ import numpy as np
 from repro.config.dvs import OperatingPoint, VoltageFrequencyCurve, DEFAULT_VF_CURVE
 from repro.config.microarch import BASE_MICROARCH
 from repro.constants import validate_temperature
-from repro.core.decision import (
-    Decision,
-    require_keyword,
-    resolve_deprecated_positional,
-)
+from repro.core.decision import Decision
 from repro.errors import AdaptationError
 from repro.harness.platform import Platform, PlatformEvaluation
 from repro.harness.sweep import SimulationCache
@@ -51,11 +47,6 @@ class DTMDecision(Decision):
     t_limit_k: float
     op: OperatingPoint
     peak_temperature_k: float
-
-    @property
-    def meets_limit(self) -> bool:
-        """Legacy alias of :attr:`meets_target`."""
-        return self.meets_target
 
 
 class DTMOracle:
@@ -89,27 +80,17 @@ class DTMOracle:
         return cached
 
     def best(
-        self, profile: WorkloadProfile, *args, t_limit_k: float | None = None
+        self, profile: WorkloadProfile, *, t_limit_k: float
     ) -> DTMDecision:
         """Highest-performance DVS point with peak temperature ≤ T_limit.
 
-        Keyword-only: ``best(profile, t_limit_k=355.0)`` (the legacy
-        positional form still works but warns).  The whole DVS grid is
-        evaluated in one
+        Keyword-only: ``best(profile, t_limit_k=355.0)``.  The whole DVS
+        grid is evaluated in one
         :meth:`~repro.harness.platform.Platform.evaluate_batch` call.
 
         Falls back to the coolest candidate (``meets_target=False``) when
         the limit is unattainable even at the DVS floor.
         """
-        keyword: dict = {}
-        if t_limit_k is not None:
-            keyword["t_limit_k"] = t_limit_k
-        merged = resolve_deprecated_positional(
-            "DTMOracle.best", args, ("t_limit_k",), keyword
-        )
-        t_limit_k = require_keyword(
-            "DTMOracle.best", t_limit_k=merged.get("t_limit_k")
-        )
         validate_temperature(t_limit_k, what="T_limit")
         grid = self.vf_curve.grid(self.dvs_steps)
         if not grid:

@@ -34,11 +34,7 @@ import numpy as np
 from repro.config.dvs import OperatingPoint, VoltageFrequencyCurve, DEFAULT_VF_CURVE
 from repro.config.microarch import BASE_MICROARCH
 from repro.constants import TARGET_FIT
-from repro.core.decision import (
-    Decision,
-    require_keyword,
-    resolve_deprecated_positional,
-)
+from repro.core.decision import Decision
 from repro.core.ramp import RampModel
 from repro.errors import AdaptationError
 from repro.harness.platform import Platform, PlatformEvaluation
@@ -138,9 +134,9 @@ class IntraAppOracle:
     def best(
         self,
         profile: WorkloadProfile,
-        *args,
-        t_qual_k: float | None = None,
-        strategy: str | None = None,
+        *,
+        t_qual_k: float,
+        strategy: str = "greedy",
     ) -> IntraDecision:
         """The unified entry point: ``best(profile, t_qual_k=...,
         strategy="greedy"|"exhaustive")``.
@@ -150,18 +146,6 @@ class IntraAppOracle:
         Raises:
             AdaptationError: for an unknown strategy.
         """
-        keyword: dict = {}
-        if t_qual_k is not None:
-            keyword["t_qual_k"] = t_qual_k
-        if strategy is not None:
-            keyword["strategy"] = strategy
-        merged = resolve_deprecated_positional(
-            "IntraAppOracle.best", args, ("t_qual_k", "strategy"), keyword
-        )
-        t_qual_k = require_keyword(
-            "IntraAppOracle.best", t_qual_k=merged.get("t_qual_k")
-        )
-        strategy = merged.get("strategy", "greedy")
         if strategy == "exhaustive":
             return self.best_exhaustive(profile, t_qual_k=t_qual_k)
         if strategy == "greedy":
@@ -171,7 +155,7 @@ class IntraAppOracle:
         )
 
     def best_exhaustive(
-        self, profile: WorkloadProfile, *args, t_qual_k: float | None = None
+        self, profile: WorkloadProfile, *, t_qual_k: float
     ) -> IntraDecision:
         """Exact per-phase oracle over the grid product.
 
@@ -183,15 +167,6 @@ class IntraAppOracle:
         Falls back to the minimum-FIT schedule (flagged infeasible) when
         nothing meets the target, mirroring the inter-application oracle.
         """
-        merged = resolve_deprecated_positional(
-            "IntraAppOracle.best_exhaustive",
-            args,
-            ("t_qual_k",),
-            {} if t_qual_k is None else {"t_qual_k": t_qual_k},
-        )
-        t_qual_k = require_keyword(
-            "IntraAppOracle.best_exhaustive", t_qual_k=merged.get("t_qual_k")
-        )
         ramp = self.ramp_factory(t_qual_k)
         run = self.cache.run(profile, BASE_MICROARCH)
         grid = self.vf_curve.grid(self.grid_steps)
@@ -225,7 +200,7 @@ class IntraAppOracle:
         )
 
     def best_greedy(
-        self, profile: WorkloadProfile, *args, t_qual_k: float | None = None
+        self, profile: WorkloadProfile, *, t_qual_k: float
     ) -> IntraDecision:
         """Greedy marginal-upgrade search (scales to many phases).
 
@@ -234,15 +209,6 @@ class IntraAppOracle:
         that keeps the schedule within the FIT target; each round's
         candidate upgrades are evaluated as one batch.
         """
-        merged = resolve_deprecated_positional(
-            "IntraAppOracle.best_greedy",
-            args,
-            ("t_qual_k",),
-            {} if t_qual_k is None else {"t_qual_k": t_qual_k},
-        )
-        t_qual_k = require_keyword(
-            "IntraAppOracle.best_greedy", t_qual_k=merged.get("t_qual_k")
-        )
         ramp = self.ramp_factory(t_qual_k)
         run = self.cache.run(profile, BASE_MICROARCH)
         grid = list(self.vf_curve.grid(self.grid_steps))

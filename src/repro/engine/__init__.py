@@ -104,6 +104,17 @@ class Engine:
     ) -> None:
         self.events = events if events is not None else EventLog(progress=progress)
         self.store = ResultStore(store_dir) if store_dir is not None else None
+        self.telemetry = None
+        if self.store is not None:
+            from repro.telemetry import STORE_DIRNAME, TelemetryWriter
+
+            self.telemetry = TelemetryWriter(
+                self.store.root / STORE_DIRNAME, prefix="engine"
+            )
+            # A shared EventLog may already stream into another engine's
+            # run; the first attachment wins.
+            if not self.events.has_sink:
+                self.events.attach_telemetry(self.telemetry)
         self.executor = JobExecutor(
             config=ExecutorConfig(
                 max_workers=max_workers,

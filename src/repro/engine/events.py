@@ -95,9 +95,12 @@ class EventLog:
     Args:
         progress: optional callable invoked with a one-line progress
             string after each outcome event (see :func:`stderr_progress`).
+        sink: optional callable invoked with every :class:`Event` after
+            it is recorded — the hook that streams events into the
+            durable telemetry plane (see :meth:`attach_telemetry`).
     """
 
-    def __init__(self, progress=None) -> None:
+    def __init__(self, progress=None, sink=None) -> None:
         self._events: list[Event] = []
         self._lock = threading.Lock()
         self._t0 = time.monotonic()
@@ -107,6 +110,34 @@ class EventLog:
         self.stage_wall_s: dict[str, float] = {}
         self.stage_jobs: dict[str, int] = {}
         self._progress = progress
+        self._sink = sink
+
+    def attach_telemetry(self, writer, prefix: str = "engine") -> None:
+        """Stream every event into a telemetry writer as it is emitted.
+
+        Each event becomes one ``<prefix>.<event-kind>`` record whose
+        payload carries the event's job key, stage, detail, and data —
+        the durable form ``repro report`` aggregates.  No-op fields are
+        dropped to keep frames small.  An existing sink is replaced.
+        """
+
+        def _sink(event: Event) -> None:
+            payload = {"wall_s": event.wall_s}
+            if event.job_key:
+                payload["job_key"] = event.job_key
+            if event.stage:
+                payload["stage"] = event.stage
+            if event.detail:
+                payload["detail"] = event.detail
+            if event.data:
+                payload["data"] = event.data
+            writer.append(f"{prefix}.{event.kind}", payload)
+
+        self._sink = _sink
+
+    @property
+    def has_sink(self) -> bool:
+        return self._sink is not None
 
     # ---- recording -----------------------------------------------------
 
@@ -137,6 +168,10 @@ class EventLog:
                     self.stage_wall_s.get(stage, 0.0) + data.get("duration_s", 0.0)
                 )
                 self.stage_jobs[stage] = self.stage_jobs.get(stage, 0) + 1
+        # Sink and progress run outside the lock: both may do I/O, and
+        # the telemetry writer orders records with its own lock.
+        if self._sink is not None:
+            self._sink(event)
         if self._progress is not None and kind in (
             "cache_hit",
             "run_finished",

@@ -397,7 +397,9 @@ def encode_dtm_decision(decision) -> dict:
         },
         "performance": float(decision.performance),
         "peak_temperature_k": float(decision.peak_temperature_k),
-        "meets_limit": bool(decision.meets_limit),
+        # The payload key predates the unified Decision API; it maps onto
+        # the shared meets_target field (no schema bump needed).
+        "meets_limit": bool(decision.meets_target),
     }
 
 

@@ -22,16 +22,14 @@ sweeps), see :meth:`SimulationCache.run_many`, which routes through
 
 For whole DRM sweeps that must survive being killed mid-run, see
 :class:`DRMSweepRunner`: every finished (application, T_qual) cell is
-journalled through the engine store, and a ``resume`` run restores the
-finished cells from the journal (emitting ``resumed`` events) and
-recomputes only the rest.
+recorded as a ``sweep.cell_done`` record on the store's telemetry
+stream, and a ``resume`` run replays the stream to restore the finished
+cells (emitting ``resumed`` events) and recomputes only the rest.
 """
 
 from __future__ import annotations
 
-import json
 import os
-import tempfile
 import threading
 from pathlib import Path
 
@@ -171,27 +169,31 @@ class SimulationCache:
         }
 
 
-#: Journal format version; bump when the journal shape changes.
-JOURNAL_SCHEMA = 1
+#: Sweep spec version; bump when the spec shape (and thus run identity)
+#: changes.  (Key name stays ``schema`` for hash stability.)
+SWEEP_SPEC_SCHEMA = 1
 
 
 class DRMSweepRunner:
     """Checkpointed DRM oracle sweep over (application × T_qual) cells.
 
     Each cell runs through :class:`repro.engine.Engine` (simulations fan
-    out in parallel first), and every finished cell is recorded in a
-    journal under ``<store>/sweeps/<spec-hash>.json`` pointing at the
-    decision's content key in the store.  A ``resume=True`` run restores
-    finished cells from the journal — verifying each decision still
-    decodes; a corrupt one is struck and recomputed — and only submits
-    jobs for the rest, so killing a sweep mid-run costs only the cells
-    that had not finished.
+    out in parallel first), and every finished cell appends one
+    ``sweep.cell_done`` telemetry record — pointing at the decision's
+    content key in the store — to the sweep's stream under
+    ``<store>/telemetry/sweep-<spec-hash>/``.  A ``resume=True`` run
+    replays the stream to restore finished cells — verifying each
+    decision still decodes; a corrupt one is struck and recomputed — and
+    only submits jobs for the rest, so killing a sweep mid-run (even
+    mid-append: frames are CRC-checked and torn tails skipped) costs
+    only the cells that had not finished.  A completed sweep compacts
+    its stream into one segment.
 
     Args:
         store_dir: directory of the engine's result store (required —
-            the journal lives inside it).
+            the telemetry stream lives inside it).
         mode / dvs_steps / instructions / warmup / seed: sweep
-            parameters; all part of the journal's identity hash.
+            parameters; all part of the stream's run identity hash.
         max_workers / timeout_s / retries / failure_budget / progress:
             forwarded to the engine.
     """
@@ -236,11 +238,11 @@ class DRMSweepRunner:
             progress=progress,
         )
 
-    # ---- journal -------------------------------------------------------
+    # ---- stream --------------------------------------------------------
 
     def _spec(self, apps, tquals) -> dict:
         return {
-            "schema": JOURNAL_SCHEMA,
+            "schema": SWEEP_SPEC_SCHEMA,
             "apps": sorted(apps),
             "tquals": sorted(float(t) for t in tquals),
             "mode": self.mode,
@@ -250,39 +252,40 @@ class DRMSweepRunner:
             "seed": self.seed,
         }
 
-    def journal_path(self, apps, tquals) -> Path:
+    @property
+    def stream_root(self) -> Path:
+        from repro.telemetry import STORE_DIRNAME
+
+        return self.engine.store.root / STORE_DIRNAME
+
+    def sweep_run_id(self, apps, tquals) -> str:
+        """The sweep's stream identity: stable across kill/resume."""
         from repro.engine.jobs import content_hash
 
-        root = self.engine.store.root
-        return root / "sweeps" / f"{content_hash(self._spec(apps, tquals))}.json"
+        return f"sweep-{content_hash(self._spec(apps, tquals))[:16]}"
 
-    def _load_journal(self, path: Path) -> dict[str, str]:
-        """The ``{cell_id: decision_key}`` map, empty when absent/corrupt."""
-        try:
-            payload = json.loads(path.read_text())
-            done = payload["done"]
-            if not isinstance(done, dict):
-                raise ValueError("journal 'done' is not an object")
-            return {str(k): str(v) for k, v in done.items()}
-        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
-            return {}
+    def _replay(self, run_id: str) -> dict[str, str]:
+        """The ``{cell_id: decision_key}`` map the stream records.
 
-    def _write_journal(self, path: Path, spec: dict, done: dict[str, str]) -> None:
-        """Atomic rewrite, same discipline as the store's entries."""
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(
-            prefix=".journal-", suffix=".tmp", dir=path.parent
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump({"spec": spec, "done": done}, handle, indent=1)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        A ``sweep.reset`` record (appended by every non-resume run)
+        clears everything before it; torn or damaged frames are skipped
+        by the reader, so a sweep killed mid-append replays every cell
+        whose record made it to disk intact.
+        """
+        from repro.telemetry import read_stream
+
+        done: dict[str, str] = {}
+        for record in read_stream(
+            self.stream_root, run_id=run_id, kinds=("sweep.",)
+        ):
+            if record.kind == "sweep.reset":
+                done.clear()
+            elif record.kind == "sweep.cell_done":
+                cell = record.payload.get("cell")
+                key = record.payload.get("decision_key")
+                if isinstance(cell, str) and isinstance(key, str):
+                    done[cell] = key
+        return done
 
     @staticmethod
     def _cell_id(app: str, t_qual: float) -> str:
@@ -295,20 +298,26 @@ class DRMSweepRunner:
     ) -> dict[tuple[str, float], object]:
         """Run (or resume) the sweep; returns ``{(app, t_qual): decision}``.
 
-        With ``resume=True``, cells recorded in the journal are restored
-        straight from the store (one ``resumed`` event each) and only the
-        remaining cells are executed; without it the journal is rebuilt
-        from scratch (finished simulations still short-circuit through
-        the content-addressed store either way).
+        With ``resume=True``, cells recorded on the telemetry stream are
+        restored straight from the store (one ``resumed`` event each) and
+        only the remaining cells are executed; without it a
+        ``sweep.reset`` record voids the history and every cell is redone
+        (finished simulations still short-circuit through the
+        content-addressed store either way).
         """
         from repro.engine.jobs import DRMSearchJob
         from repro.engine.store import DECODE_ERRORS, decode_result
+        from repro.telemetry import TelemetryWriter, compact_run
 
         apps = list(apps)
         tquals = [float(t) for t in tquals]
         spec = self._spec(apps, tquals)
-        path = self.journal_path(apps, tquals)
-        done = self._load_journal(path) if resume else {}
+        run_id = self.sweep_run_id(apps, tquals)
+        done = self._replay(run_id) if resume else {}
+        writer = TelemetryWriter(self.stream_root, run_id=run_id)
+        if not resume:
+            writer.append("sweep.reset", {"reason": "fresh run"})
+        writer.append("sweep.spec", spec)
 
         jobs: dict[tuple[str, float], DRMSearchJob] = {
             (app, t_qual): DRMSearchJob(
@@ -352,7 +361,7 @@ class DRMSweepRunner:
                 "resumed",
                 job_key=key,
                 stage="drm",
-                detail=f"cell {self._cell_id(*cell)} restored from journal",
+                detail=f"cell {self._cell_id(*cell)} restored from stream",
             )
 
         pending = [cell for cell in jobs if cell not in decisions]
@@ -371,5 +380,16 @@ class DRMSweepRunner:
             decisions[cell] = decision
             if decision is not None:
                 done[self._cell_id(*cell)] = job.cache_key
-                self._write_journal(path, spec, done)
+                writer.append(
+                    "sweep.cell_done",
+                    {
+                        "cell": self._cell_id(*cell),
+                        "decision_key": job.cache_key,
+                    },
+                )
+        if all(decision is not None for decision in decisions.values()):
+            # The sweep is whole: fold its (possibly crash-littered)
+            # segments into one.  Readers dedupe by seq, so a crash
+            # inside the compaction itself is also survivable.
+            compact_run(self.stream_root, run_id, include_active=True)
         return decisions

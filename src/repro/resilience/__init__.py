@@ -30,6 +30,7 @@ from repro.resilience.faults import (
     SERVE_SLOW,
     SITES,
     STORE_CORRUPT,
+    TELEMETRY_TORN,
     WORKER_CRASH,
     WORKER_HANG,
     FaultInjector,
@@ -55,6 +56,7 @@ __all__ = [
     "SERVE_SLOW",
     "SITES",
     "STORE_CORRUPT",
+    "TELEMETRY_TORN",
     "WORKER_CRASH",
     "WORKER_HANG",
     "active_injector",

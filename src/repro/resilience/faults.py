@@ -17,9 +17,11 @@ Arming:
   manager (which also exports the environment variable so freshly
   spawned workers see the plan).
 
-Every fired fault is appended to the **fault log** — a JSONL file named
-by ``REPRO_FAULT_LOG`` (or collected in memory) — so a chaos run leaves
-a structured record of exactly what was injected where.
+Every fired fault is appended to the **fault log** — a telemetry
+segment (one CRC-framed ``fault.fired`` record per fault, see
+:mod:`repro.telemetry`) at the path named by ``REPRO_FAULT_LOG``, or
+collected in memory — so a chaos run leaves a durable, schema-checked
+record of exactly what was injected where.
 
 Injection sites (see :data:`SITES`):
 
@@ -42,6 +44,10 @@ site                      effect
 ``serve.slow_response``   the decision service delays a response by
                           ``hang_s`` (asynchronously — the serving loop
                           keeps processing other requests)
+``telemetry.torn_append`` a telemetry frame is written truncated and the
+                          segment sealed — a simulated ``kill -9``
+                          mid-append; readers must recover every
+                          complete record
 ========================  ====================================================
 
 Fault decisions for the executor sites are, by default, **first-attempt
@@ -79,6 +85,7 @@ SENSOR_NOISE = "sensor.noisy_temperature"
 SENSOR_STUCK = "sensor.stuck_temperature"
 SERVE_DROP = "serve.drop_connection"
 SERVE_SLOW = "serve.slow_response"
+TELEMETRY_TORN = "telemetry.torn_append"
 
 #: Every recognised injection site.
 SITES = frozenset(
@@ -91,6 +98,7 @@ SITES = frozenset(
         SENSOR_STUCK,
         SERVE_DROP,
         SERVE_SLOW,
+        TELEMETRY_TORN,
     }
 )
 
@@ -188,6 +196,7 @@ CI_DEFAULT = FaultPlan(
         KERNEL_POISON: 1.0,
         SERVE_DROP: 0.08,
         SERVE_SLOW: 0.05,
+        TELEMETRY_TORN: 0.05,
     },
     hang_s=0.05,
 )
@@ -205,6 +214,7 @@ AGGRESSIVE = FaultPlan(
         SENSOR_STUCK: 0.1,
         SERVE_DROP: 0.3,
         SERVE_SLOW: 0.2,
+        TELEMETRY_TORN: 0.25,
     },
     hang_s=0.05,
 )
@@ -237,8 +247,27 @@ class FaultInjector:
         self.fired: list[dict[str, Any]] = []
         self._once_fired: set[tuple[str, str]] = set()
         # One injector is shared by every serve worker thread; the
-        # record list and once-set are the only mutable state.
+        # record list, once-set, and log writer are the only mutable
+        # state.
         self._record_lock = threading.Lock()
+        self._log_writer = None
+
+    def _writer(self):
+        """The telemetry writer for the shared fault log (lazy — the
+        common case is an unlogged injector).  Single-segment mode:
+        every process appends whole CRC frames to the one well-known
+        path with ``O_APPEND``, so workers and the parent interleave at
+        frame granularity."""
+        if self.log_path is None:
+            return None
+        with self._record_lock:
+            if self._log_writer is None:
+                from repro.telemetry import TelemetryWriter
+
+                self._log_writer = TelemetryWriter(
+                    segment_path=self.log_path, prefix="faults"
+                )
+            return self._log_writer
 
     # ---- the decision primitive ---------------------------------------
 
@@ -265,15 +294,11 @@ class FaultInjector:
         }
         with self._record_lock:
             self.fired.append(record)
-        if self.log_path is not None:
-            try:
-                self.log_path.parent.mkdir(parents=True, exist_ok=True)
-                with open(self.log_path, "a") as handle:
-                    handle.write(json.dumps(record) + "\n")
-            except OSError:
-                # The log is best-effort diagnostics; injection must
-                # never fail because the log directory is unwritable.
-                pass
+        writer = self._writer()
+        if writer is not None:
+            # Best-effort diagnostics; the writer swallows I/O errors —
+            # injection must never fail because the log is unwritable.
+            writer.append("fault.fired", record)
 
     def _once(self, site: str, key: str) -> bool:
         """``should``, firing at most once per (site, key) per process."""
@@ -373,6 +398,25 @@ class FaultInjector:
             return None
         self._record(SERVE_SLOW, request_key, delay_s=self.plan.hang_s)
         return self.plan.hang_s
+
+    # ---- telemetry site ------------------------------------------------
+
+    def torn_append(self, key: str, frame_len: int) -> int | None:
+        """The byte offset to truncate an appended frame at, or ``None``.
+
+        Fires at most once per (run, seq) key per process — a simulated
+        ``kill -9`` in the middle of a telemetry append.  The writer
+        seals the damaged segment afterwards, so exactly one frame is
+        lost and every complete record stays recoverable (the property
+        the chaos suite asserts).
+        """
+        if frame_len <= 1:
+            return None
+        if not self._once(TELEMETRY_TORN, key):
+            return None
+        cut = max(1, frame_len // 2)
+        self._record(TELEMETRY_TORN, key, truncated_to=cut, frame_len=frame_len)
+        return cut
 
     # ---- sensor sites --------------------------------------------------
 
@@ -489,16 +533,31 @@ class armed:
 
 
 def iter_fault_log(path: str | os.PathLike) -> Iterator[dict[str, Any]]:
-    """Parse a JSONL fault log, skipping torn trailing lines."""
+    """Parse a fault log, skipping torn or damaged lines.
+
+    The log is a telemetry segment of ``fault.fired`` records; each
+    yielded dict is one fired-fault payload.  Bare-JSON lines (the
+    pre-telemetry format) are still accepted, so old logs keep reading.
+    """
+    from repro.telemetry.stream import decode_frame
+
     try:
-        lines = Path(path).read_text().splitlines()
+        raw = Path(path).read_bytes()
     except OSError:
         return
-    for line in lines:
+    for line in raw.split(b"\n"):
         line = line.strip()
         if not line:
             continue
-        try:
-            yield json.loads(line)
-        except json.JSONDecodeError:
+        envelope = decode_frame(line)
+        if envelope is not None:
+            payload = envelope.get("payload")
+            if isinstance(payload, dict):
+                yield payload
             continue
+        try:
+            legacy = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            continue
+        if isinstance(legacy, dict):
+            yield legacy

@@ -32,6 +32,7 @@ from repro.serve.loadgen import (
 )
 from repro.serve.protocol import (
     DECISION_KINDS,
+    WIRE_SCHEMA_VERSION,
     DecideRequest,
     decision_cache_key,
     decode_decision,
@@ -52,6 +53,7 @@ __all__ = [
     "RequestTraceGenerator",
     "TrafficMix",
     "DECISION_KINDS",
+    "WIRE_SCHEMA_VERSION",
     "DecideRequest",
     "decision_cache_key",
     "decode_decision",

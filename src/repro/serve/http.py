@@ -34,7 +34,11 @@ from typing import Any
 
 from repro.errors import ReproError, ServeError, error_payload
 from repro.resilience import active_injector
-from repro.serve.protocol import DecideRequest, encode_decision
+from repro.serve.protocol import (
+    WIRE_SCHEMA_VERSION,
+    DecideRequest,
+    encode_decision,
+)
 from repro.serve.service import DecisionService
 
 #: Request-line / header-line length cap (a malformed peer cannot make
@@ -177,6 +181,7 @@ class HttpServer:
             snapshot = self.service.chips.snapshot(chip_id)
             if snapshot is None:
                 return 404, {"error": f"unknown chip {chip_id!r}"}, path
+            snapshot["schema_version"] = WIRE_SCHEMA_VERSION
             return 200, snapshot, path
         if method == "GET" and path == "/healthz":
             if self.service.healthy():
@@ -184,6 +189,7 @@ class HttpServer:
             return 503, {"status": "unhealthy"}, path
         if method == "GET" and path == "/statz":
             stats = self.service.stats()
+            stats["schema_version"] = WIRE_SCHEMA_VERSION
             stats["transport"] = {
                 "connections_dropped": self.connections_dropped,
                 "responses_slowed": self.responses_slowed,
@@ -208,6 +214,7 @@ class HttpServer:
         except ReproError as exc:
             return 422, error_payload(exc), "/v1/decide"
         response = {
+            "schema_version": WIRE_SCHEMA_VERSION,
             "kind": request.kind,
             "cache_key": served.cache_key,
             "tier": served.tier,

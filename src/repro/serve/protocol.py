@@ -38,6 +38,12 @@ from repro.engine.store import CODECS, SCHEMA_VERSION, decode_result, encode_res
 from repro.errors import ServeError
 from repro.workloads.suite import SUITE_NAMES
 
+#: Wire-protocol version.  Every response body carries it as
+#: ``schema_version``; request bodies may carry it, and an unknown value
+#: is rejected with a 400 naming the supported version.  Bump on any
+#: incompatible change to request or response shapes.
+WIRE_SCHEMA_VERSION = 1
+
 #: Request kinds the service answers, in documentation order.
 DECISION_KINDS = ("drm", "dtm", "joint", "intra")
 
@@ -151,11 +157,21 @@ class DecideRequest:
 
         Raises:
             ServeError: for non-object bodies, unknown fields, wrong
-                field types, or a semantically invalid request.
+                field types, an unsupported ``schema_version``, or a
+                semantically invalid request.
         """
         if not isinstance(payload, Mapping):
             raise ServeError("decide request body must be a JSON object")
-        known = {f.name for f in dataclasses.fields(cls)}
+        if "schema_version" in payload:
+            version = payload["schema_version"]
+            if version != WIRE_SCHEMA_VERSION:
+                raise ServeError(
+                    f"unsupported schema_version {version!r}; this server "
+                    f"speaks version {WIRE_SCHEMA_VERSION}",
+                    schema_version=version,
+                    supported=WIRE_SCHEMA_VERSION,
+                )
+        known = {f.name for f in dataclasses.fields(cls)} | {"schema_version"}
         unknown = set(payload) - known
         if unknown:
             raise ServeError(

@@ -246,6 +246,14 @@ class DecisionService:
         )
         self.chips = ChipStateStore(cfg.n_shards)
         self.events = EventLog()
+        self.telemetry = None
+        if cfg.store_dir is not None:
+            from repro.telemetry import STORE_DIRNAME, TelemetryWriter
+
+            self.telemetry = TelemetryWriter(
+                Path(cfg.store_dir) / STORE_DIRNAME, prefix="serve"
+            )
+            self.events.attach_telemetry(self.telemetry, prefix="serve")
         self.executor = ThreadPoolExecutor(
             max_workers=cfg.workers, thread_name_prefix="repro-serve"
         )
@@ -452,9 +460,15 @@ class DecisionService:
     # ---- observability -------------------------------------------------
 
     def stats(self) -> dict[str, Any]:
-        """The ``/statz`` body: every layer's counters in one place."""
+        """The ``/statz`` body: every layer's counters in one place.
+
+        Each call also streams one ``serve.statz`` snapshot onto the
+        telemetry plane (when a store is configured), so ``repro
+        report`` can render the fleet's last-known counters after the
+        process is gone.
+        """
         counters = dict(self.events.counters)
-        return {
+        body = {
             "uptime_s": time.monotonic() - self._t0,
             "config": self.config.as_dict(),
             "requests": {
@@ -469,6 +483,16 @@ class DecisionService:
             "chips": self.chips.stats(),
             "engine": self.events.summary(),
         }
+        if self.telemetry is not None:
+            self.telemetry.append(
+                "serve.statz",
+                {
+                    "uptime_s": round(body["uptime_s"], 3),
+                    "requests": body["requests"],
+                    "chips": body["chips"],
+                },
+            )
+        return body
 
     def healthy(self) -> bool:
         """Liveness: the pool is up and the accounting invariant holds."""

@@ -1,0 +1,95 @@
+"""repro.telemetry — the unified, durable event plane.
+
+One schema-versioned, append-only stream replaces the four ad-hoc
+formats that grew up around the engine (in-memory EventLog dumps), the
+resilience layer (fault JSONL), the sweep harness (per-spec journal
+files), and the benchmarks (hand-rolled ``BENCH_*.json`` shapes):
+
+- :mod:`repro.telemetry.records` — the typed record envelope
+  (``schema_version`` / ``kind`` / ``ts`` / ``run_id`` / ``seq`` /
+  ``payload``) and its validator;
+- :mod:`repro.telemetry.stream` — CRC-framed, segmented append-only
+  files with truncated-tail recovery, plus streaming readers with
+  kind / run filters;
+- :mod:`repro.telemetry.compact` — background-safe compaction of a
+  run's sealed segments;
+- :mod:`repro.telemetry.report` — the ``repro report`` aggregation:
+  fleet / sweep / chaos / bench summaries and the ``--check`` audit.
+
+Quickstart::
+
+    from repro.telemetry import TelemetryWriter, read_stream
+
+    writer = TelemetryWriter(".telemetry", prefix="demo")
+    writer.append("demo.started", {"answer": 42})
+    for record in read_stream(".telemetry", kinds=("demo.",)):
+        print(record.kind, record.payload)
+
+Durability model: every frame is one ``O_APPEND`` write, a killed
+process damages at most the final frame of one segment, and readers
+recover every complete record (the ``telemetry.torn_append`` fault site
+proves this under the ``ci-default`` chaos plan).
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.compact import CompactionResult, compact_run
+from repro.telemetry.records import (
+    KNOWN_KIND_PREFIXES,
+    TELEMETRY_SCHEMA_VERSION,
+    TelemetryRecord,
+    is_known_kind,
+    validate_record,
+)
+from repro.telemetry.report import (
+    StreamCheck,
+    StreamReport,
+    build_report,
+    check_stream,
+    render_report,
+)
+from repro.telemetry.stream import (
+    FRAME_MAGIC,
+    SEGMENT_MAX_BYTES,
+    SEGMENT_SUFFIX,
+    STORE_DIRNAME,
+    SegmentScan,
+    TelemetryWriter,
+    decode_frame,
+    encode_frame,
+    list_runs,
+    new_run_id,
+    read_stream,
+    run_segments,
+    scan_segment,
+    scan_stream,
+)
+
+__all__ = [
+    "FRAME_MAGIC",
+    "KNOWN_KIND_PREFIXES",
+    "SEGMENT_MAX_BYTES",
+    "TELEMETRY_SCHEMA_VERSION",
+    "TelemetryRecord",
+    "TelemetryWriter",
+    "SegmentScan",
+    "SEGMENT_SUFFIX",
+    "STORE_DIRNAME",
+    "CompactionResult",
+    "StreamCheck",
+    "StreamReport",
+    "build_report",
+    "check_stream",
+    "compact_run",
+    "decode_frame",
+    "encode_frame",
+    "is_known_kind",
+    "list_runs",
+    "new_run_id",
+    "read_stream",
+    "render_report",
+    "run_segments",
+    "scan_segment",
+    "scan_stream",
+    "validate_record",
+]

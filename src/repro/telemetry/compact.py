@@ -1,0 +1,111 @@
+"""Background-safe compaction of a run's telemetry segments.
+
+A long run (or a resumed one) leaves a trail of small segments, some
+with torn tails from crashes and forced rotations.  Compaction folds a
+run's **sealed** segments into one clean segment holding exactly the
+complete records, in order — dropping the damaged frames for good and
+reclaiming their space — while leaving the **active** (last) segment
+alone so a live writer is never raced.
+
+The merge is crash-safe by the same discipline as the result store:
+the merged segment is written to a temporary file in the run directory
+and ``os.replace``d into a name that sorts *before* every sealed
+segment it replaces, and only then are the sealed originals unlinked.
+A crash between those two steps leaves duplicate records on disk;
+readers de-duplicate on (run_id, seq), so even that window is safe.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import tempfile
+from pathlib import Path
+
+from repro.telemetry.stream import (
+    SEGMENT_SUFFIX,
+    encode_frame,
+    run_segments,
+    scan_segment,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class CompactionResult:
+    """What one :func:`compact_run` call did."""
+
+    run_id: str
+    segments_merged: int
+    records_kept: int
+    frames_dropped: int
+    compacted_path: Path | None
+
+
+def compact_run(
+    root: str | os.PathLike,
+    run_id: str,
+    *,
+    include_active: bool = False,
+) -> CompactionResult:
+    """Merge ``run_id``'s sealed segments into one clean segment.
+
+    Args:
+        root: the stream root directory.
+        run_id: which run to compact.
+        include_active: also fold the newest segment in.  Only safe when
+            the producing run has finished (the default leaves it alone
+            so compaction can run behind a live writer).
+
+    Returns:
+        A :class:`CompactionResult`; ``compacted_path`` is ``None`` when
+        there was nothing to merge (fewer than two eligible segments and
+        no damage to scrub).
+    """
+    segments = run_segments(root, run_id)
+    eligible = segments if include_active else segments[:-1]
+    if not eligible:
+        return CompactionResult(run_id, 0, 0, 0, None)
+    scans = [scan_segment(path) for path in eligible]
+    dropped = sum(scan.torn + scan.invalid for scan in scans)
+    if len(eligible) < 2 and dropped == 0:
+        return CompactionResult(run_id, 0, 0, 0, None)
+    seen: set[int] = set()
+    records = []
+    for scan in scans:
+        for record in scan.records:
+            if record.seq in seen:
+                continue
+            seen.add(record.seq)
+            records.append(record)
+    run_dir = Path(root) / run_id
+    target = run_dir / f"{eligible[0].stem}-compact{SEGMENT_SUFFIX}"
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=".compact-", suffix=".tmp", dir=run_dir
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            for record in records:
+                handle.write(encode_frame(record))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    for path in eligible:
+        if path == target:
+            continue
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+    return CompactionResult(
+        run_id=run_id,
+        segments_merged=len(eligible),
+        records_kept=len(records),
+        frames_dropped=dropped,
+        compacted_path=target,
+    )

@@ -1,0 +1,135 @@
+"""The telemetry record envelope: one schema for every durable event.
+
+Every run, sweep cell, injected fault, serve snapshot, and bench result
+in this repository lands in the same envelope::
+
+    {
+      "schema_version": 1,          # bump when the envelope changes
+      "kind":  "sweep.cell_done",   # dotted producer.event name
+      "ts":    1754650000.123,      # wall-clock seconds (diagnostics only)
+      "run_id": "sweep-ab12cd34",   # the producing run / writer identity
+      "seq":   17,                  # monotonic within (run_id, process)
+      "payload": {...}              # kind-specific JSON object
+    }
+
+``run_id`` + ``seq`` give every record a stable identity inside its
+stream; ``ts`` is never used for ordering or results (readers order by
+segment position and ``seq``), it exists so humans can line telemetry up
+with external logs.
+
+The envelope is deliberately *open* on ``kind``: producers register
+nothing.  :data:`KNOWN_KINDS` names the kinds the standard producers
+emit so ``repro report`` can label anything else as foreign without
+rejecting it.
+"""
+
+from __future__ import annotations
+
+import numbers
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+#: Version of the telemetry record envelope.  Bump when the meaning or
+#: shape of the envelope itself changes; payload evolution is handled by
+#: the individual kinds.
+TELEMETRY_SCHEMA_VERSION = 1
+
+#: Kinds the in-repo producers emit (prefix -> producer):
+#:
+#: - ``engine.*``   — one record per :class:`repro.engine.events.Event`
+#: - ``sweep.*``    — checkpointed sweep lifecycle (spec / reset /
+#:   cell_done), the records ``--resume`` replays
+#: - ``fault.fired``— one record per injected fault
+#: - ``serve.statz``— a decision-service counters snapshot
+#: - ``bench.result``— one benchmark result (uniform keys)
+KNOWN_KIND_PREFIXES = ("engine.", "sweep.", "fault.", "serve.", "bench.")
+
+
+@dataclass(frozen=True)
+class TelemetryRecord:
+    """One decoded stream record (see module docstring for the schema)."""
+
+    kind: str
+    run_id: str
+    seq: int
+    ts: float
+    payload: dict = field(default_factory=dict)
+    schema_version: int = TELEMETRY_SCHEMA_VERSION
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "schema_version": self.schema_version,
+            "kind": self.kind,
+            "ts": self.ts,
+            "run_id": self.run_id,
+            "seq": self.seq,
+            "payload": self.payload,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TelemetryRecord":
+        """Decode one envelope; raises ``ValueError`` when malformed."""
+        problems = validate_record(payload)
+        if problems:
+            raise ValueError(
+                "malformed telemetry record: " + "; ".join(problems)
+            )
+        return cls(
+            kind=payload["kind"],
+            run_id=payload["run_id"],
+            seq=int(payload["seq"]),
+            ts=float(payload["ts"]),
+            payload=dict(payload["payload"]),
+            schema_version=int(payload["schema_version"]),
+        )
+
+
+def validate_record(payload: object) -> list[str]:
+    """Schema problems with one decoded envelope ([] = valid).
+
+    Used both by :meth:`TelemetryRecord.from_dict` and by
+    ``repro report --check``, which validates every record a run emitted.
+    """
+    if not isinstance(payload, Mapping):
+        return ["record is not a JSON object"]
+    problems: list[str] = []
+    version = payload.get("schema_version")
+    if not isinstance(version, int) or isinstance(version, bool):
+        problems.append("schema_version must be an integer")
+    elif version != TELEMETRY_SCHEMA_VERSION:
+        problems.append(
+            f"schema_version {version} is not the supported "
+            f"{TELEMETRY_SCHEMA_VERSION}"
+        )
+    kind = payload.get("kind")
+    if not isinstance(kind, str) or not kind:
+        problems.append("kind must be a non-empty string")
+    run_id = payload.get("run_id")
+    if not isinstance(run_id, str) or not run_id:
+        problems.append("run_id must be a non-empty string")
+    seq = payload.get("seq")
+    if (
+        not isinstance(seq, numbers.Integral)
+        or isinstance(seq, bool)
+        or int(seq) < 0
+    ):
+        problems.append("seq must be a non-negative integer")
+    ts = payload.get("ts")
+    if isinstance(ts, bool) or not isinstance(ts, numbers.Real):
+        problems.append("ts must be a number")
+    body = payload.get("payload")
+    if not isinstance(body, Mapping):
+        problems.append("payload must be a JSON object")
+    unknown = set(payload) - {
+        "schema_version", "kind", "ts", "run_id", "seq", "payload"
+    }
+    if unknown:
+        problems.append(
+            "unknown envelope field(s): " + ", ".join(sorted(unknown))
+        )
+    return problems
+
+
+def is_known_kind(kind: str) -> bool:
+    """Whether a kind belongs to one of the standard in-repo producers."""
+    return kind.startswith(KNOWN_KIND_PREFIXES)

@@ -1,0 +1,265 @@
+"""``repro report``: render one run's history from the telemetry stream.
+
+The report is a pure fold over the stream — no producer keeps its own
+summary file any more.  Each standard kind family contributes one
+section:
+
+- **engine**  — ``engine.*`` records: job counters and per-stage totals
+  (the EventLog's accounting invariant, recomputed from durable data);
+- **sweep**   — ``sweep.*`` records: per-sweep cell progress, the exact
+  records ``--resume`` replays;
+- **chaos**   — ``fault.fired`` records: injected faults by site;
+- **fleet**   — ``serve.statz`` records: the decision service's last
+  counters snapshot per run;
+- **bench**   — ``bench.result`` records: benchmark names, headline
+  metrics, and floors.
+
+``repro report --check`` additionally audits every segment: torn
+frames, schema-invalid envelopes, and unknown kinds are listed, and the
+check fails (exit 1) on any schema-invalid record.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Any
+
+from repro.telemetry.records import TelemetryRecord, is_known_kind
+from repro.telemetry.stream import read_stream, scan_stream
+
+
+@dataclasses.dataclass
+class StreamReport:
+    """The aggregated view ``repro report`` renders."""
+
+    source: str
+    records: int = 0
+    runs: dict[str, int] = dataclasses.field(default_factory=dict)
+    engine: dict[str, Any] = dataclasses.field(default_factory=dict)
+    sweeps: dict[str, Any] = dataclasses.field(default_factory=dict)
+    chaos: dict[str, Any] = dataclasses.field(default_factory=dict)
+    fleet: dict[str, Any] = dataclasses.field(default_factory=dict)
+    bench: dict[str, Any] = dataclasses.field(default_factory=dict)
+    unknown_kinds: dict[str, int] = dataclasses.field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+def build_report(
+    source: str | os.PathLike, *, run_id: str | None = None
+) -> StreamReport:
+    """Fold a telemetry stream into a :class:`StreamReport`."""
+    report = StreamReport(source=str(source))
+    for record in read_stream(source, run_id=run_id):
+        report.records += 1
+        report.runs[record.run_id] = report.runs.get(record.run_id, 0) + 1
+        if record.kind.startswith("engine."):
+            _fold_engine(report.engine, record)
+        elif record.kind.startswith("sweep."):
+            _fold_sweep(report.sweeps, record)
+        elif record.kind == "fault.fired":
+            _fold_chaos(report.chaos, record)
+        elif record.kind == "serve.statz":
+            _fold_fleet(report.fleet, record)
+        elif record.kind == "bench.result":
+            _fold_bench(report.bench, record)
+        elif not is_known_kind(record.kind):
+            report.unknown_kinds[record.kind] = (
+                report.unknown_kinds.get(record.kind, 0) + 1
+            )
+    return report
+
+
+def _fold_engine(section: dict[str, Any], record: TelemetryRecord) -> None:
+    counters = section.setdefault("counters", {})
+    event_kind = record.kind.removeprefix("engine.")
+    counters[event_kind] = counters.get(event_kind, 0) + 1
+    if event_kind == "run_finished":
+        stage = record.payload.get("stage", "")
+        if stage:
+            stages = section.setdefault("stages", {})
+            entry = stages.setdefault(stage, {"jobs": 0, "wall_s": 0.0})
+            entry["jobs"] += 1
+            data = record.payload.get("data", {})
+            if isinstance(data, dict):
+                entry["wall_s"] = round(
+                    entry["wall_s"] + float(data.get("duration_s", 0.0) or 0.0),
+                    6,
+                )
+
+
+def _fold_sweep(section: dict[str, Any], record: TelemetryRecord) -> None:
+    sweep = section.setdefault(
+        record.run_id, {"cells_done": 0, "resets": 0, "spec": None}
+    )
+    if record.kind == "sweep.spec":
+        sweep["spec"] = record.payload
+    elif record.kind == "sweep.reset":
+        sweep["resets"] += 1
+        sweep["cells_done"] = 0
+        sweep["cells"] = {}
+    elif record.kind == "sweep.cell_done":
+        cells = sweep.setdefault("cells", {})
+        cell = str(record.payload.get("cell"))
+        if cell not in cells:
+            sweep["cells_done"] += 1
+        cells[cell] = record.payload.get("decision_key")
+
+
+def _fold_chaos(section: dict[str, Any], record: TelemetryRecord) -> None:
+    by_site = section.setdefault("by_site", {})
+    site = str(record.payload.get("site"))
+    by_site[site] = by_site.get(site, 0) + 1
+    section["fired"] = section.get("fired", 0) + 1
+    plan = record.payload.get("plan")
+    if plan:
+        plans = section.setdefault("plans", {})
+        plans[str(plan)] = plans.get(str(plan), 0) + 1
+
+
+def _fold_fleet(section: dict[str, Any], record: TelemetryRecord) -> None:
+    # Snapshots are cumulative; the latest one per run wins.
+    snapshots = section.setdefault("latest", {})
+    snapshots[record.run_id] = {
+        "seq": record.seq,
+        "uptime_s": record.payload.get("uptime_s"),
+        "requests": record.payload.get("requests"),
+    }
+    section["snapshots"] = section.get("snapshots", 0) + 1
+
+
+def _fold_bench(section: dict[str, Any], record: TelemetryRecord) -> None:
+    results = section.setdefault("results", {})
+    name = str(record.payload.get("name"))
+    results[name] = {
+        "mode": record.payload.get("mode"),
+        "floor": record.payload.get("floor"),
+        "headline": record.payload.get("headline"),
+        "machine": record.payload.get("machine", {}).get("platform"),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+
+def render_report(report: StreamReport) -> str:
+    """Human-readable multi-section summary."""
+    lines = [
+        f"telemetry report for {report.source}",
+        f"  {report.records} records across {len(report.runs)} run(s)",
+    ]
+    if report.engine:
+        counters = report.engine.get("counters", {})
+        shown = ", ".join(
+            f"{k} {v}" for k, v in sorted(counters.items())
+        )
+        lines.append(f"engine: {shown or 'no events'}")
+        for stage, entry in sorted(report.engine.get("stages", {}).items()):
+            lines.append(
+                f"  {stage:13s} {entry['jobs']:4d} jobs  "
+                f"{entry['wall_s']:8.2f} s"
+            )
+    if report.sweeps:
+        lines.append("sweeps:")
+        for run, sweep in sorted(report.sweeps.items()):
+            spec = sweep.get("spec") or {}
+            shape = ""
+            if spec:
+                shape = (
+                    f" ({len(spec.get('apps', []))} apps x "
+                    f"{len(spec.get('tquals', []))} T_qual, "
+                    f"mode {spec.get('mode')})"
+                )
+            lines.append(
+                f"  {run}: {sweep['cells_done']} cell(s) done"
+                f"{shape}"
+                + (f", {sweep['resets']} reset(s)" if sweep["resets"] else "")
+            )
+    if report.chaos:
+        lines.append(f"chaos: {report.chaos.get('fired', 0)} fault(s) fired")
+        for site, n in sorted(report.chaos.get("by_site", {}).items()):
+            lines.append(f"  {site:26s} {n:5d}")
+    if report.fleet:
+        lines.append("fleet:")
+        for run, snap in sorted(report.fleet.get("latest", {}).items()):
+            requests = snap.get("requests") or {}
+            lines.append(
+                f"  {run}: submitted {requests.get('submitted', 0)}, "
+                f"computed {requests.get('computed', 0)}, "
+                f"cache hits {requests.get('cache_hits', 0)}, "
+                f"failed {requests.get('failed', 0)}"
+            )
+    if report.bench:
+        lines.append("bench:")
+        for name, entry in sorted(report.bench.get("results", {}).items()):
+            headline = entry.get("headline") or {}
+            shown = ", ".join(
+                f"{k}={v}" for k, v in sorted(headline.items())
+            )
+            floor = entry.get("floor")
+            lines.append(
+                f"  {name} [{entry.get('mode')}]: {shown or 'no headline'}"
+                + (f" (floor {floor})" if floor is not None else "")
+            )
+    if report.unknown_kinds:
+        shown = ", ".join(
+            f"{k} x{v}" for k, v in sorted(report.unknown_kinds.items())
+        )
+        lines.append(f"unknown kinds: {shown}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Checking
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class StreamCheck:
+    """The audit ``repro report --check`` performs."""
+
+    source: str
+    segments: int = 0
+    frames: int = 0
+    records: int = 0
+    torn: int = 0
+    invalid: int = 0
+    problems: list[str] = dataclasses.field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Torn tails are expected crash damage; schema-invalid records
+        are producer bugs and fail the check."""
+        return self.invalid == 0
+
+    def render(self) -> str:
+        lines = [
+            f"telemetry check for {self.source}: "
+            f"{self.records} valid record(s) in {self.segments} segment(s)",
+            f"  frames {self.frames} | torn {self.torn} "
+            f"| schema-invalid {self.invalid}",
+        ]
+        lines.extend(f"  problem: {p}" for p in self.problems[:20])
+        if len(self.problems) > 20:
+            lines.append(f"  ... and {len(self.problems) - 20} more")
+        lines.append("check: " + ("OK" if self.ok else "FAILED"))
+        return "\n".join(lines)
+
+
+def check_stream(
+    source: str | os.PathLike, *, run_id: str | None = None
+) -> StreamCheck:
+    """Audit every segment of a stream against the record schema."""
+    check = StreamCheck(source=str(source))
+    for scan in scan_stream(source, run_id=run_id):
+        check.segments += 1
+        check.frames += scan.frames
+        check.records += len(scan.records)
+        check.torn += scan.torn
+        check.invalid += scan.invalid
+        check.problems.extend(scan.problems)
+    return check

@@ -34,7 +34,7 @@ class TestJointFeasibility:
             j = joint.best(BZIP2, t_qual_k=temp, t_limit_k=temp)
             drm = oracle.best(BZIP2, t_qual_k=temp, mode=AdaptationMode.DVS)
             dtm = dtm_oracle.best(BZIP2, t_limit_k=temp)
-            if j.feasible and drm.meets_target and dtm.meets_limit:
+            if j.feasible and drm.meets_target and dtm.meets_target:
                 assert j.op.frequency_hz <= drm.op.frequency_hz + 1e3
                 assert j.op.frequency_hz <= dtm.op.frequency_hz + 1e3
 

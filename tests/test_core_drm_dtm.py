@@ -127,7 +127,7 @@ class TestOracleDecisions:
 class TestDTM:
     def test_loose_limit_allows_overclock(self, dtm_oracle):
         d = dtm_oracle.best(TWOLF, t_limit_k=400.0)
-        assert d.meets_limit
+        assert d.meets_target
         assert d.op.frequency_hz > 4.0e9
 
     def test_tight_limit_throttles(self, dtm_oracle):
@@ -136,12 +136,12 @@ class TestDTM:
 
     def test_peak_temperature_respects_limit(self, dtm_oracle):
         d = dtm_oracle.best(BZIP2, t_limit_k=370.0)
-        assert d.meets_limit
+        assert d.meets_target
         assert d.peak_temperature_k <= 370.0 + 1e-6
 
     def test_unattainable_limit_reports_coolest(self, dtm_oracle):
         d = dtm_oracle.best(MPG, t_limit_k=326.0)
-        assert not d.meets_limit
+        assert not d.meets_target
         assert d.op.frequency_hz == pytest.approx(2.5e9)
 
     def test_frequency_monotone_in_limit(self, dtm_oracle):

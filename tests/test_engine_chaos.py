@@ -255,6 +255,8 @@ class TestSweepBitIdentity:
 
 
 class TestSweepResume:
+    TQUALS = [370.0, 380.0]
+
     def run_sweep(self, store_dir, resume=False, **kw):
         runner = DRMSweepRunner(
             store_dir,
@@ -264,24 +266,55 @@ class TestSweepResume:
             max_workers=1,
             **kw,
         )
-        return runner, runner.run(APPS, [370.0, 380.0], resume=resume)
+        return runner, runner.run(APPS, self.TQUALS, resume=resume)
 
-    def test_resume_restores_journalled_cells_only(self, tmp_path):
-        import json
+    def stream_frames(self, runner):
+        """(run_id, segment paths, frame lines across all segments)."""
+        from repro.telemetry import run_segments
 
+        run_id = runner.sweep_run_id(APPS, self.TQUALS)
+        segments = run_segments(runner.stream_root, run_id)
+        frames = [
+            line
+            for path in segments
+            for line in path.read_bytes().split(b"\n")
+            if line
+        ]
+        return run_id, segments, frames
+
+    def cell_records(self, runner):
+        from repro.telemetry import read_stream
+
+        return [
+            r
+            for r in read_stream(
+                runner.stream_root,
+                run_id=runner.sweep_run_id(APPS, self.TQUALS),
+                kinds=("sweep.cell_done",),
+            )
+        ]
+
+    def test_resume_restores_streamed_cells_only(self, tmp_path):
         runner, first = self.run_sweep(tmp_path)
-        path = runner.journal_path(APPS, [370.0, 380.0])
-        journal = json.loads(path.read_text())
-        assert len(journal["done"]) == 4
-        # Simulate a kill after two cells: drop the rest from the journal.
-        kept = dict(sorted(journal["done"].items())[:2])
-        path.write_text(json.dumps({"spec": journal["spec"], "done": kept}))
+        assert len(self.cell_records(runner)) == 4
+        run_id, segments, frames = self.stream_frames(runner)
+        # Simulate kill -9 after two finished cells: keep the reset/spec
+        # frames plus the first two cell_done frames intact, then half of
+        # the third cell_done frame — exactly what a torn append leaves.
+        cell_idx = [
+            i for i, f in enumerate(frames) if b'"sweep.cell_done"' in f
+        ]
+        kept = frames[: cell_idx[1] + 1]
+        torn = frames[cell_idx[2]][: len(frames[cell_idx[2]]) // 2]
+        for path in segments[1:]:
+            path.unlink()
+        segments[0].write_bytes(b"\n".join(kept) + b"\n" + torn)
 
         resumed_runner, second = self.run_sweep(tmp_path, resume=True)
         assert second == first
         events = resumed_runner.engine.events
-        # Exactly the journalled cells were restored, and only the two
-        # dropped cells went back through the engine (as store hits).
+        # Exactly the streamed cells were restored, and only the two
+        # lost cells went back through the engine (as store hits).
         assert events.counters["resumed"] == 2
         assert events.counters["run"] == 0
         drm_submitted = sum(
@@ -291,21 +324,18 @@ class TestSweepResume:
         )
         assert drm_submitted == 2
 
-    def test_resume_with_corrupt_journal_recomputes_everything(self, tmp_path):
+    def test_resume_with_destroyed_stream_recomputes_everything(self, tmp_path):
         runner, first = self.run_sweep(tmp_path)
-        path = runner.journal_path(APPS, [370.0, 380.0])
-        path.write_text("{broken")
+        _, segments, _ = self.stream_frames(runner)
+        for path in segments:
+            path.write_bytes(b"{broken garbage, no frames survive\n" * 3)
         resumed_runner, second = self.run_sweep(tmp_path, resume=True)
         assert second == first
         assert resumed_runner.engine.events.counters["resumed"] == 0
 
-    def test_resume_strikes_corrupt_journalled_decision(self, tmp_path):
-        import json
-
+    def test_resume_strikes_corrupt_streamed_decision(self, tmp_path):
         runner, first = self.run_sweep(tmp_path)
-        path = runner.journal_path(APPS, [370.0, 380.0])
-        journal = json.loads(path.read_text())
-        victim_key = sorted(journal["done"].items())[0][1]
+        victim_key = self.cell_records(runner)[0].payload["decision_key"]
         entry = runner.engine.store._object_path(victim_key)
         entry.write_text('{"schema": 1, "oops"')
 
@@ -316,8 +346,19 @@ class TestSweepResume:
         assert resumed_runner.engine.store.stats.healed == 1
         assert resumed_runner.engine.store.stats.quarantined == 0
 
-    def test_without_resume_journal_is_rebuilt(self, tmp_path):
+    def test_without_resume_stream_is_reset(self, tmp_path):
         runner, first = self.run_sweep(tmp_path)
         fresh_runner, second = self.run_sweep(tmp_path, resume=False)
         assert second == first
         assert fresh_runner.engine.events.counters["resumed"] == 0
+        # The stream keeps both histories, append-only: eight cell_done
+        # records in total, but a replay honours the second run's reset
+        # and sees exactly the four cells recorded after it.
+        assert len(self.cell_records(fresh_runner)) == 8
+        run_id = fresh_runner.sweep_run_id(APPS, self.TQUALS)
+        assert len(fresh_runner._replay(run_id)) == 4
+
+    def test_completed_sweep_compacts_to_one_segment(self, tmp_path):
+        runner, _ = self.run_sweep(tmp_path)
+        _, segments, _ = self.stream_frames(runner)
+        assert len(segments) == 1

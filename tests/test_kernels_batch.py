@@ -243,23 +243,19 @@ class TestDecisionAPI:
         )
         assert math.isnan(decision.fit)
 
-    def test_dtm_meets_limit_is_an_alias(self, dtm_oracle):
+    def test_dtm_meets_limit_alias_is_gone(self, dtm_oracle):
         decision = dtm_oracle.best(
             workload_by_name("twolf"), t_limit_k=400.0
         )
-        assert decision.meets_limit == decision.meets_target
+        assert not hasattr(decision, "meets_limit")
+        assert decision.meets_target
 
-    def test_positional_forms_warn_but_work(self, oracle, dtm_oracle):
+    def test_positional_forms_rejected(self, oracle, dtm_oracle):
         profile = workload_by_name("twolf")
-        with pytest.warns(DeprecationWarning, match="t_qual_k"):
-            legacy = oracle.best(profile, 370.0, AdaptationMode.DVS)
-        modern = oracle.best(
-            profile, t_qual_k=370.0, mode=AdaptationMode.DVS
-        )
-        assert legacy == modern
-        with pytest.warns(DeprecationWarning, match="t_limit_k"):
-            legacy_dtm = dtm_oracle.best(profile, 400.0)
-        assert legacy_dtm == dtm_oracle.best(profile, t_limit_k=400.0)
+        with pytest.raises(TypeError, match="positional"):
+            oracle.best(profile, 370.0, AdaptationMode.DVS)
+        with pytest.raises(TypeError, match="positional"):
+            dtm_oracle.best(profile, 400.0)
 
     def test_missing_keyword_raises_type_error(self, oracle, dtm_oracle):
         profile = workload_by_name("twolf")
@@ -267,12 +263,6 @@ class TestDecisionAPI:
             oracle.best(profile)
         with pytest.raises(TypeError, match="t_limit_k"):
             dtm_oracle.best(profile)
-
-    def test_duplicate_argument_raises_type_error(self, oracle):
-        profile = workload_by_name("twolf")
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(TypeError, match="multiple values"):
-                oracle.best(profile, 370.0, t_qual_k=370.0)
 
     def test_decision_records_stay_frozen(self):
         decision = DRMDecision(
@@ -297,7 +287,7 @@ class TestDecisionAPI:
             peak_temperature_k=359.2,
             meets_target=True,
         )
-        assert decision.meets_limit
+        assert decision.meets_target
 
 
 class TestOracleBatchedSelection:

@@ -22,6 +22,7 @@ from repro.resilience import (
     SERVE_SLOW,
     SITES,
     STORE_CORRUPT,
+    TELEMETRY_TORN,
     WORKER_CRASH,
     WORKER_HANG,
     FaultInjector,
@@ -225,7 +226,7 @@ class TestArming:
 
 
 class TestFaultLog:
-    def test_fired_faults_land_in_jsonl_log(self, tmp_path):
+    def test_fired_faults_land_in_telemetry_frames(self, tmp_path):
         log = tmp_path / "faults.jsonl"
         inj = FaultInjector(
             FaultPlan(name="logged", rates={STORE_CORRUPT: 1.0}), log_path=log
@@ -236,6 +237,13 @@ class TestFaultLog:
         assert records[0]["site"] == STORE_CORRUPT
         assert records[0]["key"] == "abc"
         assert records[0]["plan"] == "logged"
+        # The on-disk form is a CRC-framed telemetry segment, readable by
+        # the stream tooling too.
+        from repro.telemetry import scan_segment
+
+        scan = scan_segment(log)
+        assert scan.torn == 0
+        assert [r.kind for r in scan.records] == ["fault.fired"]
 
     def test_torn_trailing_line_skipped(self, tmp_path):
         log = tmp_path / "faults.jsonl"
@@ -246,6 +254,14 @@ class TestFaultLog:
         )
         records = list(iter_fault_log(log))
         assert [r["key"] for r in records] == ["k"]
+
+    def test_legacy_raw_json_lines_still_read(self, tmp_path):
+        """Pre-telemetry fault logs (one raw JSON object per line) parse."""
+        log = tmp_path / "faults.jsonl"
+        log.write_text(
+            json.dumps({"site": WORKER_CRASH, "key": "old"}) + "\n"
+        )
+        assert [r["key"] for r in iter_fault_log(log)] == ["old"]
 
     def test_missing_log_yields_nothing(self, tmp_path):
         assert list(iter_fault_log(tmp_path / "absent.jsonl")) == []
@@ -261,4 +277,5 @@ def test_site_constants_cover_every_site():
         SENSOR_STUCK,
         SERVE_DROP,
         SERVE_SLOW,
+        TELEMETRY_TORN,
     }

@@ -1,0 +1,522 @@
+"""The telemetry plane: frames, segments, recovery, compaction, report.
+
+The stream is the repo's single durable event format, so these tests pin
+down its crash-safety contract directly: every complete frame survives
+any single torn write, readers never raise on damage, resume never
+reuses a sequence number, and compaction is idempotent and safe to crash
+out of.  Producer integration (engine events, sweep resume, fault log,
+serve statz, bench writers) is covered where those producers are tested;
+this module owns the stream machinery itself.
+"""
+
+import json
+import zlib
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.resilience import CI_DEFAULT, FaultInjector, FaultPlan, install
+from repro.telemetry import (
+    FRAME_MAGIC,
+    KNOWN_KIND_PREFIXES,
+    SEGMENT_SUFFIX,
+    TELEMETRY_SCHEMA_VERSION,
+    TelemetryRecord,
+    TelemetryWriter,
+    build_report,
+    check_stream,
+    compact_run,
+    decode_frame,
+    encode_frame,
+    is_known_kind,
+    list_runs,
+    new_run_id,
+    read_stream,
+    render_report,
+    run_segments,
+    scan_segment,
+    validate_record,
+)
+
+
+@pytest.fixture(autouse=True)
+def disarm():
+    """No fault plan leaks into (or out of) any test in this module."""
+    install(None)
+    yield
+    install(None)
+
+
+def _record(kind="engine.run_finished", run_id="r1", seq=0, payload=None):
+    return TelemetryRecord(
+        kind=kind, run_id=run_id, seq=seq, ts=123.456,
+        payload=payload if payload is not None else {"wall_s": 1.0},
+    )
+
+
+class TestFrames:
+    def test_roundtrip(self):
+        record = _record(payload={"nested": {"a": [1, 2]}, "text": "x\ny"})
+        envelope = decode_frame(encode_frame(record))
+        assert envelope is not None
+        assert TelemetryRecord.from_dict(envelope) == record
+
+    def test_frame_is_one_line(self):
+        frame = encode_frame(_record(payload={"text": "line1\nline2"}))
+        assert frame.endswith(b"\n")
+        assert frame.count(b"\n") == 1
+        assert frame.startswith(FRAME_MAGIC.encode("ascii") + b" ")
+
+    def test_truncated_frame_rejected(self):
+        frame = encode_frame(_record())
+        for cut in (1, len(frame) // 2, len(frame) - 2):
+            assert decode_frame(frame[:cut]) is None
+
+    def test_bit_flip_rejected(self):
+        frame = bytearray(encode_frame(_record()))
+        frame[-10] ^= 0x01
+        assert decode_frame(bytes(frame)) is None
+
+    def test_garbage_line_rejected(self):
+        assert decode_frame(b"not a frame at all") is None
+        assert decode_frame(b'{"site": "raw json line"}') is None
+        assert decode_frame(b"TREC1 nan ffffffff {}") is None
+
+    def test_crc_is_over_body_bytes(self):
+        record = _record()
+        body = json.dumps(
+            record.as_dict(), separators=(",", ":")
+        ).encode("utf-8")
+        expected = zlib.crc32(body) & 0xFFFFFFFF
+        frame = encode_frame(record)
+        assert f"{expected:08x}".encode("ascii") in frame
+
+
+class TestValidation:
+    def test_valid_envelope(self):
+        assert validate_record(_record().as_dict()) == []
+
+    def test_rejections(self):
+        good = _record().as_dict()
+        cases = {
+            "schema_version": [None, "1", True, TELEMETRY_SCHEMA_VERSION + 1],
+            "kind": [None, "", 7],
+            "run_id": [None, "", 0],
+            "seq": [None, -1, 1.5, True],
+            "ts": [None, "now", True],
+            "payload": [None, "x", [1]],
+        }
+        for field, bad_values in cases.items():
+            for bad in bad_values:
+                envelope = dict(good)
+                envelope[field] = bad
+                assert validate_record(envelope), (field, bad)
+
+    def test_unknown_envelope_field_rejected(self):
+        envelope = _record().as_dict()
+        envelope["extra"] = 1
+        problems = validate_record(envelope)
+        assert any("extra" in p for p in problems)
+
+    def test_non_mapping_rejected(self):
+        assert validate_record([1, 2]) == ["record is not a JSON object"]
+
+    def test_from_dict_raises_on_malformed(self):
+        with pytest.raises(ValueError, match="kind"):
+            TelemetryRecord.from_dict({"kind": ""})
+
+    def test_known_kind_prefixes(self):
+        for prefix in KNOWN_KIND_PREFIXES:
+            assert is_known_kind(prefix + "anything")
+        assert not is_known_kind("foreign.event")
+
+
+class TestWriter:
+    def test_append_and_read_back(self, tmp_path):
+        writer = TelemetryWriter(tmp_path, run_id="run-a")
+        writer.append("engine.job_submitted", {"job_key": "k1"})
+        writer.append("engine.run_finished", {"job_key": "k1", "wall_s": 2.0})
+        records = list(read_stream(tmp_path, run_id="run-a"))
+        assert [r.kind for r in records] == [
+            "engine.job_submitted", "engine.run_finished",
+        ]
+        assert [r.seq for r in records] == [0, 1]
+        assert all(r.run_id == "run-a" for r in records)
+        assert all(r.schema_version == TELEMETRY_SCHEMA_VERSION for r in records)
+
+    def test_requires_exactly_one_destination(self, tmp_path):
+        with pytest.raises(ValueError):
+            TelemetryWriter()
+        with pytest.raises(ValueError):
+            TelemetryWriter(tmp_path, segment_path=tmp_path / "x.seg")
+
+    def test_new_run_ids_are_distinct(self):
+        assert new_run_id("a") != new_run_id("a")
+
+    def test_rotation_at_threshold(self, tmp_path):
+        writer = TelemetryWriter(
+            tmp_path, run_id="run-rot", segment_max_bytes=256
+        )
+        for i in range(20):
+            writer.append("engine.tick", {"i": i, "pad": "x" * 32})
+        segments = run_segments(tmp_path, "run-rot")
+        assert len(segments) > 1
+        # Nothing is lost across rotations and order survives.
+        seqs = [r.seq for r in read_stream(tmp_path, run_id="run-rot")]
+        assert seqs == list(range(20))
+
+    def test_resume_continues_seq_in_fresh_segment(self, tmp_path):
+        first = TelemetryWriter(tmp_path, run_id="run-resume")
+        for i in range(3):
+            first.append("sweep.cell_done", {"cell": i})
+        resumed = TelemetryWriter(tmp_path, run_id="run-resume")
+        record = resumed.append("sweep.cell_done", {"cell": 3})
+        assert record.seq == 3
+        # A possibly-torn old tail is never appended to.
+        assert resumed.active_segment != first.active_segment
+        seqs = [r.seq for r in read_stream(tmp_path, run_id="run-resume")]
+        assert seqs == [0, 1, 2, 3]
+
+    def test_torn_tail_recovery(self, tmp_path):
+        writer = TelemetryWriter(tmp_path, run_id="run-torn")
+        for i in range(3):
+            writer.append("engine.tick", {"i": i})
+        segment = run_segments(tmp_path, "run-torn")[0]
+        frames = segment.read_bytes().splitlines(keepends=True)
+        # kill -9 mid-append: the last frame is half-written.
+        segment.write_bytes(b"".join(frames[:2]) + frames[2][: len(frames[2]) // 2])
+        scan = scan_segment(segment)
+        assert scan.torn == 1
+        assert [r.payload["i"] for r in scan.records] == [0, 1]
+        # scan_segment never raises, read_stream silently recovers.
+        assert len(list(read_stream(tmp_path, run_id="run-torn"))) == 2
+
+    def test_damage_does_not_cascade(self, tmp_path):
+        writer = TelemetryWriter(tmp_path, run_id="run-mid")
+        for i in range(3):
+            writer.append("engine.tick", {"i": i})
+        segment = run_segments(tmp_path, "run-mid")[0]
+        frames = segment.read_bytes().splitlines(keepends=True)
+        # A damaged frame *between* intact ones costs only itself.
+        segment.write_bytes(frames[0] + b"garbage line\n" + frames[2])
+        scan = scan_segment(segment)
+        assert scan.torn == 1
+        assert [r.payload["i"] for r in scan.records] == [0, 2]
+
+    def test_schema_invalid_frame_counted(self, tmp_path):
+        bad = dict(_record().as_dict())
+        bad["schema_version"] = TELEMETRY_SCHEMA_VERSION + 1
+        body = json.dumps(bad, separators=(",", ":")).encode("utf-8")
+        crc = zlib.crc32(body) & 0xFFFFFFFF
+        segment = tmp_path / f"000000{SEGMENT_SUFFIX}"
+        segment.write_bytes(
+            f"{FRAME_MAGIC} {len(body)} {crc:08x} ".encode() + body + b"\n"
+        )
+        scan = scan_segment(segment)
+        assert scan.invalid == 1 and scan.torn == 0 and not scan.records
+        assert scan.problems
+
+    def test_missing_segment_scans_empty(self, tmp_path):
+        scan = scan_segment(tmp_path / "absent.seg")
+        assert scan.frames == 0 and scan.records == []
+
+
+class TestStreamReading:
+    def test_kind_filters_exact_and_prefix(self, tmp_path):
+        writer = TelemetryWriter(tmp_path, run_id="run-f")
+        writer.append("sweep.spec", {"apps": []})
+        writer.append("sweep.cell_done", {"cell": "a"})
+        writer.append("engine.tick", {})
+        exact = list(
+            read_stream(tmp_path, kinds=("sweep.cell_done",))
+        )
+        assert [r.kind for r in exact] == ["sweep.cell_done"]
+        prefixed = list(read_stream(tmp_path, kinds=("sweep.",)))
+        assert [r.kind for r in prefixed] == ["sweep.spec", "sweep.cell_done"]
+
+    def test_list_runs_and_run_filter(self, tmp_path):
+        TelemetryWriter(tmp_path, run_id="run-a").append("engine.t", {})
+        TelemetryWriter(tmp_path, run_id="run-b").append("engine.t", {})
+        assert list_runs(tmp_path) == ["run-a", "run-b"]
+        only_b = list(read_stream(tmp_path, run_id="run-b"))
+        assert {r.run_id for r in only_b} == {"run-b"}
+
+    def test_read_single_run_directory_or_file(self, tmp_path):
+        writer = TelemetryWriter(tmp_path, run_id="run-one")
+        writer.append("engine.t", {"i": 0})
+        run_dir = tmp_path / "run-one"
+        assert len(list(read_stream(run_dir))) == 1
+        segment = run_segments(tmp_path, "run-one")[0]
+        assert len(list(read_stream(segment))) == 1
+
+    def test_duplicate_seq_deduped(self, tmp_path):
+        # The compaction crash window: merged segment written, originals
+        # not yet unlinked — every record exists twice on disk.
+        writer = TelemetryWriter(tmp_path, run_id="run-dup")
+        records = [writer.append("engine.t", {"i": i}) for i in range(2)]
+        dup = tmp_path / "run-dup" / f"000000-compact{SEGMENT_SUFFIX}"
+        dup.write_bytes(b"".join(encode_frame(r) for r in records))
+        seqs = [r.seq for r in read_stream(tmp_path, run_id="run-dup")]
+        assert seqs == [0, 1]
+
+
+class TestCompaction:
+    def _fill(self, root, run_id, n=12, segment_max_bytes=256):
+        writer = TelemetryWriter(
+            root, run_id=run_id, segment_max_bytes=segment_max_bytes
+        )
+        for i in range(n):
+            writer.append("engine.tick", {"i": i, "pad": "x" * 32})
+        return writer
+
+    def test_sealed_segments_merge_active_untouched(self, tmp_path):
+        self._fill(tmp_path, "run-c")
+        before = [r.payload["i"] for r in read_stream(tmp_path, run_id="run-c")]
+        active = run_segments(tmp_path, "run-c")[-1]
+        result = compact_run(tmp_path, "run-c")
+        assert result.compacted_path is not None
+        assert result.segments_merged >= 2
+        remaining = run_segments(tmp_path, "run-c")
+        assert active in remaining
+        assert result.compacted_path in remaining
+        # The compacted segment sorts before the survivors: order holds.
+        after = [r.payload["i"] for r in read_stream(tmp_path, run_id="run-c")]
+        assert after == before
+
+    def test_include_active_folds_to_single_segment(self, tmp_path):
+        self._fill(tmp_path, "run-all")
+        result = compact_run(tmp_path, "run-all", include_active=True)
+        assert result.compacted_path is not None
+        assert run_segments(tmp_path, "run-all") == [result.compacted_path]
+        assert result.records_kept == 12
+
+    def test_noop_on_single_clean_segment(self, tmp_path):
+        writer = TelemetryWriter(tmp_path, run_id="run-noop")
+        writer.append("engine.t", {})
+        result = compact_run(tmp_path, "run-noop", include_active=True)
+        assert result.compacted_path is None
+        assert result.segments_merged == 0
+
+    def test_scrubs_torn_frames_for_good(self, tmp_path):
+        self._fill(tmp_path, "run-scrub")
+        segments = run_segments(tmp_path, "run-scrub")
+        first = segments[0]
+        first.write_bytes(first.read_bytes() + b"half a frame")
+        result = compact_run(tmp_path, "run-scrub", include_active=True)
+        assert result.frames_dropped == 1
+        only = run_segments(tmp_path, "run-scrub")
+        assert only == [result.compacted_path]
+        assert scan_segment(only[0]).torn == 0
+
+    def test_idempotent(self, tmp_path):
+        self._fill(tmp_path, "run-idem")
+        compact_run(tmp_path, "run-idem", include_active=True)
+        again = compact_run(tmp_path, "run-idem", include_active=True)
+        assert again.compacted_path is None
+        seqs = [r.seq for r in read_stream(tmp_path, run_id="run-idem")]
+        assert seqs == list(range(12))
+
+    def test_resume_after_compaction_continues_seq(self, tmp_path):
+        self._fill(tmp_path, "run-rc", n=5)
+        compact_run(tmp_path, "run-rc", include_active=True)
+        resumed = TelemetryWriter(tmp_path, run_id="run-rc")
+        assert resumed.append("engine.t", {}).seq == 5
+
+
+class TestTornAppendFault:
+    def test_fires_once_per_key_under_injector(self, tmp_path):
+        inj = FaultInjector(
+            FaultPlan(name="torn", rates={"telemetry.torn_append": 1.0})
+        )
+        install(None)
+        import repro.resilience.faults as faults_mod
+
+        faults_mod.install(inj.plan)
+        try:
+            writer = TelemetryWriter(tmp_path, run_id="run-fault")
+            for i in range(4):
+                writer.append("engine.tick", {"i": i})
+        finally:
+            install(None)
+        # Every append key is distinct, so every frame was torn and each
+        # tear forced a rotation — yet no *other* record was damaged.
+        scans = [
+            scan_segment(p) for p in run_segments(tmp_path, "run-fault")
+        ]
+        assert sum(s.torn for s in scans) == 4
+        assert sum(len(s.records) for s in scans) == 0
+
+    def test_ci_default_stream_recovers_all_untorn_records(self, tmp_path):
+        with_torn = CI_DEFAULT.rate("telemetry.torn_append")
+        assert with_torn > 0.0  # the site is part of the chaos suite
+        install(CI_DEFAULT)
+        try:
+            writer = TelemetryWriter(tmp_path, run_id="run-ci")
+            for i in range(200):
+                writer.append("engine.tick", {"i": i})
+        finally:
+            install(None)
+        recovered = [
+            r.payload["i"] for r in read_stream(tmp_path, run_id="run-ci")
+        ]
+        torn = sum(
+            scan_segment(p).torn for p in run_segments(tmp_path, "run-ci")
+        )
+        assert torn > 0  # the plan actually tore appends at 5%
+        # One torn write costs exactly its own record, nothing after it.
+        assert len(recovered) == 200 - torn
+        assert recovered == sorted(recovered)
+
+    def test_single_segment_mode_never_torn(self, tmp_path):
+        install(
+            FaultPlan(name="torn", rates={"telemetry.torn_append": 1.0})
+        )
+        try:
+            writer = TelemetryWriter(
+                segment_path=tmp_path / "shared.seg", prefix="faults"
+            )
+            for i in range(3):
+                writer.append("fault.fired", {"i": i})
+        finally:
+            install(None)
+        scan = scan_segment(tmp_path / "shared.seg")
+        assert scan.torn == 0 and len(scan.records) == 3
+
+
+class TestReport:
+    def _populate(self, root):
+        engine = TelemetryWriter(root, run_id="engine-run")
+        engine.append("engine.job_submitted", {"job_key": "k"})
+        engine.append(
+            "engine.run_finished",
+            {"job_key": "k", "stage": "drm", "data": {"duration_s": 1.5}},
+        )
+        sweep = TelemetryWriter(root, run_id="sweep-abc")
+        sweep.append("sweep.spec", {"apps": ["gzip"], "tquals": [30.0],
+                                    "mode": "archdvs"})
+        sweep.append("sweep.cell_done", {"cell": "gzip@30.0",
+                                         "decision_key": "deadbeef"})
+        chaos = TelemetryWriter(root, run_id="chaos-run")
+        chaos.append("fault.fired", {"site": "executor.worker_crash",
+                                     "key": "j1", "plan": "ci-default"})
+        serve = TelemetryWriter(root, run_id="serve-run")
+        serve.append("serve.statz", {
+            "uptime_s": 9.0,
+            "requests": {"submitted": 5, "computed": 3, "cache_hits": 2,
+                         "failed": 0},
+        })
+        bench = TelemetryWriter(root, run_id="bench-run")
+        bench.append("bench.result", {
+            "name": "batch_kernel", "mode": "assert", "floor": 2.0,
+            "headline": {"speedup": 4.2}, "machine": {"platform": "linux"},
+        })
+        other = TelemetryWriter(root, run_id="foreign-run")
+        other.append("thirdparty.ping", {})
+
+    def test_fold_covers_every_section(self, tmp_path):
+        self._populate(tmp_path)
+        report = build_report(tmp_path)
+        assert report.records == 8
+        assert report.engine["counters"] == {
+            "job_submitted": 1, "run_finished": 1,
+        }
+        assert report.engine["stages"]["drm"] == {"jobs": 1, "wall_s": 1.5}
+        sweep = report.sweeps["sweep-abc"]
+        assert sweep["cells_done"] == 1
+        assert sweep["cells"]["gzip@30.0"] == "deadbeef"
+        assert report.chaos["fired"] == 1
+        assert report.chaos["by_site"] == {"executor.worker_crash": 1}
+        assert report.fleet["latest"]["serve-run"]["requests"]["submitted"] == 5
+        # repro: ignore[RPR004] exact JSON round-trip of the literal
+        assert report.bench["results"]["batch_kernel"]["floor"] == 2.0
+        assert report.unknown_kinds == {"thirdparty.ping": 1}
+
+    def test_sweep_reset_voids_cells(self, tmp_path):
+        writer = TelemetryWriter(tmp_path, run_id="sweep-r")
+        writer.append("sweep.cell_done", {"cell": "a", "decision_key": "x"})
+        writer.append("sweep.reset", {"reason": "fresh run"})
+        writer.append("sweep.cell_done", {"cell": "b", "decision_key": "y"})
+        sweep = build_report(tmp_path).sweeps["sweep-r"]
+        assert sweep["resets"] == 1
+        assert sweep["cells_done"] == 1
+        assert list(sweep["cells"]) == ["b"]
+
+    def test_render_names_every_section(self, tmp_path):
+        self._populate(tmp_path)
+        text = render_report(build_report(tmp_path))
+        for needle in ("engine:", "sweeps:", "chaos:", "fleet:", "bench:",
+                       "unknown kinds:", "batch_kernel", "sweep-abc"):
+            assert needle in text, needle
+
+    def test_check_clean_stream_ok(self, tmp_path):
+        self._populate(tmp_path)
+        check = check_stream(tmp_path)
+        assert check.ok
+        assert check.records == 8 and check.invalid == 0
+        assert "OK" in check.render()
+
+    def test_check_tolerates_torn_fails_on_invalid(self, tmp_path):
+        writer = TelemetryWriter(tmp_path, run_id="run-x")
+        writer.append("engine.t", {})
+        segment = run_segments(tmp_path, "run-x")[0]
+        segment.write_bytes(segment.read_bytes() + b"torn tail")
+        assert check_stream(tmp_path).ok  # torn is expected crash damage
+        bad = dict(_record(run_id="run-x", seq=9).as_dict())
+        bad["schema_version"] = 99
+        body = json.dumps(bad, separators=(",", ":")).encode()
+        crc = zlib.crc32(body) & 0xFFFFFFFF
+        with segment.open("ab") as handle:
+            handle.write(
+                f"\n{FRAME_MAGIC} {len(body)} {crc:08x} ".encode()
+                + body + b"\n"
+            )
+        check = check_stream(tmp_path)
+        assert not check.ok and check.invalid == 1
+        assert "FAILED" in check.render()
+
+
+class TestReportCli:
+    def _seed_store(self, tmp_path):
+        store = tmp_path / "store"
+        stream = store / "telemetry"
+        writer = TelemetryWriter(stream, run_id="run-cli")
+        writer.append("engine.job_submitted", {"job_key": "k"})
+        return store, stream
+
+    def test_report_resolves_store_root(self, tmp_path, capsys):
+        store, _ = self._seed_store(tmp_path)
+        assert cli_main(["report", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "1 records across 1 run(s)" in out
+
+    def test_report_json_format(self, tmp_path, capsys):
+        _, stream = self._seed_store(tmp_path)
+        assert cli_main(["report", str(stream), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["records"] == 1
+        assert payload["engine"]["counters"] == {"job_submitted": 1}
+
+    def test_check_exit_codes(self, tmp_path, capsys):
+        store, stream = self._seed_store(tmp_path)
+        assert cli_main(["report", str(store), "--check"]) == 0
+        bad = dict(_record(run_id="run-cli", seq=9).as_dict())
+        bad["schema_version"] = 99
+        body = json.dumps(bad, separators=(",", ":")).encode()
+        crc = zlib.crc32(body) & 0xFFFFFFFF
+        segment = run_segments(stream, "run-cli")[0]
+        with segment.open("ab") as handle:
+            handle.write(
+                f"{FRAME_MAGIC} {len(body)} {crc:08x} ".encode() + body + b"\n"
+            )
+        assert cli_main(["report", str(store), "--check"]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_run_filter(self, tmp_path, capsys):
+        _, stream = self._seed_store(tmp_path)
+        other = TelemetryWriter(stream, run_id="run-other")
+        other.append("engine.t", {})
+        assert cli_main(
+            ["report", str(stream), "--run", "run-other"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "1 records across 1 run(s)" in out
