@@ -1,0 +1,149 @@
+"""The lifetime-simulator throughput benchmark.
+
+The cumulative-damage engine's pitch is that *decade-scale* wear
+trajectories are cheap: all the physics is evaluated once per
+(application, config) through the batch kernel, after which each mission
+epoch costs one elementwise multiply-add.  This bench measures exactly
+that split:
+
+- **build** — rate-table construction (simulation + batched FIT fields),
+  paid once per (app, config);
+- **integrate** — open-loop folding of a multi-decade mission, reported
+  as the headline **simulated years per second**;
+- **attack** — adversary-search evaluation throughput (schedules/s),
+  the loop the red-team CLI spends its budget in.
+
+Results land in ``BENCH_lifetime.json`` at the repository root.  Set
+``REPRO_BENCH_SMOKE=1`` for the CI-sized run; the years/s floor is only
+asserted on the full mission.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.lifetime import AdversarySearch, LifetimeSimulator
+from repro.workloads.generator import random_mission
+
+from _bench_utils import run_once, write_bench_result
+from conftest import BENCH_DIR, BENCH_DVS_STEPS
+
+RESULT_PATH = BENCH_DIR.parent / "BENCH_lifetime.json"
+
+#: Acceptance floor for the full mission: the integrator must fold at
+#: least this many simulated years per wall-clock second once the rate
+#: table is warm.
+MIN_YEARS_PER_S = 50.0
+
+T_QUAL_K = 380.0
+APPS = ("MPGdec", "gzip", "art")
+FREQUENCIES = (3.0e9, 4.0e9, 5.0e9)
+EPOCH_HOURS = 24.0
+HOURS_PER_YEAR = 8760.0
+
+
+def _smoke() -> bool:
+    return bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+
+def _mission_spec():
+    """(apps, mission years, search budget) — reduced under smoke."""
+    if _smoke():
+        return APPS[:2], 2.0, {"n_random": 4, "greedy_passes": 0, "anneal_steps": 20}
+    return APPS, 30.0, {"n_random": 10, "greedy_passes": 1, "anneal_steps": 150}
+
+
+def measure_lifetime(drm_oracle):
+    apps, years, budget = _mission_spec()
+    simulator = LifetimeSimulator(
+        platform=drm_oracle.platform,
+        cache=drm_oracle.cache,
+        ramp=drm_oracle.ramp_for(T_QUAL_K),
+        dvs_steps=BENCH_DVS_STEPS,
+    )
+    n_epochs = int(years * HOURS_PER_YEAR / EPOCH_HOURS)
+    schedule = random_mission(
+        apps=apps,
+        frequencies=FREQUENCIES,
+        n_epochs=n_epochs,
+        epoch_hours=EPOCH_HOURS,
+        seed=7,
+    )
+
+    search = AdversarySearch(
+        simulator,
+        apps=apps,
+        frequencies=FREQUENCIES,
+        n_epochs=min(n_epochs, 64),
+        epoch_hours=EPOCH_HOURS,
+        seed=11,
+    )
+    start = time.perf_counter()
+    search.prewarm()  # pays every (app, frequency-grid) physics cell
+    build_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    state = simulator.open_loop(schedule)
+    integrate_s = time.perf_counter() - start
+    simulated_years = state.hours / HOURS_PER_YEAR
+
+    start = time.perf_counter()
+    attack = search.search(**budget)
+    attack_s = time.perf_counter() - start
+
+    return {
+        "mode": "smoke" if _smoke() else "full",
+        "headline": {
+            "simulated_years_per_s": simulated_years / integrate_s,
+            "epochs_per_s": n_epochs / integrate_s,
+            "adversary_evals_per_s": attack.evaluations / attack_s,
+        },
+        "timings": {
+            "build_s": build_s,
+            "integrate_s": integrate_s,
+            "attack_s": attack_s,
+        },
+        "details": {
+            "t_qual_k": T_QUAL_K,
+            "apps": list(apps),
+            "n_epochs": n_epochs,
+            "epoch_hours": EPOCH_HOURS,
+            "simulated_years": simulated_years,
+            "total_damage": state.total,
+            "adversary_evaluations": attack.evaluations,
+            "adversary_improvement": attack.improvement,
+        },
+    }
+
+
+def test_lifetime_throughput(benchmark, emit, drm_oracle):
+    result = run_once(benchmark, lambda: measure_lifetime(drm_oracle))
+    write_bench_result(
+        RESULT_PATH,
+        name="lifetime",
+        mode=result["mode"],
+        headline=result["headline"],
+        floor=MIN_YEARS_PER_S,
+        timings=result["timings"],
+        details=result["details"],
+    )
+    emit(
+        "lifetime",
+        "Lifetime simulator ({mode}): {years:.1f} simulated years folded "
+        "in {integrate_s:.3f} s ({years_per_s:.0f} yr/s), rate table built "
+        "in {build_s:.2f} s, adversary at {evals_per_s:.0f} schedules/s "
+        "(improvement {improvement:+.0%})".format(
+            mode=result["mode"],
+            years=result["details"]["simulated_years"],
+            integrate_s=result["timings"]["integrate_s"],
+            years_per_s=result["headline"]["simulated_years_per_s"],
+            build_s=result["timings"]["build_s"],
+            evals_per_s=result["headline"]["adversary_evals_per_s"],
+            improvement=result["details"]["adversary_improvement"],
+        ),
+    )
+    assert result["details"]["total_damage"] > 0.0
+    assert result["details"]["adversary_improvement"] > 0.0
+    if not _smoke():
+        assert result["headline"]["simulated_years_per_s"] >= MIN_YEARS_PER_S

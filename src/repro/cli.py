@@ -25,8 +25,16 @@ user asks of this reproduction:
 - ``loadgen``           seeded traffic replay against a running service,
                         reporting p50/p99 latency and sustained QPS
 - ``report``            render a telemetry stream (engine / sweep /
-                        chaos / fleet / bench history) or audit it with
-                        ``--check``
+                        chaos / fleet / bench / lifetime history) or
+                        audit it with ``--check``
+- ``lifetime``          integrate a multi-year mission schedule into
+                        cumulative wear, closed-loop against the
+                        wear-aware degradation ladder (checkpointed when
+                        ``--telemetry-dir`` is given; ``--resume``
+                        continues a killed run bit-identically)
+- ``redteam``           seeded adversarial search for wear-maximizing
+                        schedules; ``--verify-controller`` gates on the
+                        controller surviving the found attack
 
 Every command accepts ``--instructions/--warmup/--seed`` to trade speed
 for fidelity, and ``--dvs-steps`` for grid resolution.
@@ -388,6 +396,160 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return 0 if result.errors == 0 else 1
 
 
+def _parse_apps(spec: str) -> list[str]:
+    return [workload_by_name(a.strip()).name for a in spec.split(",")]
+
+
+def _parse_frequencies(spec: str) -> list[float]:
+    return [float(f) * 1e9 for f in spec.split(",")]
+
+
+def _wear_controller(args: argparse.Namespace, oracle: DRMOracle, ramp):
+    from repro.core.controllers import WearAwareController
+    from repro.core.redundancy import RedundancyPlan
+
+    plan = None
+    if args.spares:
+        plan = RedundancyPlan.for_structures(
+            tuple(s.strip() for s in args.spares.split(","))
+        )
+    return WearAwareController(
+        oracle.platform,
+        ramp,
+        lifetime_target_years=args.target_years,
+        redundancy_plan=plan,
+    )
+
+
+def _cmd_lifetime(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.lifetime import LifetimeSimulator
+    from repro.workloads.generator import random_mission
+
+    if args.fault_plan:
+        from repro.resilience import FaultPlan, install
+
+        install(FaultPlan.resolve(args.fault_plan))
+    if args.resume and args.telemetry_dir is None:
+        print("lifetime: --resume needs --telemetry-dir (checkpoints live "
+              "on the telemetry stream)", file=sys.stderr)
+        return 2
+    oracle = _oracle(args)
+    ramp = oracle.ramp_for(args.tqual)
+    schedule = random_mission(
+        apps=_parse_apps(args.apps),
+        frequencies=_parse_frequencies(args.frequencies),
+        n_epochs=args.epochs,
+        epoch_hours=args.epoch_hours,
+        seed=args.schedule_seed,
+    )
+    simulator = LifetimeSimulator(
+        platform=oracle.platform,
+        cache=oracle.cache,
+        ramp=ramp,
+        telemetry_root=args.telemetry_dir,
+        checkpoint_every=args.checkpoint_every,
+        dvs_steps=args.dvs_steps,
+    )
+    controller = None if args.open_loop else _wear_controller(args, oracle, ramp)
+    result = simulator.simulate(
+        schedule,
+        controller=controller,
+        resume=args.resume,
+        stop_after_epochs=args.stop_after,
+    )
+    state = result.state
+    years = state.hours / 8760.0
+    print(f"lifetime run {result.run_id}: {schedule.n_epochs} epochs, "
+          f"{schedule.total_hours:.0f} h scheduled")
+    if result.resumed_from is not None:
+        print(f"  resumed from checkpoint at epoch {result.resumed_from}")
+    print(f"  integrated   : {state.epochs} epoch(s), {state.hours:.0f} h "
+          f"({years:.2f} simulated years)")
+    print(f"  total damage : {state.total:.6g}")
+    mech, struct, worst = state.binding_cell()
+    print(f"  binding cell : {mech}/{struct} at {worst:.6g}")
+    if result.swaps:
+        print(f"  spares used  : {', '.join(result.swaps)}")
+    if result.sheds:
+        print(f"  sheds        : {', '.join(result.sheds)}")
+    if result.end_of_life:
+        print(f"  END OF LIFE declared at epoch {result.eol_epoch}")
+    rows = sorted(state.by_structure().items(), key=lambda kv: -kv[1])
+    print(format_table(
+        ["Structure", "Damage"],
+        [[name, f"{damage:.6g}"] for name, damage in rows],
+        title="Accrued damage by structure",
+    ))
+    # Canonical machine-diffable line: the CI kill/resume job compares
+    # this across a SIGKILLed run and its resumed twin.  json round-trips
+    # floats bitwise via repr.
+    print("final-wear " + json.dumps(
+        state.by_structure(), sort_keys=True, separators=(",", ":")
+    ))
+    return 3 if result.end_of_life else 0
+
+
+def _cmd_redteam(args: argparse.Namespace) -> int:
+    from repro.lifetime import AdversarySearch, LifetimeSimulator
+
+    oracle = _oracle(args)
+    ramp = oracle.ramp_for(args.tqual)
+    simulator = LifetimeSimulator(
+        platform=oracle.platform,
+        cache=oracle.cache,
+        ramp=ramp,
+        dvs_steps=args.dvs_steps,
+    )
+    search = AdversarySearch(
+        simulator,
+        apps=_parse_apps(args.apps),
+        frequencies=_parse_frequencies(args.frequencies),
+        n_epochs=args.epochs,
+        epoch_hours=args.epoch_hours,
+        seed=args.adversary_seed,
+        objective=args.objective,
+    )
+    found = search.search(
+        n_random=args.random_population,
+        greedy_passes=args.greedy_passes,
+        anneal_steps=args.anneal_steps,
+    )
+    print(f"adversary search ({args.objective} objective, "
+          f"seed {args.adversary_seed}):")
+    print(f"  baseline wear : {found.baseline_wear:.6g} "
+          f"(mean of {args.random_population} random schedules)")
+    print(f"  best wear     : {found.best_wear:.6g}")
+    print(f"  improvement   : {found.improvement * 100.0:+.1f} % "
+          f"(gate: ≥ {args.min_improvement * 100.0:.0f} %)")
+    print(f"  evaluations   : {found.evaluations}")
+    for strategy, score in found.history:
+        print(f"    after {strategy:7s}: {score:.6g}")
+    code = 0
+    if found.improvement < args.min_improvement:
+        print("redteam: adversary FAILED to beat the baseline gate",
+              file=sys.stderr)
+        code = 2
+    if args.verify_controller:
+        controller = _wear_controller(args, oracle, ramp)
+        defended = simulator.simulate(found.best_schedule, controller=controller)
+        budget = controller.target_damage_rate * defended.state.hours
+        within = not defended.end_of_life and defended.state.total <= budget
+        print("controller under attack:")
+        print(f"  accrued {defended.state.total:.6g} of damage budget "
+              f"{budget:.6g} over {defended.state.hours:.0f} h")
+        if defended.sheds or defended.swaps:
+            print(f"  interventions: swaps={list(defended.swaps)} "
+                  f"sheds={list(defended.sheds)}")
+        print(f"  survived: {within}")
+        if not within:
+            print("redteam: controller FAILED to survive the attack",
+                  file=sys.stderr)
+            code = 3
+    return code
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     import dataclasses
     import json
@@ -555,6 +717,76 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--format", choices=["text", "json"], default="text",
                    help="output format (default text)")
     p.set_defaults(func=_cmd_report)
+
+    def _add_mission(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--apps", default="MPGdec,gzip,art",
+                       help="comma-separated application universe")
+        p.add_argument("--frequencies", default="3.0,4.0,5.0",
+                       help="comma-separated requested frequencies in GHz")
+        p.add_argument("--epochs", type=int, default=64,
+                       help="mission length in epochs (default 64)")
+        p.add_argument("--epoch-hours", type=float, default=500.0,
+                       help="hours per epoch (default 500)")
+        p.add_argument("--tqual", type=float, default=400.0,
+                       help="qualification temperature (K)")
+        p.add_argument("--target-years", type=float, default=None,
+                       help="required service life (default: the SOFR "
+                            "life implied by the qualified FIT target)")
+        p.add_argument("--spares", default=None,
+                       help="comma-separated structures with cold spares")
+
+    p = sub.add_parser(
+        "lifetime",
+        help="integrate a mission schedule into cumulative wear "
+             "(closed-loop, checkpointed, resumable)",
+    )
+    _add_mission(p)
+    p.add_argument("--schedule-seed", type=int, default=7,
+                   help="seed for the random mission (default 7)")
+    p.add_argument("--open-loop", action="store_true",
+                   help="integrate at the requested frequencies with no "
+                        "controller")
+    p.add_argument("--telemetry-dir", default=None,
+                   help="telemetry stream root for lifetime.* checkpoints")
+    p.add_argument("--checkpoint-every", type=int, default=8,
+                   help="epochs between wear checkpoints (default 8)")
+    p.add_argument("--resume", action="store_true",
+                   help="restore the newest intact checkpoint for this "
+                        "schedule and continue bit-identically")
+    p.add_argument("--stop-after", type=int, default=None,
+                   help="pause cleanly after this many schedule epochs "
+                        "(a final checkpoint is written)")
+    p.add_argument("--fault-plan", default=None,
+                   help="arm a deterministic fault plan including the "
+                        "lifetime.wear_sensor_drift / "
+                        "lifetime.checkpoint_torn sites")
+    _add_common(p)
+    p.set_defaults(func=_cmd_lifetime)
+
+    p = sub.add_parser(
+        "redteam",
+        help="adversarial search for wear-maximizing schedules",
+    )
+    _add_mission(p)
+    p.add_argument("--adversary-seed", type=int, default=11,
+                   help="root seed of the whole search (default 11)")
+    p.add_argument("--objective", choices=["total", "peak"], default="total",
+                   help="damage objective to maximise (default total)")
+    p.add_argument("--random-population", type=int, default=10,
+                   help="random schedules for the baseline (default 10)")
+    p.add_argument("--greedy-passes", type=int, default=1,
+                   help="coordinate-ascent sweeps (default 1)")
+    p.add_argument("--anneal-steps", type=int, default=150,
+                   help="simulated-annealing mutations (default 150)")
+    p.add_argument("--min-improvement", type=float, default=0.25,
+                   help="required fractional gain over the baseline "
+                        "(default 0.25; exit 2 below it)")
+    p.add_argument("--verify-controller", action="store_true",
+                   help="replay the found schedule against the wear-aware "
+                        "controller (exit 3 unless it survives within "
+                        "its damage budget)")
+    _add_common(p)
+    p.set_defaults(func=_cmd_redteam)
 
     p = sub.add_parser(
         "loadgen",

@@ -122,6 +122,39 @@ BASE_N_FPU = 4
 BASE_MICROARCH = MicroarchConfig()
 
 
+#: Floors for the shed ladder: shrinking below these leaves no usable
+#: capacity (the 16-entry/2-ALU/1-FPU corner of the Arch space).
+_SHED_FLOORS = {"window": 16, "ialu": 2, "fpu": 1}
+
+
+def shed_structure(config: MicroarchConfig, structure: str) -> MicroarchConfig | None:
+    """Halve a worn structure's powered capacity, or ``None`` at the floor.
+
+    The wear-aware controller's "shed" rung: powering down half of a
+    structure's slices removes their electromigration and TDDB wear (via
+    ``powered_fraction``) at a performance cost the simulator observes
+    directly.  Only the Arch-adaptive structures (window, ialu, fpu) can
+    shed; others — and structures already at the Arch-space floor —
+    return ``None`` so the caller can fall through to the next rung.
+    """
+    if structure == "window":
+        size = max(_SHED_FLOORS["window"], config.window_size // 2)
+        if size == config.window_size:
+            return None
+        return replace(config, window_size=size)
+    if structure == "ialu":
+        count = max(_SHED_FLOORS["ialu"], config.n_ialu // 2)
+        if count == config.n_ialu:
+            return None
+        return replace(config, n_ialu=count)
+    if structure == "fpu":
+        count = max(_SHED_FLOORS["fpu"], config.n_fpu // 2)
+        if count == config.n_fpu:
+            return None
+        return replace(config, n_fpu=count)
+    return None
+
+
 def arch_adaptation_space(base: MicroarchConfig = BASE_MICROARCH) -> tuple[MicroarchConfig, ...]:
     """The 18 microarchitectural configurations explored by DRM's Arch.
 

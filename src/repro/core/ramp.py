@@ -187,14 +187,18 @@ class RampModel:
             [self.qualified.constant(mech.name, n) for n in STRUCTURE_NAMES]
         )
 
-    def application_fit_batch(self, batch: "BatchEvaluation") -> np.ndarray:
-        """Time-averaged SOFR FIT for every candidate of a batch at once.
+    def application_fit_fields_batch(self, batch: "BatchEvaluation") -> np.ndarray:
+        """Per-(mechanism, structure) time-averaged FIT for a whole batch.
 
-        The tensor analogue of :meth:`application_reliability`: EM, SM and
-        TDDB are evaluated per ``(candidate, interval, structure)`` cell
-        and time-averaged per candidate; thermal cycling is evaluated from
-        each candidate's run-average structure temperatures.  Returns the
-        total per-candidate FIT, shape ``(n_candidates,)``.
+        The tensor analogue of :meth:`application_reliability`, kept at
+        full resolution: EM, SM and TDDB are evaluated per ``(candidate,
+        interval, structure)`` cell and time-averaged per candidate;
+        thermal cycling is evaluated from each candidate's run-average
+        structure temperatures.  Returns shape ``(n_candidates,
+        n_mechanisms, n_structures)`` with mechanisms in
+        :attr:`mechanisms` order and structures in canonical
+        ``STRUCTURE_NAMES`` order — the fields the cumulative-damage
+        simulator (:mod:`repro.lifetime`) integrates per epoch.
         """
         tech = self.qualified.technology
         v_nom = tech.vdd_nominal_v
@@ -204,9 +208,29 @@ class RampModel:
         )
         volt = batch.voltage_v[:, :, None]
         freq = batch.frequency_hz[:, :, None]
+        avg_t = batch.avg_temperature_by_structure_k
 
-        total = np.zeros(batch.n_candidates)
-        for mech in self._instantaneous:
+        fields = np.zeros(
+            (batch.n_candidates, len(self.mechanisms), len(STRUCTURE_NAMES))
+        )
+        for m_index, mech in enumerate(self.mechanisms):
+            if mech.name == "TC":
+                # Thermal cycling from run-average temperatures, with the
+                # first interval's operating conditions (mirroring the
+                # scalar path).
+                rel = mech.relative_fit_batch(
+                    temperature_k=avg_t,
+                    voltage_v=batch.voltage_v[:, :1],
+                    frequency_hz=batch.frequency_hz[:, :1],
+                    activity=batch.activity[:, 0, :],
+                    v_nominal=v_nom,
+                    f_nominal=f_nom,
+                )
+                fit = FIT_DEVICE_HOURS * rel / self._constants_array(mech)
+                if mech.scales_with_powered_area:
+                    fit = fit * pf
+                fields[:, m_index, :] = fit
+                continue
             rel = mech.relative_fit_batch(
                 temperature_k=batch.temperatures_k,
                 voltage_v=volt,
@@ -218,24 +242,20 @@ class RampModel:
             fit = FIT_DEVICE_HOURS * rel / self._constants_array(mech)
             if mech.scales_with_powered_area:
                 fit = fit * pf
-            total += time_averaged_fit(fit, batch.weights).sum(axis=1)
+            fields[:, m_index, :] = time_averaged_fit(fit, batch.weights)
+        return fields
 
-        # Thermal cycling from run-average temperatures, with the first
-        # interval's operating conditions (mirroring the scalar path).
-        avg_t = batch.avg_temperature_by_structure_k
-        for mech in self._cycling:
-            rel = mech.relative_fit_batch(
-                temperature_k=avg_t,
-                voltage_v=batch.voltage_v[:, :1],
-                frequency_hz=batch.frequency_hz[:, :1],
-                activity=batch.activity[:, 0, :],
-                v_nominal=v_nom,
-                f_nominal=f_nom,
-            )
-            fit = FIT_DEVICE_HOURS * rel / self._constants_array(mech)
-            if mech.scales_with_powered_area:
-                fit = fit * pf
-            total += fit.sum(axis=1)
+    def application_fit_batch(self, batch: "BatchEvaluation") -> np.ndarray:
+        """Time-averaged SOFR FIT for every candidate of a batch at once.
+
+        The per-candidate total of :meth:`application_fit_fields_batch`,
+        summed in mechanism order so the result stays bit-identical to
+        the pre-refactor accumulation.  Shape ``(n_candidates,)``.
+        """
+        fields = self.application_fit_fields_batch(batch)
+        total = np.zeros(batch.n_candidates)
+        for m_index in range(fields.shape[1]):
+            total += fields[:, m_index, :].sum(axis=1)
         return total
 
     def worst_instant_fit(self, evaluation: PlatformEvaluation) -> float:

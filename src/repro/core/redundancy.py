@@ -55,6 +55,15 @@ class RedundancyPlan:
             area_overhead_mm2=sum(structure_by_name(n).area_mm2 for n in names),
         )
 
+    def can_swap(self, structure: str, used: frozenset[str] | set[str]) -> bool:
+        """Whether a cold spare remains for ``structure``.
+
+        Each planned structure carries exactly one spare; ``used`` names
+        the structures whose spare was already consumed (the wear-aware
+        controller's swap history).
+        """
+        return structure in self.spares and structure not in used
+
 
 @dataclass(frozen=True)
 class RedundancyResult:

@@ -69,6 +69,15 @@ class AdaptationError(ReproError):
     """No adaptation configuration can satisfy the requested constraint."""
 
 
+class LifetimeError(ReliabilityError):
+    """The cumulative-damage lifetime machinery was misused.
+
+    Raised for malformed wear states or checkpoints, invalid mission
+    schedules, and controller ladders that cannot make progress — the
+    lifetime analogue of :class:`ReliabilityError`'s domain checks.
+    """
+
+
 class InputValidationError(ReproError):
     """An evaluation received non-finite or out-of-domain inputs.
 

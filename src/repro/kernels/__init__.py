@@ -23,6 +23,7 @@ from repro.kernels.batch import (
     grid_digest,
     grid_tensors,
 )
+from repro.kernels.wear import accrue, duty_asymmetry_factors, wear_rate_fields
 
 __all__ = [
     "BatchEvaluation",
@@ -30,6 +31,9 @@ __all__ = [
     "MAX_FIXED_POINT_ITERS",
     "STRUCTURE_INDEX",
     "TEMP_TOLERANCE_K",
+    "accrue",
+    "duty_asymmetry_factors",
     "grid_digest",
     "grid_tensors",
+    "wear_rate_fields",
 ]

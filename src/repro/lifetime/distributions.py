@@ -1,0 +1,190 @@
+"""Time-dependent lifetime distributions (the paper's future work).
+
+Section 3.5 concedes that the SOFR model's constant-failure-rate
+assumption "is clearly inaccurate — a typical wear-out failure mechanism
+will have a low failure rate at the beginning of the component's
+lifetime and the value will grow as the component ages.  Nevertheless,
+it is used for lack of better models", and Section 8 promises to
+"incorporate time dependence in our reliability models and relax the
+series failure assumption".
+
+This module does both:
+
+- lifetime distributions with the *same mean* as each (structure,
+  mechanism) MTTF but realistic shapes — exponential (the SOFR
+  assumption), Weibull with shape > 1 (classic wear-out), and lognormal
+  (the empirical choice for EM and TDDB populations);
+- a Monte Carlo **series-system** solver: the processor fails at the
+  minimum of its component lifetimes, whatever their distributions —
+  no constant-rate assumption required.
+
+The well-known consequence (confirmed by the authors' own follow-up
+work): under wear-out shapes, SOFR *underestimates* the series-system
+MTTF — early-life failure rates are far below the average, so the
+minimum of many wear-out lifetimes sits later than the exponential
+algebra predicts.  The A10 bench quantifies that conservatism for the
+reproduction's calibrated FIT fields.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.fit import FitAccount
+from repro.errors import ReliabilityError
+
+
+class LifetimeDistribution(abc.ABC):
+    """A component-lifetime distribution parameterised by its mean."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator, mttf_hours: float, size: int) -> np.ndarray:
+        """Draw ``size`` lifetimes with mean ``mttf_hours``.
+
+        Raises:
+            ReliabilityError: if ``mttf_hours`` is not positive.
+        """
+
+    def _check(self, mttf_hours: float) -> None:
+        if mttf_hours <= 0.0 or not math.isfinite(mttf_hours):
+            raise ReliabilityError(f"{self.name}: MTTF must be positive/finite")
+
+
+class ExponentialLifetime(LifetimeDistribution):
+    """Constant failure rate — the SOFR assumption, for cross-checking."""
+
+    name = "exponential"
+
+    def sample(self, rng: np.random.Generator, mttf_hours: float, size: int) -> np.ndarray:
+        self._check(mttf_hours)
+        return rng.exponential(mttf_hours, size=size)
+
+
+class WeibullLifetime(LifetimeDistribution):
+    """Weibull lifetimes; shape > 1 gives an increasing hazard (wear-out).
+
+    Args:
+        shape: the Weibull shape parameter beta.  2-4 is typical for
+            wear-out mechanisms; 1 degenerates to exponential.
+    """
+
+    def __init__(self, shape: float = 2.0) -> None:
+        if shape <= 0.0:
+            raise ReliabilityError("Weibull shape must be positive")
+        self.shape = shape
+        self.name = f"weibull(beta={shape:g})"
+
+    def sample(self, rng: np.random.Generator, mttf_hours: float, size: int) -> np.ndarray:
+        self._check(mttf_hours)
+        scale = mttf_hours / math.gamma(1.0 + 1.0 / self.shape)
+        return scale * rng.weibull(self.shape, size=size)
+
+
+class LognormalLifetime(LifetimeDistribution):
+    """Lognormal lifetimes — the JEDEC-standard shape for EM and TDDB.
+
+    Args:
+        sigma: log-standard deviation (0.5 is a common EM population
+            figure; larger = more spread).
+    """
+
+    def __init__(self, sigma: float = 0.5) -> None:
+        if sigma <= 0.0:
+            raise ReliabilityError("lognormal sigma must be positive")
+        self.sigma = sigma
+        self.name = f"lognormal(sigma={sigma:g})"
+
+    def sample(self, rng: np.random.Generator, mttf_hours: float, size: int) -> np.ndarray:
+        self._check(mttf_hours)
+        mu = math.log(mttf_hours) - 0.5 * self.sigma * self.sigma
+        return rng.lognormal(mu, self.sigma, size=size)
+
+
+@dataclass(frozen=True)
+class SeriesSystemResult:
+    """Monte Carlo estimate of a series system's lifetime.
+
+    Attributes:
+        mttf_hours: mean of the sampled system lifetimes.
+        std_error_hours: standard error of that mean.
+        sofr_mttf_hours: the constant-rate (SOFR) prediction, for
+            comparison.
+        distribution: the component distribution used.
+        n_samples: Monte Carlo sample count.
+    """
+
+    mttf_hours: float
+    std_error_hours: float
+    sofr_mttf_hours: float
+    distribution: str
+    n_samples: int
+
+    @property
+    def sofr_conservatism(self) -> float:
+        """MC MTTF over the SOFR prediction (>1 means SOFR is pessimistic)."""
+        return self.mttf_hours / self.sofr_mttf_hours
+
+
+def component_mttfs_from_account(account: FitAccount) -> list[float]:
+    """Per-(structure, mechanism) MTTFs in hours from a FIT ledger.
+
+    Zero-FIT components (e.g. electromigration on a fully gated slice)
+    cannot fail and are excluded from the series system.
+
+    Raises:
+        ReliabilityError: if no component has a positive failure rate.
+    """
+    mttfs = [1.0e9 / fit for fit in account.entries.values() if fit > 0.0]
+    if not mttfs:
+        raise ReliabilityError("no failing components in the account")
+    return mttfs
+
+
+def sofr_series_mttf(mttfs: list[float]) -> float:
+    """The constant-rate series-system MTTF: 1 / Σ(1/MTTF_i).
+
+    Raises:
+        ReliabilityError: on an empty or non-positive input.
+    """
+    if not mttfs or any(m <= 0.0 for m in mttfs):
+        raise ReliabilityError("need positive component MTTFs")
+    return 1.0 / sum(1.0 / m for m in mttfs)
+
+
+def series_system_mttf(
+    mttfs: list[float],
+    distribution: LifetimeDistribution,
+    n_samples: int = 20_000,
+    seed: int = 0,
+) -> SeriesSystemResult:
+    """Monte Carlo MTTF of a series system with arbitrary lifetimes.
+
+    Each component's lifetime is drawn from ``distribution`` with its own
+    mean; the system lifetime is the per-sample minimum.
+
+    Raises:
+        ReliabilityError: on an empty component list or non-positive
+            sample count.
+    """
+    if n_samples <= 0:
+        raise ReliabilityError("need a positive sample count")
+    sofr = sofr_series_mttf(mttfs)
+    rng = np.random.default_rng(seed)
+    system = np.full(n_samples, np.inf)
+    for mttf_hours in mttfs:
+        np.minimum(system, distribution.sample(rng, mttf_hours, n_samples), out=system)
+    mean = float(system.mean())
+    std_error = float(system.std(ddof=1) / math.sqrt(n_samples))
+    return SeriesSystemResult(
+        mttf_hours=mean,
+        std_error_hours=std_error,
+        sofr_mttf_hours=sofr,
+        distribution=distribution.name,
+        n_samples=n_samples,
+    )

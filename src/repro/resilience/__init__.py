@@ -19,6 +19,7 @@ See :mod:`repro.resilience.faults` for the site catalogue and
 
 from repro.resilience.faults import (
     AGGRESSIVE,
+    CHECKPOINT_TORN,
     CI_DEFAULT,
     KERNEL_POISON,
     LOG_ENV,
@@ -31,6 +32,7 @@ from repro.resilience.faults import (
     SITES,
     STORE_CORRUPT,
     TELEMETRY_TORN,
+    WEAR_DRIFT,
     WORKER_CRASH,
     WORKER_HANG,
     FaultInjector,
@@ -43,6 +45,7 @@ from repro.resilience.faults import (
 
 __all__ = [
     "AGGRESSIVE",
+    "CHECKPOINT_TORN",
     "CI_DEFAULT",
     "FaultInjector",
     "FaultPlan",
@@ -57,6 +60,7 @@ __all__ = [
     "SITES",
     "STORE_CORRUPT",
     "TELEMETRY_TORN",
+    "WEAR_DRIFT",
     "WORKER_CRASH",
     "WORKER_HANG",
     "active_injector",

@@ -48,6 +48,13 @@ site                      effect
                           segment sealed — a simulated ``kill -9``
                           mid-append; readers must recover every
                           complete record
+``lifetime.wear_sensor_drift``  a wear-sensor reading is scaled by a
+                          deterministic drift factor; the lifetime
+                          simulator must sanitise the reading (monotone
+                          clamp) and keep the *true* trajectory exact
+``lifetime.checkpoint_torn``  a wear checkpoint frame is written torn;
+                          resume must fall back to the previous good
+                          checkpoint and re-integrate, never corrupt
 ========================  ====================================================
 
 Fault decisions for the executor sites are, by default, **first-attempt
@@ -86,6 +93,8 @@ SENSOR_STUCK = "sensor.stuck_temperature"
 SERVE_DROP = "serve.drop_connection"
 SERVE_SLOW = "serve.slow_response"
 TELEMETRY_TORN = "telemetry.torn_append"
+WEAR_DRIFT = "lifetime.wear_sensor_drift"
+CHECKPOINT_TORN = "lifetime.checkpoint_torn"
 
 #: Every recognised injection site.
 SITES = frozenset(
@@ -99,6 +108,8 @@ SITES = frozenset(
         SERVE_DROP,
         SERVE_SLOW,
         TELEMETRY_TORN,
+        WEAR_DRIFT,
+        CHECKPOINT_TORN,
     }
 )
 
@@ -197,6 +208,8 @@ CI_DEFAULT = FaultPlan(
         SERVE_DROP: 0.08,
         SERVE_SLOW: 0.05,
         TELEMETRY_TORN: 0.05,
+        WEAR_DRIFT: 0.05,
+        CHECKPOINT_TORN: 0.05,
     },
     hang_s=0.05,
 )
@@ -215,6 +228,8 @@ AGGRESSIVE = FaultPlan(
         SERVE_DROP: 0.3,
         SERVE_SLOW: 0.2,
         TELEMETRY_TORN: 0.25,
+        WEAR_DRIFT: 0.25,
+        CHECKPOINT_TORN: 0.25,
     },
     hang_s=0.05,
 )
@@ -417,6 +432,35 @@ class FaultInjector:
         cut = max(1, frame_len // 2)
         self._record(TELEMETRY_TORN, key, truncated_to=cut, frame_len=frame_len)
         return cut
+
+    # ---- lifetime sites ------------------------------------------------
+
+    def wear_sensor_drift(self, key: str) -> float | None:
+        """Multiplicative drift on one wear-sensor reading, or ``None``.
+
+        The factor is a pure function of the key (run, epoch, structure),
+        uniform in [0.5, 1.5) — so an armed plan drifts the *same*
+        readings by the *same* amount in every process, and a resumed
+        simulation sees exactly the drift the killed one saw.
+        """
+        if not self.should(WEAR_DRIFT, key):
+            return None
+        factor = 0.5 + self.roll(WEAR_DRIFT, key, lane=1)
+        self._record(WEAR_DRIFT, key, factor=factor)
+        return factor
+
+    def checkpoint_torn(self, key: str) -> bool:
+        """Whether this wear-checkpoint append should be written torn.
+
+        At most once per (run, epoch) key per process — a simulated
+        ``kill -9`` in the middle of the checkpoint write.  The resume
+        path must fall back to the previous good checkpoint and
+        re-integrate the missing epochs (degrade, never corrupt).
+        """
+        if not self._once(CHECKPOINT_TORN, key):
+            return False
+        self._record(CHECKPOINT_TORN, key)
+        return True
 
     # ---- sensor sites --------------------------------------------------
 

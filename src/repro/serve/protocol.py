@@ -33,6 +33,7 @@ import dataclasses
 import math
 from typing import Any, Mapping
 
+from repro.config.technology import STRUCTURE_NAMES
 from repro.engine.jobs import content_hash, profile_payload
 from repro.engine.store import CODECS, SCHEMA_VERSION, decode_result, encode_result
 from repro.errors import ServeError
@@ -66,6 +67,11 @@ class DecideRequest:
         mode: DRM adaptation space (drm only; default ``archdvs``).
         strategy: intra search strategy (intra only; default ``greedy``).
         chip_id: optional fleet-member id for per-chip state tracking.
+        wear: optional per-structure accrued damage fractions the chip
+            reports alongside its question (a JSON object on the wire;
+            stored canonically as sorted name/value pairs so the frozen
+            request stays hashable).  Additive under
+            :data:`WIRE_SCHEMA_VERSION` 1: old clients simply omit it.
     """
 
     kind: str
@@ -75,6 +81,7 @@ class DecideRequest:
     mode: str = "archdvs"
     strategy: str = "greedy"
     chip_id: str | None = None
+    wear: tuple[tuple[str, float], ...] | None = None
 
     def validate(self) -> None:
         """Raise :class:`~repro.errors.ServeError` on a malformed request."""
@@ -118,6 +125,21 @@ class DecideRequest:
             )
         if self.chip_id is not None and not isinstance(self.chip_id, str):
             raise ServeError("chip_id must be a string when present")
+        if self.wear is not None:
+            for structure, value in self.wear:
+                if structure not in STRUCTURE_NAMES:
+                    raise ServeError(
+                        f"wear names unknown structure {structure!r}",
+                        structure=structure,
+                        known=STRUCTURE_NAMES,
+                    )
+                if not _is_finite_number(value) or value < 0.0:
+                    raise ServeError(
+                        f"wear[{structure!r}] must be a finite non-negative "
+                        "number",
+                        structure=structure,
+                        value=value,
+                    )
 
     def identity(self) -> tuple:
         """The request's compute identity — everything except the chip.
@@ -149,7 +171,15 @@ class DecideRequest:
             payload["strategy"] = self.strategy
         if self.chip_id is not None:
             payload["chip_id"] = self.chip_id
+        if self.wear is not None:
+            payload["wear"] = self.wear_by_structure()
         return payload
+
+    def wear_by_structure(self) -> dict[str, float] | None:
+        """The reported wear as a plain dict, or ``None``."""
+        if self.wear is None:
+            return None
+        return {structure: value for structure, value in self.wear}
 
     @classmethod
     def from_payload(cls, payload: Mapping[str, Any]) -> "DecideRequest":
@@ -193,6 +223,20 @@ class DecideRequest:
                 ):
                     raise ServeError(f"{field} must be a number", field=field)
                 kwargs[field] = float(value)
+        if payload.get("wear") is not None:
+            wear = payload["wear"]
+            if not isinstance(wear, Mapping):
+                raise ServeError("wear must be a JSON object", field="wear")
+            entries = []
+            for structure, value in wear.items():
+                if not isinstance(structure, str):
+                    raise ServeError("wear keys must be strings", field="wear")
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    raise ServeError(
+                        f"wear[{structure!r}] must be a number", field="wear"
+                    )
+                entries.append((structure, float(value)))
+            kwargs["wear"] = tuple(sorted(entries))
         if "kind" not in kwargs or "app" not in kwargs:
             raise ServeError("decide request needs 'kind' and 'app'")
         if kwargs.get("mode") is None:

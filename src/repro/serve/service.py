@@ -401,6 +401,7 @@ class DecisionService:
                 request_payload=request.as_payload(),
                 decision_key=key,
                 cache_tier=tier,
+                wear=request.wear_by_structure(),
             )
         return ServedDecision(
             request=request, decision=decision, cache_key=key, tier=tier

@@ -19,7 +19,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import threading
-from typing import Any
+from typing import Any, Mapping
 
 #: Default shard count — enough stripes that a worker pool of a few
 #: dozen threads rarely collides, small enough to iterate cheaply.
@@ -43,6 +43,11 @@ class ChipState:
         profile_mix: running count of requests per application — the
             chip's observed workload mix.
         kind_mix: running count of requests per decision kind.
+        wear_by_structure: highest accrued damage fraction the chip has
+            reported per structure.  Merged with ``max()`` because wear
+            is physically monotone — a lower report is a stale or
+            drifted sensor, never a healed structure.
+        wear_updates: requests that carried a wear report.
     """
 
     chip_id: str
@@ -55,6 +60,8 @@ class ChipState:
     last_cache_tier: str = ""
     profile_mix: dict[str, int] = dataclasses.field(default_factory=dict)
     kind_mix: dict[str, int] = dataclasses.field(default_factory=dict)
+    wear_by_structure: dict[str, float] = dataclasses.field(default_factory=dict)
+    wear_updates: int = 0
 
     def as_dict(self) -> dict[str, Any]:
         """JSON-ready snapshot (the ``/v1/chip/{id}`` response body)."""
@@ -69,6 +76,8 @@ class ChipState:
             "last_cache_tier": self.last_cache_tier,
             "profile_mix": dict(sorted(self.profile_mix.items())),
             "kind_mix": dict(sorted(self.kind_mix.items())),
+            "wear": dict(sorted(self.wear_by_structure.items())),
+            "wear_updates": self.wear_updates,
         }
 
 
@@ -113,8 +122,14 @@ class ChipStateStore:
         request_payload: dict,
         decision_key: str,
         cache_tier: str,
+        wear: Mapping[str, float] | None = None,
     ) -> None:
-        """Fold one served decision into the chip's running state."""
+        """Fold one served decision into the chip's running state.
+
+        ``wear`` (when the request reported it) merges per structure with
+        ``max()``: accrued damage is monotone, so the highest report ever
+        seen is the best estimate of the chip's true wear.
+        """
         with self._seq_lock:
             seq = self._seq
             self._seq += 1
@@ -132,6 +147,13 @@ class ChipStateStore:
             state.last_cache_tier = cache_tier
             state.profile_mix[app] = state.profile_mix.get(app, 0) + 1
             state.kind_mix[kind] = state.kind_mix.get(kind, 0) + 1
+            if wear:
+                state.wear_updates += 1
+                for structure, value in wear.items():
+                    previous = state.wear_by_structure.get(structure, 0.0)
+                    state.wear_by_structure[structure] = max(
+                        previous, float(value)
+                    )
 
     # ---- reading -------------------------------------------------------
 

@@ -42,7 +42,10 @@ TELEMETRY_SCHEMA_VERSION = 1
 #: - ``fault.fired``— one record per injected fault
 #: - ``serve.statz``— a decision-service counters snapshot
 #: - ``bench.result``— one benchmark result (uniform keys)
-KNOWN_KIND_PREFIXES = ("engine.", "sweep.", "fault.", "serve.", "bench.")
+#: - ``lifetime.*`` — cumulative-damage simulation lifecycle (spec /
+#:   checkpoint / controller / done), the records ``--resume`` restores
+#:   wear state from
+KNOWN_KIND_PREFIXES = ("engine.", "sweep.", "fault.", "serve.", "bench.", "lifetime.")
 
 
 @dataclass(frozen=True)

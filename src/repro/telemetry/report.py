@@ -12,7 +12,9 @@ section:
 - **fleet**   — ``serve.statz`` records: the decision service's last
   counters snapshot per run;
 - **bench**   — ``bench.result`` records: benchmark names, headline
-  metrics, and floors.
+  metrics, and floors;
+- **lifetime** — ``lifetime.*`` records: per-run wear-simulation
+  progress (checkpoints, controller interventions, final damage).
 
 ``repro report --check`` additionally audits every segment: torn
 frames, schema-invalid envelopes, and unknown kinds are listed, and the
@@ -41,6 +43,7 @@ class StreamReport:
     chaos: dict[str, Any] = dataclasses.field(default_factory=dict)
     fleet: dict[str, Any] = dataclasses.field(default_factory=dict)
     bench: dict[str, Any] = dataclasses.field(default_factory=dict)
+    lifetime: dict[str, Any] = dataclasses.field(default_factory=dict)
     unknown_kinds: dict[str, int] = dataclasses.field(default_factory=dict)
 
     def as_dict(self) -> dict[str, Any]:
@@ -65,6 +68,8 @@ def build_report(
             _fold_fleet(report.fleet, record)
         elif record.kind == "bench.result":
             _fold_bench(report.bench, record)
+        elif record.kind.startswith("lifetime."):
+            _fold_lifetime(report.lifetime, record)
         elif not is_known_kind(record.kind):
             report.unknown_kinds[record.kind] = (
                 report.unknown_kinds.get(record.kind, 0) + 1
@@ -141,6 +146,40 @@ def _fold_bench(section: dict[str, Any], record: TelemetryRecord) -> None:
     }
 
 
+def _fold_lifetime(section: dict[str, Any], record: TelemetryRecord) -> None:
+    run = section.setdefault(
+        record.run_id,
+        {
+            "checkpoints": 0,
+            "last_epoch": 0,
+            "interventions": {},
+            "done": None,
+        },
+    )
+    if record.kind == "lifetime.spec":
+        run["spec"] = {
+            "n_epochs": record.payload.get("n_epochs"),
+            "total_hours": record.payload.get("total_hours"),
+            "controller": record.payload.get("controller"),
+            "resumed_from": record.payload.get("resumed_from"),
+        }
+    elif record.kind == "lifetime.checkpoint":
+        run["checkpoints"] += 1
+        epoch = int(record.payload.get("epoch", 0) or 0)
+        run["last_epoch"] = max(run["last_epoch"], epoch)
+    elif record.kind == "lifetime.controller":
+        action = str(record.payload.get("action"))
+        run["interventions"][action] = run["interventions"].get(action, 0) + 1
+    elif record.kind == "lifetime.done":
+        run["done"] = {
+            "epochs": record.payload.get("epochs"),
+            "end_of_life": record.payload.get("end_of_life"),
+            "total_damage": record.payload.get("total_damage"),
+            "peak_damage": record.payload.get("peak_damage"),
+            "hours": record.payload.get("hours"),
+        }
+
+
 # ---------------------------------------------------------------------------
 # Rendering
 # ---------------------------------------------------------------------------
@@ -204,6 +243,26 @@ def render_report(report: StreamReport) -> str:
             lines.append(
                 f"  {name} [{entry.get('mode')}]: {shown or 'no headline'}"
                 + (f" (floor {floor})" if floor is not None else "")
+            )
+    if report.lifetime:
+        lines.append("lifetime:")
+        for run, entry in sorted(report.lifetime.items()):
+            done = entry.get("done")
+            if done:
+                status = (
+                    f"done at epoch {done.get('epochs')}, "
+                    f"total damage {done.get('total_damage'):.4g}"
+                    + (" (end of life)" if done.get("end_of_life") else "")
+                )
+            else:
+                status = f"in flight, last checkpoint epoch {entry['last_epoch']}"
+            interventions = entry.get("interventions", {})
+            shown = ", ".join(
+                f"{k} x{v}" for k, v in sorted(interventions.items())
+            )
+            lines.append(
+                f"  {run}: {entry['checkpoints']} checkpoint(s), {status}"
+                + (f"; interventions: {shown}" if shown else "")
             )
     if report.unknown_kinds:
         shown = ", ".join(

@@ -20,9 +20,12 @@ Table 2 IPC/power spectrum when run through :mod:`repro.cpu`.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
 import zlib
-from dataclasses import replace
+from dataclasses import dataclass, replace
+from typing import Sequence
 
 import numpy as np
 
@@ -293,6 +296,122 @@ def _draw_addresses(
         cold_cursor += n_cold
     addr[is_mem] = blocks * BLOCK_BYTES
     return addr, cold_cursor
+
+
+# ---- mission schedules: phased workloads over months/years ---------------
+
+
+@dataclass(frozen=True)
+class MissionEpoch:
+    """One constant-stress span of a mission: run ``app`` at a requested
+    frequency for ``hours`` of wall time.
+
+    The frequency is a *request* — a wear-aware controller may override
+    it downward; the adversary mutates it upward.
+
+    Raises:
+        WorkloadError: on non-positive hours or frequency.
+    """
+
+    app: str
+    frequency_hz: float
+    hours: float
+
+    def __post_init__(self) -> None:
+        if not self.app:
+            raise WorkloadError("epoch needs an application name")
+        if self.frequency_hz <= 0.0 or not math.isfinite(self.frequency_hz):
+            raise WorkloadError("epoch frequency must be positive and finite")
+        if self.hours <= 0.0 or not math.isfinite(self.hours):
+            raise WorkloadError("epoch hours must be positive and finite")
+
+
+@dataclass(frozen=True)
+class MissionSchedule:
+    """An ordered sequence of mission epochs (a phased workload history).
+
+    Schedules are the unit the lifetime simulator integrates over and
+    the search space the adversary mutates.  They are immutable; use
+    :meth:`replaced`, :meth:`split`, or ``+`` to derive new ones.
+    """
+
+    epochs: tuple[MissionEpoch, ...]
+
+    def __post_init__(self) -> None:
+        if not self.epochs:
+            raise WorkloadError("a mission schedule needs at least one epoch")
+
+    @property
+    def n_epochs(self) -> int:
+        return len(self.epochs)
+
+    @property
+    def total_hours(self) -> float:
+        return sum(e.hours for e in self.epochs)
+
+    def digest(self) -> str:
+        """Content hash of the schedule (stable across processes).
+
+        Frequencies and hours are serialised via ``repr`` (exact for
+        float64), so two schedules share a digest iff they are
+        bit-identical — the property checkpoint resume relies on.
+        """
+        canon = [[e.app, repr(e.frequency_hz), repr(e.hours)] for e in self.epochs]
+        blob = json.dumps(canon, separators=(",", ":")).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    def split(self, k: int) -> tuple["MissionSchedule", "MissionSchedule"]:
+        """Split into the first ``k`` epochs and the rest.
+
+        Raises:
+            WorkloadError: unless ``0 < k < n_epochs``.
+        """
+        if not 0 < k < self.n_epochs:
+            raise WorkloadError(f"split point {k} outside (0, {self.n_epochs})")
+        return MissionSchedule(self.epochs[:k]), MissionSchedule(self.epochs[k:])
+
+    def replaced(self, index: int, epoch: MissionEpoch) -> "MissionSchedule":
+        """A copy with one epoch substituted (the adversary's mutation)."""
+        if not 0 <= index < self.n_epochs:
+            raise WorkloadError(f"epoch index {index} out of range")
+        epochs = list(self.epochs)
+        epochs[index] = epoch
+        return MissionSchedule(tuple(epochs))
+
+    def __add__(self, other: "MissionSchedule") -> "MissionSchedule":
+        return MissionSchedule(self.epochs + other.epochs)
+
+
+def random_mission(
+    *,
+    apps: Sequence[str],
+    frequencies: Sequence[float],
+    n_epochs: int,
+    epoch_hours: float,
+    seed: int = 0,
+) -> MissionSchedule:
+    """A seeded random mission: uniform draws over apps x frequencies.
+
+    This is the adversary's population seed and the lifetime CLI's
+    default schedule source.
+
+    Raises:
+        WorkloadError: on empty choice sets or a non-positive epoch count.
+    """
+    if not apps or not frequencies:
+        raise WorkloadError("need at least one app and one frequency")
+    if n_epochs <= 0:
+        raise WorkloadError("n_epochs must be positive")
+    rng = np.random.default_rng(np.random.SeedSequence([seed, 0x3155]))
+    epochs = tuple(
+        MissionEpoch(
+            app=str(apps[int(rng.integers(0, len(apps)))]),
+            frequency_hz=float(frequencies[int(rng.integers(0, len(frequencies)))]),
+            hours=epoch_hours,
+        )
+        for _ in range(n_epochs)
+    )
+    return MissionSchedule(epochs)
 
 
 def preload_hierarchy(hierarchy, generator: TraceGenerator) -> None:

@@ -74,6 +74,12 @@ def dtm_oracle(platform, test_cache) -> DTMOracle:
 
 
 @pytest.fixture(scope="session")
+def lifetime_ramp(oracle):
+    """A qualified RAMP model shared by the lifetime-simulation tests."""
+    return oracle.ramp_for(380.0)
+
+
+@pytest.fixture(scope="session")
 def serve_config():
     """Reduced-budget decision-service config shared by the serve tests.
 

@@ -1,0 +1,93 @@
+"""Tests for the ``repro lifetime`` and ``repro redteam`` CLI verbs."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FAST = ["--instructions", "2500", "--warmup", "500", "--dvs-steps", "5"]
+SMALL_MISSION = [
+    "--apps", "gzip,art",
+    "--epochs", "6",
+    "--epoch-hours", "100",
+]
+
+
+def final_wear_line(out: str) -> str:
+    lines = [line for line in out.splitlines() if line.startswith("final-wear ")]
+    assert len(lines) == 1
+    return lines[0]
+
+
+class TestParser:
+    def test_commands_present(self):
+        parser = build_parser()
+        assert parser.parse_args(["lifetime"]).command == "lifetime"
+        assert parser.parse_args(["redteam"]).command == "redteam"
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["redteam", "--objective", "chaos"])
+
+
+class TestLifetimeCommand:
+    def test_closed_loop_run(self, capsys):
+        code = main(["lifetime"] + SMALL_MISSION + FAST)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "total damage" in out
+        assert "binding cell" in out
+        final_wear_line(out)
+
+    def test_resume_requires_telemetry_dir(self, capsys):
+        code = main(["lifetime", "--resume"] + SMALL_MISSION + FAST)
+        assert code == 2
+        assert "--telemetry-dir" in capsys.readouterr().err
+
+    def test_stop_and_resume_is_bit_identical(self, tmp_path, capsys):
+        common = (
+            ["lifetime"]
+            + SMALL_MISSION
+            + FAST
+            + ["--checkpoint-every", "2"]
+        )
+        assert main(common + ["--telemetry-dir", str(tmp_path / "victim"),
+                              "--stop-after", "3"]) == 0
+        capsys.readouterr()
+        assert main(common + ["--telemetry-dir", str(tmp_path / "victim"),
+                              "--resume"]) == 0
+        resumed = final_wear_line(capsys.readouterr().out)
+        assert main(common + ["--telemetry-dir", str(tmp_path / "straight")]) == 0
+        straight = final_wear_line(capsys.readouterr().out)
+        assert resumed == straight
+
+    def test_open_loop_flag(self, capsys):
+        code = main(["lifetime", "--open-loop"] + SMALL_MISSION + FAST)
+        assert code == 0
+        final_wear_line(capsys.readouterr().out)
+
+
+class TestRedteamCommand:
+    BUDGET = [
+        "--random-population", "2",
+        "--greedy-passes", "0",
+        "--anneal-steps", "0",
+        "--epochs", "8",
+        "--epoch-hours", "100",
+        "--apps", "gzip,art",
+    ]
+
+    def test_reports_improvement(self, capsys):
+        code = main(
+            ["redteam", "--min-improvement", "-1"] + self.BUDGET + FAST
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "baseline wear" in out
+        assert "improvement" in out
+
+    def test_gate_failure_exit_code(self, capsys):
+        code = main(
+            ["redteam", "--min-improvement", "1e9"] + self.BUDGET + FAST
+        )
+        assert code == 2
+        assert "FAILED" in capsys.readouterr().err

@@ -1,0 +1,125 @@
+"""Property-based tests (hypothesis) on the cumulative-damage algebra.
+
+Three invariants carry the lifetime subsystem:
+
+- **monotonicity** — accrued damage never decreases, cell by cell;
+- **split-additivity** — folding schedule ``A + B`` is *bitwise*
+  identical to folding ``A`` and continuing with ``B`` (accrual is a
+  pure elementwise fold, so checkpoint/resume cannot drift);
+- **round-tripping** — wear states survive the JSON checkpoint path
+  bitwise, and schedule digests are exact content hashes.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config.technology import STRUCTURE_NAMES
+from repro.lifetime import MECHANISM_NAMES, WearState
+from repro.workloads.generator import MissionEpoch, MissionSchedule
+
+SHAPE = (len(MECHANISM_NAMES), len(STRUCTURE_NAMES))
+
+#: One synthetic epoch = (rate-field seed, hours).  Rates are drawn from
+#: the seed so hypothesis shrinks over compact integers, not matrices.
+epoch_specs = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2**16),
+        st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+def rates_from_seed(seed: int) -> np.ndarray:
+    return np.random.default_rng(seed).uniform(0.0, 1e-5, SHAPE)
+
+
+def fold(specs, state: WearState | None = None) -> WearState:
+    state = state if state is not None else WearState.fresh()
+    for seed, hours in specs:
+        state.accrue(rates_from_seed(seed), hours)
+    return state
+
+
+class TestDamageAlgebra:
+    @given(epoch_specs)
+    def test_wear_is_monotone(self, specs):
+        state = WearState.fresh()
+        previous = state.damage.copy()
+        for seed, hours in specs:
+            state.accrue(rates_from_seed(seed), hours)
+            assert np.all(state.damage >= previous)
+            previous = state.damage.copy()
+        assert state.total >= 0.0
+        assert state.hours == pytest.approx(sum(h for _, h in specs))
+        assert state.epochs == len(specs)
+
+    @given(epoch_specs, epoch_specs)
+    def test_split_additivity_is_bitwise(self, first, second):
+        whole = fold(first + second)
+        split = fold(second, state=fold(first))
+        assert np.array_equal(whole.damage, split.damage)
+        assert whole.hours == split.hours
+        assert whole.epochs == split.epochs
+
+    @given(epoch_specs)
+    def test_checkpoint_roundtrip_is_bitwise(self, specs):
+        state = fold(specs)
+        wire = json.loads(json.dumps(state.as_payload()))
+        restored = WearState.from_payload(wire)
+        assert np.array_equal(restored.damage, state.damage)
+        assert restored.hours == state.hours
+        assert restored.epochs == state.epochs
+
+    @given(epoch_specs, epoch_specs)
+    def test_resume_from_checkpoint_matches_straight_fold(self, first, second):
+        # The simulator's resume path in miniature: checkpoint after
+        # ``first``, restore through JSON, continue with ``second``.
+        wire = json.loads(json.dumps(fold(first).as_payload()))
+        resumed = fold(second, state=WearState.from_payload(wire))
+        straight = fold(first + second)
+        assert np.array_equal(resumed.damage, straight.damage)
+
+
+mission_epochs = st.lists(
+    st.tuples(
+        st.sampled_from(["gzip", "art", "twolf"]),
+        st.sampled_from([3.0e9, 4.0e9, 5.0e9]),
+        st.floats(min_value=1.0, max_value=1e4, allow_nan=False),
+    ),
+    min_size=2,
+    max_size=8,
+).map(
+    lambda rows: MissionSchedule(
+        tuple(MissionEpoch(app, f, h) for app, f, h in rows)
+    )
+)
+
+
+class TestMissionScheduleProperties:
+    @given(mission_epochs, st.data())
+    def test_split_reassembles(self, schedule, data):
+        k = data.draw(st.integers(1, schedule.n_epochs - 1))
+        head, tail = schedule.split(k)
+        assert head + tail == schedule
+        assert (head + tail).digest() == schedule.digest()
+
+    @given(mission_epochs)
+    def test_digest_is_content_stable(self, schedule):
+        clone = MissionSchedule(tuple(schedule.epochs))
+        assert clone.digest() == schedule.digest()
+
+    @given(mission_epochs, st.data())
+    @settings(max_examples=30)
+    def test_digest_changes_with_content(self, schedule, data):
+        index = data.draw(st.integers(0, schedule.n_epochs - 1))
+        original = schedule.epochs[index]
+        mutated = schedule.replaced(
+            index,
+            MissionEpoch(original.app, original.frequency_hz, original.hours + 1.0),
+        )
+        assert mutated.digest() != schedule.digest()

@@ -1,0 +1,358 @@
+"""Integration tests for the cumulative-damage lifetime simulator."""
+
+import numpy as np
+import pytest
+
+from repro.config.microarch import BASE_MICROARCH
+from repro.constants import FIT_DEVICE_HOURS
+from repro.core.controllers import WearAwareController
+from repro.core.redundancy import RedundancyPlan
+from repro.errors import LifetimeError
+from repro.lifetime import (
+    MECHANISM_NAMES,
+    DamageModel,
+    LifetimeSimulator,
+    WearState,
+)
+from repro.resilience import CHECKPOINT_TORN, WEAR_DRIFT, FaultPlan, install
+from repro.telemetry import check_stream, read_stream
+from repro.workloads.generator import MissionEpoch, MissionSchedule, random_mission
+from repro.workloads.suite import workload_by_name
+
+
+@pytest.fixture
+def clean_faults():
+    install(None)
+    yield
+    install(None)
+
+
+def make_simulator(platform, cache, ramp, **kwargs) -> LifetimeSimulator:
+    kwargs.setdefault("checkpoint_every", 4)
+    return LifetimeSimulator(platform=platform, cache=cache, ramp=ramp, **kwargs)
+
+
+def mission(n_epochs=10, hours=400.0, seed=3) -> MissionSchedule:
+    return random_mission(
+        apps=("gzip", "art"),
+        frequencies=(3.0e9, 4.0e9, 5.0e9),
+        n_epochs=n_epochs,
+        epoch_hours=hours,
+        seed=seed,
+    )
+
+
+class TestRateTable:
+    def test_mechanism_axis_matches_canonical_order(self, lifetime_ramp):
+        assert tuple(m.name for m in lifetime_ramp.mechanisms) == MECHANISM_NAMES
+
+    def test_rates_are_sofr_consistent(self, platform, test_cache, lifetime_ramp):
+        """Constant-stress wear rates must be the SOFR FIT over 1e9
+        device-hours — the lifetime subsystem and repro.core.fit must
+        agree on the physics."""
+        simulator = make_simulator(platform, test_cache, lifetime_ramp)
+        op = simulator.rate_table.operating_point("gzip", BASE_MICROARCH, 4.0e9)
+        rates = simulator.rate_table.rates_for("gzip", BASE_MICROARCH, 4.0e9)
+        run = test_cache.run(workload_by_name("gzip"), BASE_MICROARCH)
+        reliability = lifetime_ramp.application_reliability(
+            platform.evaluate(run, op)
+        )
+        assert float(rates.sum()) * FIT_DEVICE_HOURS == pytest.approx(
+            reliability.total_fit, rel=1e-9
+        )
+        by_mechanism = reliability.account.by_mechanism()
+        for index, name in enumerate(MECHANISM_NAMES):
+            assert float(rates[index].sum()) * FIT_DEVICE_HOURS == pytest.approx(
+                by_mechanism.get(name, 0.0), rel=1e-9, abs=1e-30
+            )
+
+    def test_frequency_snaps_to_grid(self, platform, test_cache, lifetime_ramp):
+        simulator = make_simulator(platform, test_cache, lifetime_ramp)
+        table = simulator.rate_table
+        op = table.operating_point("gzip", BASE_MICROARCH, 4.04e9)
+        assert op.frequency_hz == pytest.approx(4.0e9)
+        exact = table.rates_for("gzip", BASE_MICROARCH, op.frequency_hz)
+        snapped = table.rates_for("gzip", BASE_MICROARCH, 4.04e9)
+        assert np.array_equal(exact, snapped)
+
+    def test_candidates_cover_the_grid(self, platform, test_cache, lifetime_ramp):
+        simulator = make_simulator(platform, test_cache, lifetime_ramp)
+        candidates = simulator.rate_table.candidates("gzip", BASE_MICROARCH)
+        assert len(candidates) == 11
+        assert all(rate > 0.0 for _, rate in candidates)
+        # Faster operating points wear the chip faster at the extremes.
+        ranked = sorted(candidates, key=lambda c: c[0].frequency_hz)
+        assert ranked[-1][1] > ranked[0][1]
+
+    def test_asymmetry_inflates_wearout_only(
+        self, platform, test_cache, lifetime_ramp
+    ):
+        plain = make_simulator(platform, test_cache, lifetime_ramp)
+        aged = make_simulator(
+            platform,
+            test_cache,
+            lifetime_ramp,
+            damage_model=DamageModel(asymmetry_coefficient=0.5),
+        )
+        base = plain.rate_table.rates_for("gzip", BASE_MICROARCH, 4.0e9)
+        derated = aged.rate_table.rates_for("gzip", BASE_MICROARCH, 4.0e9)
+        tc = MECHANISM_NAMES.index("TC")
+        assert np.array_equal(derated[tc], base[tc])
+        wearout = [i for i in range(len(MECHANISM_NAMES)) if i != tc]
+        assert np.all(derated[wearout] >= base[wearout])
+        assert derated[wearout].sum() > base[wearout].sum()
+
+
+class TestOpenLoop:
+    def test_open_loop_matches_simulate(self, platform, test_cache, lifetime_ramp):
+        simulator = make_simulator(platform, test_cache, lifetime_ramp)
+        schedule = mission()
+        reference = simulator.open_loop(schedule)
+        result = simulator.simulate(schedule)
+        assert np.array_equal(result.state.damage, reference.damage)
+        assert result.state.hours == reference.hours
+        assert result.epochs_run == schedule.n_epochs
+
+    def test_split_additivity_through_the_simulator(
+        self, platform, test_cache, lifetime_ramp
+    ):
+        simulator = make_simulator(platform, test_cache, lifetime_ramp)
+        schedule = mission(n_epochs=9)
+        head, tail = schedule.split(4)
+        whole = simulator.open_loop(schedule)
+        split = simulator.open_loop(tail, state=simulator.open_loop(head))
+        assert np.array_equal(whole.damage, split.damage)
+        assert whole.hours == split.hours
+
+
+class TestCheckpointResume:
+    def test_kill_and_resume_is_bit_identical(
+        self, platform, test_cache, lifetime_ramp, tmp_path
+    ):
+        schedule = mission(n_epochs=11)
+        controller = WearAwareController(platform, lifetime_ramp)
+
+        reference = make_simulator(platform, test_cache, lifetime_ramp).simulate(
+            schedule, controller=controller
+        )
+
+        victim = make_simulator(
+            platform, test_cache, lifetime_ramp, telemetry_root=tmp_path
+        )
+        partial = victim.simulate(
+            schedule, controller=controller, stop_after_epochs=6
+        )
+        assert partial.epochs_run == 6
+
+        # A fresh process (fresh simulator) restores from the stream.
+        resumed = make_simulator(
+            platform, test_cache, lifetime_ramp, telemetry_root=tmp_path
+        ).simulate(schedule, controller=controller, resume=True)
+        assert resumed.resumed_from == 6
+        assert np.array_equal(resumed.state.damage, reference.state.damage)
+        assert resumed.state.hours == reference.state.hours
+        assert resumed.state.epochs == reference.state.epochs
+
+    def test_resume_without_checkpoint_starts_fresh(
+        self, platform, test_cache, lifetime_ramp, tmp_path
+    ):
+        simulator = make_simulator(
+            platform, test_cache, lifetime_ramp, telemetry_root=tmp_path
+        )
+        schedule = mission(n_epochs=5)
+        result = simulator.simulate(schedule, resume=True)
+        assert result.resumed_from is None
+        assert result.epochs_run == 5
+
+    def test_checkpoints_are_schedule_scoped(
+        self, platform, test_cache, lifetime_ramp, tmp_path
+    ):
+        """A checkpoint for one schedule must never seed another."""
+        simulator = make_simulator(
+            platform, test_cache, lifetime_ramp, telemetry_root=tmp_path
+        )
+        simulator.simulate(mission(seed=3), stop_after_epochs=8)
+        other = simulator.simulate(mission(seed=4), resume=True)
+        assert other.resumed_from is None
+
+    def test_telemetry_stream_passes_schema_check(
+        self, platform, test_cache, lifetime_ramp, tmp_path
+    ):
+        simulator = make_simulator(
+            platform, test_cache, lifetime_ramp, telemetry_root=tmp_path
+        )
+        simulator.simulate(mission(n_epochs=6))
+        check = check_stream(tmp_path)
+        assert check.ok
+        assert check.invalid == 0
+        kinds = {
+            record.kind for record in read_stream(tmp_path)
+        }
+        assert "lifetime.spec" in kinds
+        assert "lifetime.checkpoint" in kinds
+        assert "lifetime.done" in kinds
+
+    def test_checkpoint_every_validation(self, platform, test_cache, lifetime_ramp):
+        with pytest.raises(LifetimeError):
+            make_simulator(
+                platform, test_cache, lifetime_ramp, checkpoint_every=0
+            )
+
+
+class TestFaultDegradation:
+    def test_torn_checkpoints_degrade_not_corrupt(
+        self, platform, test_cache, lifetime_ramp, tmp_path, clean_faults
+    ):
+        """With every checkpoint torn mid-frame, resume falls back to a
+        fresh start and still lands on the exact fault-free answer."""
+        schedule = mission(n_epochs=7)
+        reference = make_simulator(platform, test_cache, lifetime_ramp).simulate(
+            schedule
+        )
+
+        install(FaultPlan(name="torn", seed=5, rates={CHECKPOINT_TORN: 1.0}))
+        victim = make_simulator(
+            platform, test_cache, lifetime_ramp, telemetry_root=tmp_path
+        )
+        victim.simulate(schedule, stop_after_epochs=4)
+        install(None)
+
+        check = check_stream(tmp_path)
+        assert check.torn > 0
+        assert check.ok  # torn tails are crash damage, not schema rot
+
+        resumed = make_simulator(
+            platform, test_cache, lifetime_ramp, telemetry_root=tmp_path
+        ).simulate(schedule, resume=True)
+        assert resumed.resumed_from is None  # nothing intact to restore
+        assert np.array_equal(resumed.state.damage, reference.state.damage)
+
+    def test_sensor_drift_degrades_decisions_not_physics(
+        self, platform, test_cache, lifetime_ramp, clean_faults
+    ):
+        """Drifting wear sensors may change what the controller picks,
+        but the accrued state stays a valid physical trajectory and the
+        armed run is deterministic."""
+        schedule = mission(n_epochs=8)
+        controller = WearAwareController(platform, lifetime_ramp)
+
+        def run_armed():
+            install(FaultPlan(name="drift", seed=9, rates={WEAR_DRIFT: 1.0}))
+            try:
+                simulator = make_simulator(platform, test_cache, lifetime_ramp)
+                return simulator.simulate(schedule, controller=controller)
+            finally:
+                install(None)
+
+        first = run_armed()
+        second = run_armed()
+        assert np.array_equal(first.state.damage, second.state.damage)
+        assert np.all(np.isfinite(first.state.damage))
+        assert np.all(first.state.damage >= 0.0)
+        # The true state round-trips: nothing NaN'd or went negative
+        # under drifted readings.
+        restored = WearState.from_payload(first.state.as_payload())
+        assert np.array_equal(restored.damage, first.state.damage)
+
+
+class TestControllerLadder:
+    def hot_schedule(self, n_epochs=30, hours=1000.0) -> MissionSchedule:
+        return MissionSchedule(
+            tuple(
+                MissionEpoch("art", 5.0e9, hours) for _ in range(n_epochs)
+            )
+        )
+
+    def test_controller_keeps_chip_within_lifetime_target(
+        self, platform, test_cache, lifetime_ramp
+    ):
+        simulator = make_simulator(platform, test_cache, lifetime_ramp)
+        controller = WearAwareController(platform, lifetime_ramp)
+        schedule = self.hot_schedule()
+
+        unmanaged = simulator.open_loop(schedule)
+        managed = simulator.simulate(schedule, controller=controller)
+
+        budget = controller.target_damage_rate * managed.state.hours
+        assert not managed.end_of_life
+        assert managed.state.total <= budget
+        # The open-loop run would have blown through the same allowance:
+        # the controller is actually doing the pacing work.
+        assert unmanaged.total > controller.target_damage_rate * unmanaged.hours
+        assert managed.state.total < unmanaged.total
+
+    def test_spare_swap_resets_the_worn_structure(
+        self, platform, test_cache, lifetime_ramp
+    ):
+        simulator = make_simulator(platform, test_cache, lifetime_ramp)
+        baseline = simulator.simulate(mission(n_epochs=10))
+        worst_structure = max(
+            baseline.state.by_structure(), key=baseline.state.by_structure().get
+        )
+        # Most-worn peak cell over the run — trigger the spare rung just
+        # under it so the swap fires mid-mission.
+        trip = baseline.state.peak * 0.5
+        controller = WearAwareController(
+            platform,
+            lifetime_ramp,
+            shed_threshold=trip,
+            fail_threshold=1.0,
+            lifetime_target_years=1e-2,  # allowance never binds here
+            redundancy_plan=RedundancyPlan.for_structures((worst_structure,)),
+        )
+        result = simulator.simulate(mission(n_epochs=10), controller=controller)
+        assert worst_structure in result.swaps
+        assert not result.end_of_life
+        # The swap zeroed accrued wear mid-run, so the structure ends
+        # with less damage than the unmanaged fold gave it.
+        assert (
+            result.state.by_structure()[worst_structure]
+            < baseline.state.by_structure()[worst_structure]
+        )
+
+    def test_overdrawn_controller_sheds_structures(
+        self, platform, test_cache, lifetime_ramp
+    ):
+        simulator = make_simulator(platform, test_cache, lifetime_ramp)
+        # An absurd lifetime target makes every operating point overdraw
+        # the allowance: the ladder sheds what it can, then runs slowest.
+        controller = WearAwareController(
+            platform, lifetime_ramp, lifetime_target_years=1e6
+        )
+        result = simulator.simulate(mission(n_epochs=4), controller=controller)
+        assert result.sheds  # at least one structure was powered down
+        assert not result.end_of_life
+        assert result.config.describe() != BASE_MICROARCH.describe()
+
+    def test_end_of_life_is_declared_cleanly(
+        self, platform, test_cache, lifetime_ramp, tmp_path
+    ):
+        simulator = make_simulator(
+            platform, test_cache, lifetime_ramp, telemetry_root=tmp_path
+        )
+        controller = WearAwareController(
+            platform,
+            lifetime_ramp,
+            shed_threshold=1e-7,
+            fail_threshold=2e-7,
+        )
+        schedule = mission(n_epochs=10)
+        result = simulator.simulate(schedule, controller=controller)
+        assert result.end_of_life
+        assert result.eol_epoch is not None
+        assert result.epochs_run < schedule.n_epochs
+        done = [
+            record
+            for record in read_stream(tmp_path)
+            if record.kind == "lifetime.done"
+        ]
+        assert done and done[-1].payload["end_of_life"] is True
+        # The terminal wear state was persisted before stopping.
+        checkpoints = [
+            record
+            for record in read_stream(tmp_path, kinds=("lifetime.checkpoint",))
+        ]
+        assert checkpoints
+        final = max(checkpoints, key=lambda r: r.payload["epoch"])
+        restored = WearState.from_payload(final.payload["wear"])
+        assert np.array_equal(restored.damage, result.state.damage)

@@ -48,6 +48,9 @@ class TestSubpackageExports:
             "repro.core.budget", "repro.core.sensors", "repro.core.controllers",
             "repro.harness.validation", "repro.workloads.analysis",
             "repro.workloads.tracefile", "repro.thermal.report", "repro.cli",
+            "repro.lifetime", "repro.lifetime.damage",
+            "repro.lifetime.simulator", "repro.lifetime.adversary",
+            "repro.kernels.wear",
         ],
     )
     def test_extension_modules_import(self, module):
@@ -84,6 +87,7 @@ class TestErrorHierarchy:
             errors.ReliabilityError,
             errors.QualificationError,
             errors.AdaptationError,
+            errors.LifetimeError,
         ],
     )
     def test_all_derive_from_repro_error(self, exc):
@@ -115,6 +119,9 @@ class TestDocstringCoverage:
             "repro.power.model", "repro.thermal.rc_network",
             "repro.core.ramp", "repro.core.qualification", "repro.core.drm",
             "repro.core.dtm", "repro.harness.platform",
+            "repro.lifetime", "repro.lifetime.damage",
+            "repro.lifetime.simulator", "repro.lifetime.adversary",
+            "repro.kernels.wear",
         ],
     )
     def test_module_docstrings_present(self, module):

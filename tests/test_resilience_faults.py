@@ -14,6 +14,7 @@ import pytest
 from repro.errors import InjectedFault, ResilienceError
 from repro.resilience import (
     AGGRESSIVE,
+    CHECKPOINT_TORN,
     CI_DEFAULT,
     KERNEL_POISON,
     SENSOR_NOISE,
@@ -23,6 +24,7 @@ from repro.resilience import (
     SITES,
     STORE_CORRUPT,
     TELEMETRY_TORN,
+    WEAR_DRIFT,
     WORKER_CRASH,
     WORKER_HANG,
     FaultInjector,
@@ -278,4 +280,6 @@ def test_site_constants_cover_every_site():
         SERVE_DROP,
         SERVE_SLOW,
         TELEMETRY_TORN,
+        WEAR_DRIFT,
+        CHECKPOINT_TORN,
     }

@@ -1,0 +1,117 @@
+"""Per-chip wear reporting through the decision service's wire protocol."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.protocol import DecideRequest, decision_cache_key
+from repro.serve.state import ChipStateStore
+
+
+def request_payload(**extra):
+    payload = {"kind": "drm", "app": "gzip", "t_qual_k": 370.0}
+    payload.update(extra)
+    return payload
+
+
+class TestWearOnTheWire:
+    def test_wear_is_optional_and_additive(self):
+        request = DecideRequest.from_payload(request_payload())
+        assert request.wear is None
+        assert request.wear_by_structure() is None
+        assert "wear" not in request.as_payload()
+
+    def test_wear_parses_to_canonical_sorted_pairs(self):
+        request = DecideRequest.from_payload(
+            request_payload(wear={"l1d": 0.25, "fpu": 0.1})
+        )
+        assert request.wear == (("fpu", 0.1), ("l1d", 0.25))
+        assert request.wear_by_structure() == {"fpu": 0.1, "l1d": 0.25}
+        assert request.as_payload()["wear"] == {"fpu": 0.1, "l1d": 0.25}
+        # The frozen request stays hashable with wear attached.
+        hash(request)
+
+    def test_wear_roundtrips_through_payload(self):
+        request = DecideRequest.from_payload(
+            request_payload(wear={"window": 0.5})
+        )
+        again = DecideRequest.from_payload(request.as_payload())
+        assert again == request
+
+    def test_rejects_unknown_structure(self):
+        with pytest.raises(ServeError):
+            DecideRequest.from_payload(
+                request_payload(wear={"warp_core": 0.1})
+            )
+
+    def test_rejects_negative_and_nonfinite_values(self):
+        with pytest.raises(ServeError):
+            DecideRequest.from_payload(request_payload(wear={"l1d": -0.1}))
+        with pytest.raises(ServeError):
+            DecideRequest.from_payload(
+                request_payload(wear={"l1d": float("nan")})
+            )
+
+    def test_rejects_non_numeric_values(self):
+        with pytest.raises(ServeError):
+            DecideRequest.from_payload(request_payload(wear={"l1d": "high"}))
+        with pytest.raises(ServeError):
+            DecideRequest.from_payload(request_payload(wear={"l1d": True}))
+        with pytest.raises(ServeError):
+            DecideRequest.from_payload(request_payload(wear=[["l1d", 0.1]]))
+
+    def test_wear_does_not_change_the_decision_identity(self):
+        """Two chips at different wear ask the same oracle question —
+        they must share one cached decision."""
+        bare = DecideRequest.from_payload(request_payload())
+        worn = DecideRequest.from_payload(request_payload(wear={"l1d": 0.9}))
+        assert bare.identity() == worn.identity()
+        context = {"fingerprint": "x", "dvs_steps": 11}
+        assert decision_cache_key(
+            bare, context, profile_hash="p"
+        ) == decision_cache_key(worn, context, profile_hash="p")
+
+
+class TestChipStateWear:
+    def record(self, store, chip_id, wear):
+        store.record(
+            chip_id,
+            kind="drm",
+            app="gzip",
+            request_payload={"kind": "drm", "app": "gzip"},
+            decision_key="k",
+            cache_tier="memory",
+            wear=wear,
+        )
+
+    def test_snapshot_carries_wear(self):
+        store = ChipStateStore()
+        self.record(store, "chip-1", {"l1d": 0.2, "fpu": 0.1})
+        snapshot = store.snapshot("chip-1")
+        assert snapshot["wear"] == {"fpu": 0.1, "l1d": 0.2}
+        assert snapshot["wear_updates"] == 1
+
+    def test_wear_merges_monotonically(self):
+        """Wear is physically monotone: a lower later report is a stale
+        sensor, never a healed structure."""
+        store = ChipStateStore()
+        self.record(store, "chip-1", {"l1d": 0.4})
+        self.record(store, "chip-1", {"l1d": 0.1, "fpu": 0.3})
+        snapshot = store.snapshot("chip-1")
+        assert snapshot["wear"] == {"fpu": 0.3, "l1d": 0.4}
+        assert snapshot["wear_updates"] == 2
+
+    def test_requests_without_wear_leave_state_untouched(self):
+        store = ChipStateStore()
+        self.record(store, "chip-1", {"l1d": 0.4})
+        self.record(store, "chip-1", None)
+        snapshot = store.snapshot("chip-1")
+        assert snapshot["wear"] == {"l1d": 0.4}
+        assert snapshot["wear_updates"] == 1
+        assert snapshot["requests"] == 2
+
+    def test_wear_is_per_chip(self):
+        store = ChipStateStore()
+        self.record(store, "chip-1", {"l1d": 0.4})
+        self.record(store, "chip-2", {"fpu": 0.2})
+        assert store.snapshot("chip-1")["wear"] == {"l1d": 0.4}
+        assert store.snapshot("chip-2")["wear"] == {"fpu": 0.2}
